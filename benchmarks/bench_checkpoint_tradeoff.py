@@ -1,0 +1,66 @@
+"""Checkpoint-frequency tradeoff: runtime overhead vs recovery bound.
+
+The other half of experiment E5: frequent client checkpoints shrink
+failed-client recovery but cost messages and log volume during normal
+processing.  This ablation sweeps the interval and reports both sides,
+the data behind choosing a checkpoint policy.
+"""
+
+import random
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.harness import metrics
+from repro.harness.report import format_table
+from repro.workloads.generator import seed_table
+
+
+def run_interval(interval: int, committed: int = 48):
+    config = SystemConfig(client_checkpoint_interval=interval,
+                          server_checkpoint_interval=0,
+                          client_buffer_frames=4)
+    system = ClientServerSystem(config, client_ids=["C1"])
+    system.bootstrap(data_pages=8, free_pages=8)
+    rids = seed_table(system, "C1", "t", 8, 3)
+    client = system.client("C1")
+    rng = random.Random(71)
+    before = metrics.snapshot(system)
+    for i in range(committed):
+        txn = client.begin()
+        client.update(txn, rids[rng.randrange(len(rids))], ("w", i))
+        client.commit(txn)
+    delta = metrics.snapshot(system).minus(before)
+    ckpt_records = sum(
+        1 for _, record in system.server.log.scan()
+        if record.type_name in ("BeginCheckpointRecord", "EndCheckpointRecord")
+        and record.client_id == "C1"
+    )
+    # Crash mid-transaction and measure the recovery bound.
+    txn = client.begin()
+    client.update(txn, rids[0], "doomed")
+    client._ship_log_records()
+    report = system.crash_client("C1")
+    return {
+        "ckpt_interval": interval if interval else "never",
+        "ckpt_log_records": ckpt_records,
+        "normal_messages": delta.messages,
+        "recovery_log_records": report.total_log_records_processed,
+    }
+
+
+def test_checkpoint_tradeoff(benchmark):
+    def sweep():
+        return [run_interval(interval) for interval in (1, 4, 16, 0)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Checkpoint frequency: overhead vs recovery"))
+    by_interval = {row["ckpt_interval"]: row for row in rows}
+    # Overhead grows as the interval shrinks...
+    assert by_interval[1]["ckpt_log_records"] > \
+        by_interval[16]["ckpt_log_records"]
+    assert by_interval[1]["normal_messages"] > \
+        by_interval[16]["normal_messages"]
+    # ...and the recovery bound shrinks.
+    assert by_interval[1]["recovery_log_records"] <= \
+        by_interval["never"]["recovery_log_records"]

@@ -1,0 +1,23 @@
+"""E10 — local LSN assignment vs server round trips (section 2.2).
+
+Claim: "one cannot afford to wait for a log record to be sent to the
+server and for the server to respond back with an LSN ... before the
+updated page's page_LSN field is set" — local assignment removes one
+synchronous round trip per log record.
+"""
+
+from repro.harness.experiments import run_e10_lsn_assignment
+from repro.harness.report import format_table
+
+
+def test_e10_lsn_assignment(benchmark):
+    rows = benchmark.pedantic(
+        run_e10_lsn_assignment, kwargs=dict(num_txns=20, ops_per_txn=8),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E10: LSN assignment strategies"))
+    local = [r for r in rows if "local" in r["variant"]][0]
+    remote = [r for r in rows if "round trip" in r["variant"]][0]
+    assert local["lsn_round_trips"] == 0
+    assert remote["messages"] > 3 * local["messages"]

@@ -1,0 +1,25 @@
+"""E11 — client-to-client page forwarding (section 4.1 discussion).
+
+Claim: with record locking, "even dirty pages [can] be shipped from one
+client to another before committing a transaction ... the log records
+of the sending client must be received by the server and acknowledged"
+first.  Forwarding halves the page hops on a handoff-heavy workload
+while recovery bounds survive in the server's forwarded-dirty table.
+"""
+
+from repro.harness.experiments import run_e11_forwarding
+from repro.harness.report import format_table
+
+
+def test_e11_forwarding(benchmark):
+    rows = benchmark.pedantic(
+        run_e11_forwarding, kwargs=dict(handoffs=24, pages=8),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E11: dirty-page forwarding"))
+    baseline = [r for r in rows if "baseline" in r["variant"]][0]
+    forwarding = [r for r in rows if "forwarding" in r["variant"]][0]
+    assert baseline["forwards"] == 0
+    assert forwarding["forwards"] > 0
+    assert forwarding["page_ships"] < baseline["page_ships"]

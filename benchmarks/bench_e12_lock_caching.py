@@ -1,0 +1,23 @@
+"""E12 — LLM lock caching (section 2.1).
+
+Claim: acquiring global locks "in the name of the LLMs rather than
+individual transactions ... would permit some optimizations which result
+in some message, CPU and storage savings" — repeat acquisitions at the
+same client become zero-message local grants.
+"""
+
+from repro.harness.experiments import run_e12_lock_caching
+from repro.harness.report import format_table
+
+
+def test_e12_lock_caching(benchmark):
+    rows = benchmark.pedantic(
+        run_e12_lock_caching, kwargs=dict(num_txns=30),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E12: LLM lock caching"))
+    uncached = [r for r in rows if "no caching" in r["variant"]][0]
+    cached = [r for r in rows if "LLM" in r["variant"]][0]
+    assert cached["lock_requests_to_server"] < uncached["lock_requests_to_server"]
+    assert cached["messages"] < uncached["messages"]

@@ -1,0 +1,29 @@
+"""E13 — log-replay ("object shipping") transport (section 5 future work).
+
+Claim: the paper closes with "we plan to deal with recovery issues when
+individual objects/records, rather than pages, are exchanged between
+the clients and the server."  Our exploration: because every update is
+physically logged, the log itself is a sufficient delta — the client
+ships only log records and the server materializes its copy by rolling
+forward.  Small updates on big pages then stop paying page-size bytes
+per steal/transfer, trading client-to-server bandwidth for server
+replay CPU.
+"""
+
+from repro.harness.experiments import run_e13_log_replay
+from repro.harness.report import format_table
+
+
+def test_e13_log_replay(benchmark):
+    rows = benchmark.pedantic(
+        run_e13_log_replay,
+        kwargs=dict(num_txns=30, record_bytes=16, page_size=4096),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E13: page-image vs log-replay transport"))
+    images = [r for r in rows if "page images" in r["variant"]][0]
+    replay = [r for r in rows if "log replay" in r["variant"]][0]
+    assert replay["bytes_to_server"] < images["bytes_to_server"]
+    assert replay["records_replayed_at_server"] > 0
+    assert images["records_replayed_at_server"] == 0

@@ -1,0 +1,23 @@
+"""E1 — commit-time page traffic vs write-set size (sections 4.1, 5(2)).
+
+Claim: ARIES/CSA ships only log records at commit, so commit cost is
+flat in the write-set size; ESM-CS's force-to-server-at-commit and the
+ObjectStore-style force-to-disk scale linearly with it.
+"""
+
+from repro.harness.experiments import run_e1_commit_traffic
+from repro.harness.report import format_table
+
+
+def test_e1_commit_traffic(benchmark):
+    rows = benchmark.pedantic(
+        run_e1_commit_traffic,
+        kwargs=dict(write_set_sizes=(1, 4, 16), num_txns=10, table_pages=24),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E1: commit traffic vs write-set size"))
+    csa = [r for r in rows if r["system"] == "ARIES/CSA"]
+    esm = [r for r in rows if r["system"] == "ESM-CS"]
+    assert all(r["pages_shipped_at_commit"] == 0 for r in csa)
+    assert esm[-1]["messages_per_commit"] > 10 * csa[-1]["messages_per_commit"]

@@ -1,0 +1,24 @@
+"""E2 — inter-transaction cache retention (section 4.1).
+
+Claim: ESM-CS's purge-at-commit destroys the client cache between
+transactions of a CAD-style session; ARIES/CSA retains it, turning
+repeat visits into pure cache hits.
+"""
+
+from repro.harness.experiments import run_e2_cache_retention
+from repro.harness.report import format_table
+
+
+def test_e2_cache_retention(benchmark):
+    rows = benchmark.pedantic(
+        run_e2_cache_retention,
+        kwargs=dict(num_txns=12, working_pages=8, revisits=3),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E2: cache retention across transactions"))
+    csa = [r for r in rows if r["system"] == "ARIES/CSA"][0]
+    esm = [r for r in rows if r["system"] == "ESM-CS"][0]
+    assert csa["page_refetches"] == 0
+    assert esm["page_refetches"] > 20
+    assert csa["messages"] < esm["messages"]

@@ -1,0 +1,26 @@
+"""E3 — where rollback executes (sections 4.1, 5(3)).
+
+Claim: ARIES/CSA performs normal transaction rollback at the client,
+keeping that load off the server; ESM-CS's clients perform no recovery
+actions, so every abort burns server cycles (conditional undo).
+"""
+
+from repro.harness.experiments import run_e3_rollback_locality
+from repro.harness.report import format_table
+
+
+def test_e3_rollback_locality(benchmark):
+    rows = benchmark.pedantic(
+        run_e3_rollback_locality,
+        kwargs=dict(abort_rates=(0.1, 0.3, 0.5), num_txns=40),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E3: rollback work placement"))
+    for row in rows:
+        if row["system"] == "ARIES/CSA":
+            assert row["server_undo_records"] == 0
+        else:
+            assert row["client_undo_records"] == 0
+            if row["aborts"]:
+                assert row["server_undo_records"] > 0

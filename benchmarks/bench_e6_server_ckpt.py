@@ -1,0 +1,23 @@
+"""E6 — client DPLs in the server checkpoint (section 2.7).
+
+Claim: the paper's adversarial window — a page dirtied at a client
+before the server's checkpoint and shipped to the server only after it
+— silently loses committed updates unless the coordinated checkpoint
+merges the clients' dirty page lists.
+"""
+
+from repro.harness.experiments import run_e6_server_checkpoint
+from repro.harness.report import format_table
+
+
+def test_e6_server_checkpoint(benchmark):
+    rows = benchmark.pedantic(
+        run_e6_server_checkpoint, kwargs=dict(trials=3),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E6: coordinated vs server-only checkpoint"))
+    safe = [r for r in rows if "ARIES/CSA" in r["variant"]][0]
+    unsafe = [r for r in rows if "strawman" in r["variant"]][0]
+    assert safe["committed_updates_lost"] == 0
+    assert unsafe["committed_updates_lost"] == unsafe["trials"]

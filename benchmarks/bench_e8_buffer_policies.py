@@ -1,0 +1,26 @@
+"""E8 — steal/no-force vs force buffer policies (sections 1.1.1, 2.1).
+
+Claim: no-force "improves transaction response time and concurrency,
+and reduces I/O and CPU overheads"; the force-to-disk commit policy
+pays a disk write per modified page per commit.
+"""
+
+from repro.harness.experiments import run_e8_buffer_policies
+from repro.harness.report import format_table
+
+
+def test_e8_buffer_policies(benchmark):
+    rows = benchmark.pedantic(
+        run_e8_buffer_policies,
+        kwargs=dict(buffer_frames=(8, 32), num_txns=40),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E8: buffer management policies"))
+    for frames in (8, 32):
+        csa = [r for r in rows
+               if r["system"] == "ARIES/CSA" and r["client_frames"] == frames][0]
+        force = [r for r in rows
+                 if r["system"] == "ObjectStore-style"
+                 and r["client_frames"] == frames][0]
+        assert csa["disk_writes"] < force["disk_writes"]

@@ -1,0 +1,23 @@
+"""E9 — in-operation page recovery cost (section 2.5).
+
+Claim: recovering a corrupted page applies the log from the page's
+RecAddr — cost proportional to updates since the page was last clean at
+the server, not to total log size.
+"""
+
+from repro.harness.experiments import run_e9_page_recovery
+from repro.harness.report import format_table
+
+
+def test_e9_page_recovery(benchmark):
+    rows = benchmark.pedantic(
+        run_e9_page_recovery,
+        kwargs=dict(updates_since_clean=(2, 8, 32), background_updates=50),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows, title="E9: page recovery cost vs staleness"))
+    applied = [row["records_applied"] for row in rows]
+    assert applied == [2, 8, 32]
+    for row in rows:
+        assert row["records_applied"] < row["log_records_total"]

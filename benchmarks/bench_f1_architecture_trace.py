@@ -1,0 +1,20 @@
+"""F1 — the Figure 1 architecture, traced.
+
+The paper's single figure shows clients with buffer pools and local log
+buffers above a server owning the database and log disks.  This bench
+runs one read-modify-commit transaction at a cold client and reports the
+message flows — exactly the arrows Figure 1 draws: page request/ship
+down, log ship up, commit force at the single log.
+"""
+
+from repro.harness.experiments import run_f1_architecture_trace
+from repro.harness.report import format_table
+
+
+def test_f1_architecture_trace(benchmark):
+    rows = benchmark.pedantic(run_f1_architecture_trace,
+                              rounds=3, iterations=1)
+    print()
+    print(format_table(rows, title="F1: one transaction's message flows"))
+    flows = {row["flow"] for row in rows}
+    assert {"page-request", "page-ship", "log-ship", "commit-request"} <= flows

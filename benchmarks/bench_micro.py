@@ -1,0 +1,107 @@
+"""Microbenchmarks: the substrate's hot paths.
+
+Not tied to a paper claim; they keep the simulator honest (a recovery
+experiment whose numbers are dominated by codec overhead would mislead)
+and give contributors a regression baseline.
+"""
+
+import random
+
+from repro.core import codec
+from repro.core.log_records import UpdateOp, UpdateRecord, decode_record, encode_record
+from repro.core.lsn import LsnClock
+from repro.core.recovery import analysis_pass
+from repro.core.server_log import ServerLogManager
+from repro.storage.page import Page, PageKind
+
+
+def make_update(lsn):
+    return UpdateRecord(
+        lsn=lsn, client_id="C1", txn_id=f"T{lsn % 7}", prev_lsn=lsn - 1,
+        page_id=lsn % 50, op=UpdateOp.RECORD_MODIFY, slot=lsn % 4,
+        before=b"before-image-bytes", after=b"after-image-bytes",
+    )
+
+
+def test_codec_encode(benchmark):
+    value = (1, "client", b"payload" * 8, (2, 3, None, True))
+    benchmark(codec.encode, value)
+
+
+def test_codec_decode(benchmark):
+    blob = codec.encode((1, "client", b"payload" * 8, (2, 3, None, True)))
+    benchmark(codec.decode, blob)
+
+
+def test_log_record_encode(benchmark):
+    record = make_update(42)
+    benchmark(encode_record, record)
+
+
+def test_log_record_decode(benchmark):
+    blob = encode_record(make_update(42))
+    benchmark(decode_record, blob)
+
+
+def test_page_serialize(benchmark):
+    page = Page(1, PageKind.DATA)
+    page.format(PageKind.DATA)
+    for i in range(30):
+        page.insert_record(f"record-{i}".encode() * 3)
+    benchmark(page.to_bytes)
+
+
+def test_page_deserialize(benchmark):
+    page = Page(1, PageKind.DATA)
+    page.format(PageKind.DATA)
+    for i in range(30):
+        page.insert_record(f"record-{i}".encode() * 3)
+    image = page.to_bytes()
+    benchmark(Page.from_bytes, image)
+
+
+def test_lsn_assignment(benchmark):
+    clock = LsnClock()
+
+    def assign():
+        clock.next_lsn(clock.local_max_lsn - 1)
+
+    benchmark(assign)
+
+
+def test_log_append_throughput(benchmark):
+    def build_and_fill():
+        log = ServerLogManager()
+        log.append_from_client("C1", [make_update(lsn) for lsn in range(1, 201)])
+        return log
+
+    benchmark(build_and_fill)
+
+
+def test_analysis_pass_throughput(benchmark):
+    log = ServerLogManager()
+    log.append_from_client("C1", [make_update(lsn) for lsn in range(1, 501)])
+
+    benchmark(analysis_pass, log, 0)
+
+
+def test_end_to_end_txn(benchmark):
+    """One committed single-update transaction on a warm complex."""
+    from repro.config import SystemConfig
+    from repro.core.system import ClientServerSystem
+    from repro.workloads.generator import seed_table
+
+    config = SystemConfig(client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1"])
+    system.bootstrap(data_pages=4, free_pages=4)
+    rids = seed_table(system, "C1", "t", 4, 2)
+    client = system.client("C1")
+    rng = random.Random(1)
+
+    def one_txn():
+        txn = client.begin()
+        client.update(txn, rids[rng.randrange(len(rids))], "bench")
+        client.commit(txn)
+
+    benchmark(one_txn)

@@ -1,0 +1,7 @@
+"""Benchmark configuration.
+
+Every experiment benchmark prints the paper-style table it regenerates
+(the rows recorded in EXPERIMENTS.md) and asserts the direction of the
+claim it reproduces, so `pytest benchmarks/ --benchmark-only` both times
+the harness and re-validates the shapes.
+"""

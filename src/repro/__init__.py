@@ -1,0 +1,68 @@
+"""repro — a full reproduction of ARIES/CSA (Mohan & Narang, SIGMOD 1994).
+
+ARIES/CSA extends the ARIES recovery method to client-server database
+architectures: the server owns the disks (database and a single log);
+clients cache and update pages, assign LSNs locally, buffer log records
+in virtual storage, and ship them to the server.  The method supports
+write-ahead logging, fine-granularity (record) locking, steal/no-force
+buffer management, partial rollbacks, client and coordinated server
+checkpoints, server-performed recovery of failed clients, and the
+Commit_LSN optimization — all implemented here over a simulated complex
+with precise volatile/stable crash semantics.
+
+Quickstart::
+
+    from repro import ClientServerSystem, RecordId
+
+    system = ClientServerSystem(client_ids=["C1"])
+    system.bootstrap(data_pages=8)
+    system.create_table("accounts", 8)
+    client = system.client("C1")
+
+    txn = client.begin()
+    rid = client.insert(txn, page_id=1, value=("alice", 100))
+    client.commit(txn)
+
+    system.crash_all()
+    system.restart_all()
+    assert system.server_visible_value(rid) == ("alice", 100)
+"""
+
+from repro.config import (
+    ClientRecoveryInfo,
+    CommitCachePolicy,
+    CommitPagePolicy,
+    LockGranularity,
+    LsnAssignment,
+    RollbackSite,
+    SystemConfig,
+)
+from repro.core.client import Client
+from repro.core.coordinator import TwoPhaseCoordinator
+from repro.core.server import RecoveryReport, Server
+from repro.core.system import ClientServerSystem
+from repro.core.transaction import Transaction, TxnState
+from repro.errors import ReproError
+from repro.records.heap import RecordId
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Client",
+    "ClientRecoveryInfo",
+    "ClientServerSystem",
+    "CommitCachePolicy",
+    "CommitPagePolicy",
+    "LockGranularity",
+    "LsnAssignment",
+    "RecordId",
+    "RecoveryReport",
+    "ReproError",
+    "RollbackSite",
+    "Server",
+    "SystemConfig",
+    "Transaction",
+    "TwoPhaseCoordinator",
+    "TxnState",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""The paper's comparison systems (section 4), as policy configurations.
+
+Each baseline is the same substrate with the policy deltas the paper
+describes — so benchmark differences isolate exactly the design choices
+ARIES/CSA argues about.
+"""
+
+from repro.baselines.esm_cs import make_esm_cs_system
+from repro.baselines.no_client_ckpt import make_no_client_ckpt_system
+from repro.baselines.objectstore import make_objectstore_system
+
+__all__ = [
+    "make_esm_cs_system",
+    "make_no_client_ckpt_system",
+    "make_objectstore_system",
+]

@@ -1,0 +1,34 @@
+"""ESM-CS: the client-server EXODUS recovery method (section 4.1).
+
+The paper's characterization, reproduced as policies over our substrate:
+
+* **force-to-server-at-commit** — every page the transaction modified is
+  shipped to the server before the commit is acknowledged;
+* **purge-at-commit** — the client's entire buffer pool is emptied at
+  transaction termination;
+* **page-level locking only** — no record locks;
+* **server-side rollback with conditional undo** — clients perform no
+  recovery actions, so the server undoes on its own page versions,
+  writing CLRs even for updates its versions never contained
+  (ARIES-RRH style); logical undo is impossible, so B+-tree operations
+  reject this path;
+* **CDPL logging** — the transaction's Commit Dirty Page List is logged
+  before its commit record, substituting for client checkpoints during
+  analysis;
+* **no client checkpoints** — failed-client recovery information lives
+  in the GLM lock table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+
+
+def make_esm_cs_system(client_ids: Iterable[str] = ("C1", "C2"),
+                       **overrides: object) -> ClientServerSystem:
+    """A complex configured with ESM-CS policies."""
+    config = SystemConfig.esm_cs(**overrides) if overrides else SystemConfig.esm_cs()
+    return ClientServerSystem(config, client_ids=client_ids)

@@ -1,0 +1,24 @@
+"""ObjectStore-style commit policy (section 4.2).
+
+Per the paper's description of [LLOW91]: at commit time modified pages
+are sent to the server *and written to disk* before the commit is
+acknowledged; pages stay cached at the client afterwards; page is the
+smallest locking granularity.  (Beyond the use of WAL, the original
+paper says nothing more about recovery, so this baseline is exactly the
+published policy surface and nothing else.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+
+
+def make_objectstore_system(client_ids: Iterable[str] = ("C1", "C2"),
+                            **overrides: object) -> ClientServerSystem:
+    """A complex configured with ObjectStore-style commit policies."""
+    config = (SystemConfig.objectstore(**overrides) if overrides
+              else SystemConfig.objectstore())
+    return ClientServerSystem(config, client_ids=client_ids)

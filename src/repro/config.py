@@ -1,0 +1,212 @@
+"""System-wide configuration and policy knobs.
+
+A single :class:`SystemConfig` travels through the whole simulated
+complex.  ARIES/CSA proper is the default configuration; the baseline
+systems of the paper's section 4 (ESM-CS, ObjectStore-style, the
+no-client-checkpoint variant of section 2.6.2) are expressed as policy
+deviations from that default, so that every comparison in the benchmark
+suite isolates exactly the policy delta the paper discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class LockGranularity(enum.Enum):
+    """Finest lock granularity the system uses for logical locks."""
+
+    RECORD = "record"
+    PAGE = "page"
+    TABLE = "table"
+
+
+class CommitPagePolicy(enum.Enum):
+    """What happens to a transaction's dirty pages at commit time."""
+
+    #: ARIES/CSA: nothing is shipped; pages stay cached and dirty.
+    NO_FORCE = "no-force"
+    #: ESM-CS: all pages modified by the transaction are shipped to the
+    #: server before the commit is acknowledged.
+    FORCE_TO_SERVER = "force-to-server"
+    #: ObjectStore-style: pages are shipped to the server *and* the server
+    #: writes them to disk before the commit is acknowledged.
+    FORCE_TO_DISK = "force-to-disk"
+
+
+class CommitCachePolicy(enum.Enum):
+    """What happens to the client's cache at transaction termination."""
+
+    #: ARIES/CSA and ObjectStore: pages stay cached across transactions.
+    RETAIN = "retain"
+    #: ESM-CS: the client purges its entire buffer pool at termination.
+    PURGE = "purge"
+
+
+class RollbackSite(enum.Enum):
+    """Where normal (non-restart) transaction rollback executes."""
+
+    #: ARIES/CSA: the client that ran the transaction performs the rollback.
+    CLIENT = "client"
+    #: ESM-CS: the server performs the rollback (with conditional undo,
+    #: since client pages were not forced over first).
+    SERVER = "server"
+
+
+class ClientRecoveryInfo(enum.Enum):
+    """Where the recovery starting points for a failed client live."""
+
+    #: Section 2.6.1 (the paper's choice): clients take checkpoints.
+    CLIENT_CHECKPOINTS = "client-checkpoints"
+    #: Section 2.6.2: no client checkpoints; the server keeps RecAddr in
+    #: the GLM lock table entry of each update-privilege P-lock.
+    GLM_LOCK_TABLE = "glm-lock-table"
+
+
+class PageTransport(enum.Enum):
+    """How a client's dirty state reaches the server.
+
+    The paper's future-work section ("we plan to deal with recovery
+    issues when individual objects/records, rather than pages, are
+    exchanged") motivates LOG_REPLAY: the client ships only its log
+    records — which carry full physical redo information — and the
+    server *materializes* its page copy by rolling it forward from the
+    page's RecAddr.  No page image crosses the wire.
+    """
+
+    #: Classic ARIES/CSA: full page images travel.
+    PAGE_IMAGE = "page-image"
+    #: Future-work mode: only log records travel; the server replays.
+    LOG_REPLAY = "log-replay"
+
+
+class LsnAssignment(enum.Enum):
+    """How clients obtain LSNs for the log records they write."""
+
+    #: ARIES/CSA section 2.2: locally, as max(page_LSN, Local_Max_LSN) + 1.
+    LOCAL = "local"
+    #: Strawman for experiment E10: a synchronous round trip to the server
+    #: per log record (what local assignment saves).
+    SERVER_ROUND_TRIP = "server-round-trip"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete policy configuration for one simulated complex.
+
+    The defaults describe ARIES/CSA.  Use the ``esm_cs()``,
+    ``objectstore()`` and ``no_client_checkpoints()`` constructors for the
+    paper's comparison systems.
+    """
+
+    #: Bytes per database page (payload capacity for records).
+    page_size: int = 4096
+    #: Frames in the server buffer pool.
+    server_buffer_frames: int = 256
+    #: Frames in each client buffer pool.
+    client_buffer_frames: int = 64
+    #: Pages covered by one space map page.
+    smp_coverage: int = 512
+
+    lock_granularity: LockGranularity = LockGranularity.RECORD
+    page_transport: PageTransport = PageTransport.PAGE_IMAGE
+    commit_page_policy: CommitPagePolicy = CommitPagePolicy.NO_FORCE
+    commit_cache_policy: CommitCachePolicy = CommitCachePolicy.RETAIN
+    rollback_site: RollbackSite = RollbackSite.CLIENT
+    client_recovery_info: ClientRecoveryInfo = ClientRecoveryInfo.CLIENT_CHECKPOINTS
+    lsn_assignment: LsnAssignment = LsnAssignment.LOCAL
+
+    #: Whether the server computes and distributes Commit_LSN (section 3).
+    commit_lsn_enabled: bool = True
+    #: Compute Commit_LSN per table as well as globally (section 3: "it
+    #: is possible to compute it on a per-file basis and get even more
+    #: benefits") — one long transaction on one table then no longer
+    #: blocks lock avoidance on the others.
+    commit_lsn_per_table: bool = False
+    #: Piggyback Max_LSN/Commit_LSN to a client every N server interactions
+    #: with that client (section 3's Lamport-clock proximity scheme).
+    max_lsn_sync_period: int = 8
+
+    #: LLMs retain global locks after local transactions release them
+    #: (the shared-disks lock-caching optimization referenced in section
+    #: 2.1); the server calls cached locks back on conflict.
+    llm_cache_locks: bool = True
+
+    #: Dirty-page forwarding between clients (the section 4.1 discussion
+    #: of [FrCL92]): on an update-privilege transfer the page travels
+    #: directly to the requesting client after the sender's log records
+    #: are acknowledged by the server; the server keeps a forwarded-dirty
+    #: table so recovery bounds survive without receiving the image.
+    enable_forwarding: bool = False
+
+    #: Client checkpoint every N committed transactions (0 disables).
+    client_checkpoint_interval: int = 16
+    #: Server checkpoint every N log appends (0 disables).
+    server_checkpoint_interval: int = 512
+
+    #: ESM-CS logs a Commit Dirty Page List before each commit record.
+    log_cdpl_at_commit: bool = False
+
+    #: Deliberately omit client DPLs from the server checkpoint (the buggy
+    #: construction of section 2.7 used by experiment E6).  Never enable
+    #: outside that experiment.
+    unsafe_server_checkpoint_excludes_clients: bool = False
+
+    #: Deterministic seed for any randomized tie-breaking inside the
+    #: complex (victim selection etc.).
+    seed: int = 0
+
+    #: Human-readable label used in benchmark tables.
+    label: str = "ARIES/CSA"
+
+    def with_overrides(self, **kwargs: object) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- named comparison systems -------------------------------------
+
+    @staticmethod
+    def aries_csa(**kwargs: object) -> "SystemConfig":
+        """The paper's system (explicit alias of the defaults)."""
+        return SystemConfig(**kwargs)  # type: ignore[arg-type]
+
+    @staticmethod
+    def esm_cs(**kwargs: object) -> "SystemConfig":
+        """Client-server EXODUS as described in section 4.1."""
+        base = SystemConfig(
+            lock_granularity=LockGranularity.PAGE,
+            commit_page_policy=CommitPagePolicy.FORCE_TO_SERVER,
+            commit_cache_policy=CommitCachePolicy.PURGE,
+            rollback_site=RollbackSite.SERVER,
+            client_recovery_info=ClientRecoveryInfo.GLM_LOCK_TABLE,
+            client_checkpoint_interval=0,
+            commit_lsn_enabled=False,
+            log_cdpl_at_commit=True,
+            label="ESM-CS",
+        )
+        return base.with_overrides(**kwargs) if kwargs else base
+
+    @staticmethod
+    def objectstore(**kwargs: object) -> "SystemConfig":
+        """ObjectStore-style policies as described in section 4.2."""
+        base = SystemConfig(
+            lock_granularity=LockGranularity.PAGE,
+            commit_page_policy=CommitPagePolicy.FORCE_TO_DISK,
+            commit_cache_policy=CommitCachePolicy.RETAIN,
+            rollback_site=RollbackSite.CLIENT,
+            commit_lsn_enabled=False,
+            label="ObjectStore-style",
+        )
+        return base.with_overrides(**kwargs) if kwargs else base
+
+    @staticmethod
+    def no_client_checkpoints(**kwargs: object) -> "SystemConfig":
+        """Section 2.6.2's variant: recovery info in the GLM lock table."""
+        base = SystemConfig(
+            lock_granularity=LockGranularity.PAGE,
+            client_recovery_info=ClientRecoveryInfo.GLM_LOCK_TABLE,
+            client_checkpoint_interval=0,
+            label="ARIES/CSA (no client ckpts)",
+        )
+        return base.with_overrides(**kwargs) if kwargs else base

@@ -1,0 +1,149 @@
+"""The server's log manager: the single log plus CSA bookkeeping.
+
+Beyond owning the stable log, the server-side log manager keeps the
+mappings section 2.5.2 calls for:
+
+* per client, a set of ``<LSN, address>`` pairs built as records arrive,
+  used to map a client-reported RecLSN to an exact (or conservatively
+  lower) RecAddr;
+* per client, the address of the most recent record received — the
+  conservative ForceAddr assigned to dirty pages arriving from that
+  client (section 2.2);
+* the global maximum LSN seen across all clients, which is the
+  ``Max_LSN`` the server distributes for the Lamport-clock proximity
+  scheme of section 3.
+
+All of this is volatile; after a server crash the pairs are rebuilt from
+the restart analysis scan, and RecLSNs that cannot be mapped fall back
+to conservative bounds supplied by the caller.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.log_records import LogRecord
+from repro.core.lsn import LSN, LogAddr, LsnClock, NULL_ADDR
+from repro.storage.stable_log import StableLog
+
+
+class ServerLogManager:
+    """Stable log ownership plus the LSN/address bookkeeping of CSA."""
+
+    def __init__(self) -> None:
+        self.stable = StableLog()
+        #: The server's own LSN stream (checkpoint records, CLRs written
+        #: on behalf of failed clients, server-resident transactions).
+        self.clock = LsnClock()
+        #: Per client: parallel sorted lists of LSNs and their addresses.
+        self._pair_lsns: Dict[str, List[LSN]] = {}
+        self._pair_addrs: Dict[str, List[LogAddr]] = {}
+        self._last_addr_from: Dict[str, LogAddr] = {}
+        self.client_records_received = 0
+
+    # -- appending ----------------------------------------------------------
+
+    def append_local(self, record: LogRecord) -> LogAddr:
+        """Append a record produced by the server itself."""
+        self.clock.observe_lsn(record.lsn)
+        addr = self.stable.append(record)
+        self._note_pair(record.client_id, record.lsn, addr)
+        return addr
+
+    def append_from_client(self, client_id: str,
+                           records: List[LogRecord]) -> List[Tuple[LSN, LogAddr]]:
+        """Append a shipped batch; returns the assigned (lsn, addr) pairs."""
+        assigned: List[Tuple[LSN, LogAddr]] = []
+        for record in records:
+            addr = self.stable.append(record)
+            self._note_pair(client_id, record.lsn, addr)
+            self._last_addr_from[client_id] = addr
+            self.clock.observe_lsn(record.lsn)
+            assigned.append((record.lsn, addr))
+            self.client_records_received += 1
+        return assigned
+
+    def _note_pair(self, client_id: str, lsn: LSN, addr: LogAddr) -> None:
+        lsns = self._pair_lsns.setdefault(client_id, [])
+        addrs = self._pair_addrs.setdefault(client_id, [])
+        if lsns and lsn <= lsns[-1]:
+            # LSNs from one system are monotonic; a duplicate would break
+            # the binary search.  Tolerate re-observation during restart.
+            return
+        lsns.append(lsn)
+        addrs.append(addr)
+
+    def observe_during_restart(self, client_id: str, lsn: LSN,
+                               addr: LogAddr) -> None:
+        """Rebuild the pair sets while the restart analysis scans the log."""
+        self._note_pair(client_id, lsn, addr)
+        if addr > self._last_addr_from.get(client_id, NULL_ADDR):
+            self._last_addr_from[client_id] = addr
+
+    # -- mapping (section 2.5.2) ------------------------------------------------
+
+    def addr_for_rec_lsn(self, client_id: str, rec_lsn: LSN) -> Optional[LogAddr]:
+        """Map a client RecLSN to a RecAddr.
+
+        RecLSN semantics: every update record for the page carries an LSN
+        strictly greater than RecLSN.  The exact answer is therefore the
+        address of the first record from this client with LSN > RecLSN;
+        when only older pairs exist the result is conservatively lower.
+        Returns None when nothing is known about the client's stream
+        (post-crash; the caller substitutes a conservative floor).
+        """
+        lsns = self._pair_lsns.get(client_id)
+        if not lsns:
+            return None
+        index = bisect.bisect_right(lsns, rec_lsn)
+        if index < len(lsns):
+            return self._pair_addrs[client_id][index]
+        # All known records have LSN <= RecLSN: their updates are already
+        # covered, so scanning from the current end of log is safe — any
+        # qualifying record is yet to arrive.
+        return self.stable.end_of_log_addr
+
+    def force_addr_for_client(self, client_id: str) -> LogAddr:
+        """Conservative ForceAddr for a dirty page arriving from a client:
+        the address of the most recent log record received from it."""
+        return self._last_addr_from.get(client_id, NULL_ADDR)
+
+    @property
+    def max_lsn_seen(self) -> LSN:
+        """Global Max_LSN across the complex (section 3)."""
+        return self.clock.local_max_lsn
+
+    # -- passthroughs -----------------------------------------------------------
+
+    def force(self, up_to_addr: Optional[LogAddr] = None) -> None:
+        self.stable.force(up_to_addr)
+
+    @property
+    def flushed_addr(self) -> LogAddr:
+        return self.stable.flushed_addr
+
+    @property
+    def end_of_log_addr(self) -> LogAddr:
+        return self.stable.end_of_log_addr
+
+    def scan(self, from_addr: LogAddr = 0,
+             to_addr: Optional[LogAddr] = None) -> Iterator[Tuple[LogAddr, LogRecord]]:
+        return self.stable.scan(from_addr, to_addr)
+
+    def scan_backward(self, from_addr: Optional[LogAddr] = None,
+                      down_to_addr: LogAddr = 0) -> Iterator[Tuple[LogAddr, LogRecord]]:
+        return self.stable.scan_backward(from_addr, down_to_addr)
+
+    def read_at(self, addr: LogAddr) -> LogRecord:
+        return self.stable.read_at(addr)
+
+    # -- crash model --------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Server crash: stable prefix survives, bookkeeping does not."""
+        self.stable.crash()
+        self.clock = LsnClock()
+        self._pair_lsns.clear()
+        self._pair_addrs.clear()
+        self._last_addr_from.clear()

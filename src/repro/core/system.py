@@ -1,0 +1,146 @@
+"""The whole complex: one server, N clients, crash/recovery orchestration.
+
+:class:`ClientServerSystem` is the top-level entry point of the library
+(see ``examples/quickstart.py``).  It wires the network, the server and
+the clients together under one :class:`~repro.config.SystemConfig`,
+offers a small catalog (tables as sets of pages, for intent locks and
+workloads), and exposes the failure injection the paper's scenarios
+need: client crashes (server performs recovery on the client's behalf),
+server crashes (restart recovery, lock-table reconstruction from the
+survivors), and whole-complex crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.client import Client
+from repro.core.server import RecoveryReport, Server
+from repro.errors import ReproError
+from repro.net.network import Network
+from repro.records.heap import RecordId, decode_value
+from repro.storage.page import Page
+
+
+class ClientServerSystem:
+    """A simulated ARIES/CSA complex."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 client_ids: Iterable[str] = ("C1", "C2")) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.network = Network()
+        self.server = Server(self.config, self.network)
+        self.clients: Dict[str, Client] = {}
+        self._tables: Dict[str, List[int]] = {}
+        self._page_table: Dict[int, str] = {}
+        self._free_pool: List[int] = []
+        # The server's transaction tracker resolves pages to tables for
+        # per-table Commit_LSN (section 3's per-file refinement).
+        self.server.tracker.table_resolver = self._page_table.get
+        for client_id in client_ids:
+            self.add_client(client_id)
+
+    # -- topology ----------------------------------------------------------
+
+    def add_client(self, client_id: str) -> Client:
+        if client_id in self.clients:
+            raise ReproError(f"client id {client_id} already in use")
+        client = Client(client_id, self.config, self.network, self.server)
+        client.table_of = self._page_table.get
+        self.clients[client_id] = client
+        return client
+
+    def client(self, client_id: str) -> Client:
+        return self.clients[client_id]
+
+    # -- catalog -----------------------------------------------------------
+
+    def bootstrap(self, data_pages: int, free_pages: int = 64) -> List[int]:
+        """Format the database offline; returns the allocated page ids."""
+        pages = self.server.bootstrap(data_pages, free_pages)
+        self._free_pool = list(pages)
+        return pages
+
+    def create_table(self, name: str, num_pages: int) -> List[int]:
+        """Assign ``num_pages`` bootstrapped pages to a named table.
+
+        Tables drive the lock hierarchy (intent locks at table level,
+        record/page locks below) and give workloads stable page sets.
+        """
+        if name in self._tables:
+            raise ReproError(f"table {name} already exists")
+        if len(self._free_pool) < num_pages:
+            raise ReproError(
+                f"not enough bootstrapped pages for table {name}: "
+                f"need {num_pages}, have {len(self._free_pool)}"
+            )
+        pages = [self._free_pool.pop(0) for _ in range(num_pages)]
+        self._tables[name] = pages
+        for page_id in pages:
+            self._page_table[page_id] = name
+        return pages
+
+    def table_pages(self, name: str) -> List[int]:
+        return list(self._tables[name])
+
+    # -- failure injection ---------------------------------------------------
+
+    def crash_client(self, client_id: str, recover: bool = True) -> Optional[RecoveryReport]:
+        """Crash a client; by default the server notices and recovers it
+        immediately (section 2.6.1)."""
+        self.clients[client_id].crash()
+        if recover and not self.server.crashed:
+            return self.server.recover_failed_client(client_id)
+        return None
+
+    def reconnect_client(self, client_id: str) -> List[Tuple[str, Tuple]]:
+        return self.clients[client_id].reconnect()
+
+    def crash_server(self) -> None:
+        self.server.crash()
+
+    def restart_server(self) -> RecoveryReport:
+        report = self.server.restart()
+        return report
+
+    def crash_all(self) -> None:
+        """Power failure: every node in the complex goes down at once."""
+        for client in self.clients.values():
+            if not client.crashed:
+                client.crash()
+        self.server.crash()
+
+    def restart_all(self) -> RecoveryReport:
+        """Recover the whole complex after a total failure.
+
+        The server restarts first (rolling back every in-flight
+        transaction, including the crashed clients'), then clients
+        reconnect with clean state.
+        """
+        report = self.server.restart(failed_clients=set(self.clients))
+        for client_id in sorted(self.clients):
+            self.clients[client_id].reconnect()
+        return report
+
+    # -- oracles (tests and examples) -------------------------------------------
+
+    def server_visible_value(self, rid: RecordId) -> Any:
+        """The record value as the server's authoritative version has it."""
+        page = self.server.authoritative_page(rid.page_id)
+        return decode_value(page.read_record(rid.slot))
+
+    def current_value(self, rid: RecordId) -> Any:
+        """The logically current value, wherever the freshest copy lives
+        (a client holding the update privilege, else the server)."""
+        owner = self.server.glm.update_privilege_owner(rid.page_id)
+        if owner is not None and owner in self.clients:
+            client = self.clients[owner]
+            if not client.crashed:
+                page = client.pool.peek(rid.page_id)
+                if page is not None:
+                    return decode_value(page.read_record(rid.slot))
+        return self.server_visible_value(rid)
+
+    def server_visible_page(self, page_id: int) -> Page:
+        return self.server.authoritative_page(page_id)

@@ -1,0 +1,192 @@
+"""Transactions: states, savepoints, undo chains.
+
+A transaction executes in its entirety at one client (section 2.1).  The
+client's transaction table tracks, per transaction, the LSN chain the
+undo machinery walks: ``last_lsn`` (most recent record), ``undo_next_lsn``
+(next record still to be undone — diverges from ``last_lsn`` once CLRs
+exist), and ``first_lsn`` (feeds the Commit_LSN computation of section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.log_records import TxnTableEntry
+from repro.core.lsn import LSN, NULL_LSN
+from repro.errors import SavepointError, TransactionStateError, UnknownTransactionError
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    #: Two-phase-commit in-doubt: survives restart, not rolled back.
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Savepoint:
+    """A point a transaction can partially roll back to (section 2.4)."""
+
+    name: str
+    #: LSN of the transaction's last record when the savepoint was set;
+    #: partial rollback undoes records with LSN greater than this.
+    lsn: LSN
+
+
+@dataclass
+class Transaction:
+    """One transaction's volatile control block."""
+
+    txn_id: str
+    client_id: str
+    state: TxnState = TxnState.ACTIVE
+    first_lsn: LSN = NULL_LSN
+    last_lsn: LSN = NULL_LSN
+    undo_next_lsn: LSN = NULL_LSN
+    savepoints: List[Savepoint] = field(default_factory=list)
+    #: Pages this transaction has modified (drives ESM-CS's CDPL and
+    #: force-to-server-at-commit set).
+    pages_modified: Set[int] = field(default_factory=set)
+    updates_logged: int = 0
+    #: Monotone birth order, used as deadlock-victim cost tie-breaker.
+    seq: int = 0
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def note_logged(self, lsn: LSN, page_id: Optional[int] = None,
+                    redo_only: bool = False) -> None:
+        """Bookkeeping after a forward-processing record is written.
+
+        Redo-only records (page formats, nested-top-action pieces) are
+        never undone individually, so they do not advance UndoNxtLSN —
+        the undo chain steps over them via their PrevLSN.
+        """
+        if self.first_lsn == NULL_LSN:
+            self.first_lsn = lsn
+        self.last_lsn = lsn
+        if not redo_only:
+            self.undo_next_lsn = lsn
+        self.updates_logged += 1
+        if page_id is not None and page_id >= 0:
+            self.pages_modified.add(page_id)
+
+    def note_clr(self, lsn: LSN, undo_next: LSN) -> None:
+        """Bookkeeping after a CLR: undo_next jumps past the undone record."""
+        if self.first_lsn == NULL_LSN:
+            self.first_lsn = lsn
+        self.last_lsn = lsn
+        self.undo_next_lsn = undo_next
+
+    # -- savepoints ------------------------------------------------------
+
+    def set_savepoint(self, name: str) -> Savepoint:
+        self.require_active()
+        savepoint = Savepoint(name, self.last_lsn)
+        self.savepoints.append(savepoint)
+        return savepoint
+
+    def find_savepoint(self, name: str) -> Savepoint:
+        for savepoint in reversed(self.savepoints):
+            if savepoint.name == name:
+                return savepoint
+        raise SavepointError(f"transaction {self.txn_id}: no savepoint {name!r}")
+
+    def discard_savepoints_after(self, savepoint: Savepoint) -> None:
+        """Rolling back to a savepoint invalidates later savepoints."""
+        index = self.savepoints.index(savepoint)
+        del self.savepoints[index + 1:]
+
+    def to_table_entry(self) -> TxnTableEntry:
+        return TxnTableEntry(
+            txn_id=self.txn_id,
+            client_id=self.client_id,
+            state=self.state.value,
+            last_lsn=self.last_lsn,
+            undo_next_lsn=self.undo_next_lsn,
+            first_lsn=self.first_lsn,
+        )
+
+
+class TransactionTable:
+    """A node's table of known transactions."""
+
+    _seq = itertools.count(1)
+
+    def __init__(self, owner_id: str) -> None:
+        self.owner_id = owner_id
+        self._txns: Dict[str, Transaction] = {}
+        self._next_local = itertools.count(1)
+
+    def begin(self, txn_id: Optional[str] = None) -> Transaction:
+        if txn_id is None:
+            txn_id = f"{self.owner_id}.T{next(self._next_local)}"
+        if txn_id in self._txns:
+            raise TransactionStateError(f"transaction id {txn_id} already in use")
+        txn = Transaction(txn_id, self.owner_id, seq=next(TransactionTable._seq))
+        self._txns[txn_id] = txn
+        return txn
+
+    def get(self, txn_id: str) -> Transaction:
+        try:
+            return self._txns[txn_id]
+        except KeyError:
+            raise UnknownTransactionError(txn_id) from None
+
+    def maybe_get(self, txn_id: str) -> Optional[Transaction]:
+        return self._txns.get(txn_id)
+
+    def remove(self, txn_id: str) -> None:
+        self._txns.pop(txn_id, None)
+
+    def active(self) -> List[Transaction]:
+        return [t for t in self._txns.values() if t.state is TxnState.ACTIVE]
+
+    def in_flight(self) -> List[Transaction]:
+        """Transactions restart undo must roll back: active, not prepared."""
+        return [t for t in self._txns.values() if t.state is TxnState.ACTIVE]
+
+    def prepared(self) -> List[Transaction]:
+        return [t for t in self._txns.values() if t.state is TxnState.PREPARED]
+
+    def all_txns(self) -> List[Transaction]:
+        return list(self._txns.values())
+
+    def to_table_entries(self) -> Tuple[TxnTableEntry, ...]:
+        """Snapshot for an End_Checkpoint record: unterminated txns only."""
+        return tuple(
+            txn.to_table_entry()
+            for txn in self._txns.values()
+            if txn.state in (TxnState.ACTIVE, TxnState.PREPARED)
+        )
+
+    def oldest_active_first_lsn(self) -> LSN:
+        """Minimum first_lsn over update transactions still unterminated.
+
+        NULL_LSN means "no update transaction in progress here".
+        Read-only transactions (first_lsn == NULL_LSN) do not constrain
+        Commit_LSN.
+        """
+        lsns = [
+            txn.first_lsn
+            for txn in self._txns.values()
+            if txn.state in (TxnState.ACTIVE, TxnState.PREPARED)
+            and txn.first_lsn != NULL_LSN
+        ]
+        return min(lsns) if lsns else NULL_LSN
+
+    def clear(self) -> None:
+        self._txns.clear()
+
+    def __len__(self) -> int:
+        return len(self._txns)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(list(self._txns.values()))

@@ -1,0 +1,208 @@
+"""Exception hierarchy for the ARIES/CSA reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+The hierarchy mirrors the subsystems: storage, locking, logging,
+transactions, network and recovery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for page/disk/buffer-pool errors."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id does not exist on disk or in any reachable buffer."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} not found")
+        self.page_id = page_id
+
+
+class PageCorruptedError(StorageError):
+    """A page image failed its integrity check (process/media failure)."""
+
+    def __init__(self, page_id: int, where: str = "unknown") -> None:
+        super().__init__(f"page {page_id} is corrupted ({where})")
+        self.page_id = page_id
+        self.where = where
+
+
+class MediaFailureError(StorageError):
+    """The disk copy of a page is unreadable; media recovery is required."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"media failure reading page {page_id}")
+        self.page_id = page_id
+
+
+class BufferPoolFullError(StorageError):
+    """No evictable frame is available in a buffer pool."""
+
+
+class RecordError(StorageError):
+    """Base class for record-level (slotted page) errors."""
+
+
+class RecordNotFoundError(RecordError):
+    """The requested slot does not hold a record."""
+
+    def __init__(self, page_id: int, slot: int) -> None:
+        super().__init__(f"no record in page {page_id} slot {slot}")
+        self.page_id = page_id
+        self.slot = slot
+
+
+class RecordExistsError(RecordError):
+    """An insert targeted a slot that already holds a record."""
+
+    def __init__(self, page_id: int, slot: int) -> None:
+        super().__init__(f"record already present in page {page_id} slot {slot}")
+        self.page_id = page_id
+        self.slot = slot
+
+
+class PageFullError(RecordError):
+    """A page has no free space for the requested insert."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} has no free space")
+        self.page_id = page_id
+
+
+class AllocationError(StorageError):
+    """Space-map allocation or deallocation failed."""
+
+
+class ArchiveError(StorageError):
+    """No usable backup copy exists for a page needing media recovery."""
+
+
+# ---------------------------------------------------------------------------
+# Logging
+# ---------------------------------------------------------------------------
+
+class LogError(ReproError):
+    """Base class for log-manager errors."""
+
+
+class LogRecordNotFoundError(LogError):
+    """A log address or LSN could not be resolved to a record."""
+
+
+class WALViolationError(LogError):
+    """An action would violate the write-ahead-log protocol.
+
+    Raised by the server buffer manager if a dirty page would reach disk
+    before the log records covering it are stable.  In a correct run this
+    is never raised; tests use it to prove the protocol holds.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Locking
+# ---------------------------------------------------------------------------
+
+class LockError(ReproError):
+    """Base class for lock-manager errors."""
+
+
+class LockConflictError(LockError):
+    """A lock request conflicts with locks held by other owners.
+
+    The cooperative scheduler catches this to put the requester on the
+    wait queue; direct callers see it as "would block".
+    """
+
+    def __init__(self, resource: object, requested: str, holders: tuple) -> None:
+        super().__init__(
+            f"lock on {resource!r} in mode {requested} conflicts with holders {holders}"
+        )
+        self.resource = resource
+        self.requested = requested
+        self.holders = holders
+
+
+class DeadlockError(LockError):
+    """The requester was chosen as a deadlock victim."""
+
+    def __init__(self, victim: str, cycle: tuple) -> None:
+        super().__init__(f"deadlock: victim {victim}, cycle {cycle}")
+        self.victim = victim
+        self.cycle = cycle
+
+
+class LockNotHeldError(LockError):
+    """An unlock or downgrade named a lock the owner does not hold."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation is illegal in the transaction's current state."""
+
+
+class UnknownTransactionError(TransactionError):
+    """A transaction id is not present in the transaction table."""
+
+    def __init__(self, txn_id: str) -> None:
+        super().__init__(f"unknown transaction {txn_id}")
+        self.txn_id = txn_id
+
+
+class SavepointError(TransactionError):
+    """A partial rollback named an unknown or crossed savepoint."""
+
+
+# ---------------------------------------------------------------------------
+# Network / nodes
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for simulated-network errors."""
+
+
+class NodeUnavailableError(NetworkError):
+    """The destination node has crashed or is disconnected."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node {node_id} is unavailable")
+        self.node_id = node_id
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+class RecoveryError(ReproError):
+    """Base class for recovery-pass failures."""
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint could not be taken or parsed."""
+
+
+class RecoveryInvariantError(RecoveryError):
+    """An ARIES invariant was observed broken during recovery.
+
+    Never raised in correct operation; guards the properties that the
+    paper's correctness argument rests on (e.g. a redo applying to a page
+    whose page_LSN already exceeds the record's LSN in a way that signals
+    lost monotonicity).
+    """

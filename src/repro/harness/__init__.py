@@ -1,0 +1,29 @@
+"""Experiment harness: metrics, oracle, scheduler, experiments, reports."""
+
+from repro.harness.metrics import MetricsSnapshot, measure, snapshot
+from repro.harness.oracle import (
+    CommittedStateOracle,
+    DurabilityViolation,
+    verify_durability,
+)
+from repro.harness.report import format_table, print_table, ratio
+from repro.harness.scheduler import (
+    ScheduleResult,
+    Scheduler,
+    TxnOutcomeKind,
+)
+
+__all__ = [
+    "CommittedStateOracle",
+    "DurabilityViolation",
+    "MetricsSnapshot",
+    "ScheduleResult",
+    "Scheduler",
+    "TxnOutcomeKind",
+    "format_table",
+    "measure",
+    "print_table",
+    "ratio",
+    "snapshot",
+    "verify_durability",
+]

@@ -1,0 +1,653 @@
+"""The experiment suite — every claim of the paper, made measurable.
+
+ARIES/CSA has no quantitative evaluation section; DESIGN.md's experiment
+index maps each qualitative claim (sections 2.3, 2.6, 2.7, 3, 4) to one
+function here.  Each function builds fresh complexes, runs the workload,
+and returns table rows; the ``benchmarks/`` targets wrap them for
+pytest-benchmark and print the tables EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    ClientRecoveryInfo,
+    LsnAssignment,
+    SystemConfig,
+)
+from repro.core.system import ClientServerSystem
+from repro.errors import RecordNotFoundError
+from repro.harness import metrics
+from repro.harness.report import ratio
+from repro.index.btree import BTree
+from repro.records.heap import RecordId
+from repro.workloads.generator import (
+    WorkloadSpec,
+    cad_session_programs,
+    debit_credit_programs,
+    generate_programs,
+    run_program_sequential,
+    seed_table,
+)
+
+Row = Dict[str, Any]
+
+
+def _named_configs() -> List[SystemConfig]:
+    return [
+        SystemConfig.aries_csa(),
+        SystemConfig.esm_cs(),
+        SystemConfig.objectstore(),
+    ]
+
+
+def _fresh(config: SystemConfig, clients: Sequence[str],
+           table_pages: int, records_per_page: int,
+           seed_client: Optional[str] = None
+           ) -> Tuple[ClientServerSystem, List[RecordId]]:
+    system = ClientServerSystem(config, client_ids=clients)
+    system.bootstrap(data_pages=table_pages, free_pages=16)
+    rids = seed_table(system, seed_client or clients[0], "t", table_pages,
+                      records_per_page)
+    return system, rids
+
+
+# ---------------------------------------------------------------------------
+# E1 — commit-time traffic vs write-set size (sections 4.1, 5(2))
+# ---------------------------------------------------------------------------
+
+def run_e1_commit_traffic(write_set_sizes: Sequence[int] = (1, 4, 16),
+                          num_txns: int = 10,
+                          table_pages: int = 24) -> List[Row]:
+    """ARIES/CSA ships only log records at commit; ESM-CS ships every
+    modified page; ObjectStore also writes them to disk."""
+    rows: List[Row] = []
+    for config in _named_configs():
+        for write_set in write_set_sizes:
+            system, rids = _fresh(config, ["C1"], table_pages, 2)
+            programs = debit_credit_programs(num_txns, rids, write_set)
+
+            def work() -> None:
+                for program in programs:
+                    run_program_sequential(system, "C1", program)
+
+            delta = metrics.measure(system, work)
+            rows.append({
+                "system": config.label,
+                "write_set": write_set,
+                "messages_per_commit": delta.messages / num_txns,
+                "pages_shipped_at_commit": delta.pages_shipped_at_commit,
+                "disk_writes": delta.disk_writes,
+                "bytes_per_commit": delta.message_bytes // num_txns,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2 — inter-transaction cache retention (section 4.1)
+# ---------------------------------------------------------------------------
+
+def run_e2_cache_retention(num_txns: int = 12, working_pages: int = 8,
+                           revisits: int = 3) -> List[Row]:
+    """Purge-at-commit destroys the client cache between transactions."""
+    rows: List[Row] = []
+    for config in (SystemConfig.aries_csa(), SystemConfig.esm_cs()):
+        system, rids = _fresh(config, ["C1"], working_pages, 4)
+        working_set = rids
+        programs = cad_session_programs(num_txns, working_set, revisits)
+        # Warm the cache outside the measured window.
+        run_program_sequential(system, "C1", programs[0])
+
+        def work() -> None:
+            for program in programs[1:]:
+                run_program_sequential(system, "C1", program)
+
+        delta = metrics.measure(system, work)
+        rows.append({
+            "system": config.label,
+            "cache_hit_rate": delta.client_cache_hit_rate,
+            "page_refetches": delta.page_requests,
+            "messages": delta.messages,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3 — where rollback work happens (sections 4.1, 5(3))
+# ---------------------------------------------------------------------------
+
+def run_e3_rollback_locality(abort_rates: Sequence[float] = (0.1, 0.3, 0.5),
+                             num_txns: int = 40) -> List[Row]:
+    """ARIES/CSA rolls back at the client; ESM-CS loads the server."""
+    rows: List[Row] = []
+    for config in (SystemConfig.aries_csa(), SystemConfig.esm_cs()):
+        for abort_rate in abort_rates:
+            system, rids = _fresh(config, ["C1"], 16, 4)
+            spec = WorkloadSpec(
+                num_txns=num_txns, ops_per_txn=6, read_fraction=0.2,
+                abort_fraction=abort_rate, seed=3,
+            )
+            programs = generate_programs(spec, rids)
+
+            def work() -> None:
+                for program in programs:
+                    run_program_sequential(system, "C1", program)
+
+            metrics.measure(system, work)
+            client = system.client("C1")
+            rows.append({
+                "system": config.label,
+                "abort_rate": abort_rate,
+                "aborts": client.aborts,
+                "server_undo_records": system.server.serverside_undo_records,
+                "client_undo_records": client.clrs_written_locally,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E4 — Commit_LSN benefit vs Max_LSN sync period (section 3)
+# ---------------------------------------------------------------------------
+
+def run_e4_commit_lsn(sync_periods: Sequence[int] = (1, 4, 16, 64),
+                      include_disabled: bool = True,
+                      num_read_txns: int = 30) -> List[Row]:
+    """A read-mostly client next to an update-heavy one: the Lamport
+    piggyback keeps LSN streams close, keeping Commit_LSN fresh and read
+    locks skippable."""
+    rows: List[Row] = []
+    variants: List[Tuple[str, SystemConfig]] = []
+    if include_disabled:
+        variants.append(("disabled", SystemConfig(commit_lsn_enabled=False)))
+    for period in sync_periods:
+        variants.append((
+            f"period={period}",
+            SystemConfig(max_lsn_sync_period=period),
+        ))
+    for label, config in variants:
+        system, rids = _fresh(config, ["W", "R"], 16, 4)
+        writer, reader = system.client("W"), system.client("R")
+        rng = random.Random(5)
+        # Interleave: one short committed write txn, then one read txn.
+        for i in range(num_read_txns):
+            txn = writer.begin()
+            writer.update(txn, rids[rng.randrange(len(rids))], ("w", i))
+            writer.commit(txn)
+            read_txn = reader.begin()
+            for _ in range(6):
+                reader.read(read_txn, rids[rng.randrange(len(rids))])
+            reader.commit(read_txn)
+        total_reads = num_read_txns * 6
+        rows.append({
+            "variant": label,
+            "reads": total_reads,
+            "locks_avoided": reader.locks_avoided_by_commit_lsn,
+            "avoided_fraction": reader.locks_avoided_by_commit_lsn / total_reads,
+            "final_commit_lsn": system.server.current_commit_lsn(),
+        })
+    return rows
+
+
+def run_e4_per_table(num_read_txns: int = 30) -> List[Row]:
+    """Section 3's per-file refinement: a long update transaction on one
+    table pins the *global* Commit_LSN in the past, but per-table values
+    keep lock avoidance alive on the other tables."""
+    rows: List[Row] = []
+    for label, per_table in (("global Commit_LSN", False),
+                             ("per-table Commit_LSN", True)):
+        config = SystemConfig(max_lsn_sync_period=1,
+                              commit_lsn_per_table=per_table)
+        system = ClientServerSystem(config, client_ids=["W", "R"])
+        system.bootstrap(data_pages=16, free_pages=8)
+        hot = seed_table(system, "W", "hot", 8, 4)
+        cold = seed_table(system, "W", "cold", 8, 4)
+        writer, reader = system.client("W"), system.client("R")
+        # One long transaction on the hot table starts early and never
+        # ends: its first_lsn pins the GLOBAL Commit_LSN in the past.
+        long_txn = writer.begin()
+        writer.update(long_txn, hot[0], "pins-commit-lsn")
+        writer._ship_log_records()
+        rng = random.Random(21)
+        # Committed updates then freshen every cold page: their page_LSNs
+        # now exceed the pinned global Commit_LSN, so only the per-table
+        # value can still prove them committed.
+        for rid in cold:
+            txn = writer.begin()
+            writer.update(txn, rid, ("fresh", rid.slot))
+            writer.commit(txn)
+        for i in range(num_read_txns):
+            read_txn = reader.begin()
+            for _ in range(6):
+                reader.read(read_txn, cold[rng.randrange(len(cold))])
+            reader.commit(read_txn)
+        total_reads = num_read_txns * 6
+        rows.append({
+            "variant": label,
+            "cold_table_reads": total_reads,
+            "locks_avoided": reader.locks_avoided_by_commit_lsn,
+            "avoided_fraction": reader.locks_avoided_by_commit_lsn / total_reads,
+        })
+        writer.rollback(long_txn)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E5 — failed-client recovery vs checkpointing (sections 2.6.1 / 2.6.2)
+# ---------------------------------------------------------------------------
+
+def run_e5_client_recovery(ckpt_intervals: Sequence[int] = (4, 16, 64),
+                           committed_before_crash: int = 64) -> List[Row]:
+    """Client checkpoints bound the log the server must process when the
+    client fails; the GLM-lock-table variant degrades as its RecAddr
+    ages."""
+    rows: List[Row] = []
+    # A small client pool forces periodic page shipping (steal), so dirty
+    # sets stay small and fresh checkpoints actually bound recovery;
+    # without that, every page stays dirty-at-client since the beginning
+    # and no bookkeeping scheme can avoid redoing its whole history.
+    frames = 4
+    variants: List[Tuple[str, SystemConfig]] = [
+        (f"client-ckpt every {interval}",
+         SystemConfig(client_checkpoint_interval=interval,
+                      server_checkpoint_interval=0,
+                      client_buffer_frames=frames))
+        for interval in ckpt_intervals
+    ]
+    variants.append((
+        "no ckpts (GLM RecAddr, sec 2.6.2)",
+        SystemConfig.no_client_checkpoints(server_checkpoint_interval=0,
+                                           client_buffer_frames=frames),
+    ))
+    for label, config in variants:
+        system, rids = _fresh(config, ["C1"], 8, 4)
+        client = system.client("C1")
+        rng = random.Random(9)
+        for i in range(committed_before_crash):
+            txn = client.begin()
+            client.update(txn, rids[rng.randrange(len(rids))], ("x", i))
+            client.commit(txn)
+        # Crash mid-transaction with shipped-but-uncommitted work.
+        txn = client.begin()
+        client.update(txn, rids[0], "doomed")
+        client._ship_log_records()
+        report = system.crash_client("C1")
+        assert report is not None
+        rows.append({
+            "variant": label,
+            "log_records_processed": report.total_log_records_processed,
+            "analysis_records": report.analysis_records,
+            "redos_applied": report.redos_applied,
+            "clrs_written": report.clrs_written,
+        })
+        system.reconnect_client("C1")
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E6 — client DPLs in the server checkpoint (section 2.7)
+# ---------------------------------------------------------------------------
+
+def run_e6_server_checkpoint(trials: int = 1) -> List[Row]:
+    """The paper's adversarial window: a page dirty at a client before
+    the server's checkpoint, shipped to the server after it, server
+    crash before any disk write.  Without client DPLs in the server
+    checkpoint the committed update is silently lost."""
+    rows: List[Row] = []
+    for label, unsafe in (("ARIES/CSA (client DPLs merged)", False),
+                          ("strawman (server DPL only)", True)):
+        lost = 0
+        redos = 0
+        for trial in range(trials):
+            config = SystemConfig(
+                server_checkpoint_interval=0, client_checkpoint_interval=0,
+                unsafe_server_checkpoint_excludes_clients=unsafe,
+            )
+            system, rids = _fresh(config, ["C1"], 4, 2)
+            client = system.client("C1")
+            rid = rids[0]
+            txn = client.begin()
+            client.update(txn, rid, "committed-before-ckpt")
+            client.commit(txn)  # no-force: the page stays dirty at C1
+            system.server.take_checkpoint()
+            client._ship_page(rid.page_id)  # arrives after the checkpoint
+            system.crash_all()
+            report = system.restart_all()
+            redos += report.redos_applied
+            try:
+                recovered = system.server_visible_value(rid)
+            except RecordNotFoundError:
+                recovered = None  # the whole insert was lost too
+            if recovered != "committed-before-ckpt":
+                lost += 1
+        rows.append({
+            "variant": label,
+            "trials": trials,
+            "committed_updates_lost": lost,
+            "redos_applied": redos,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E7 — page reallocation across clients (section 2.3)
+# ---------------------------------------------------------------------------
+
+def run_e7_page_realloc(churn_keys: int = 96) -> List[Row]:
+    """B+-tree churn: one client empties pages (deallocation), another
+    refills (reallocation).  The SMP-derived format LSNs must keep every
+    page's LSN monotonic with zero reads of dead pages."""
+    config = SystemConfig(page_size=1024, server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=2, free_pages=256)
+    c1, c2 = system.client("C1"), system.client("C2")
+
+    txn = c1.begin()
+    tree = BTree.create(c1, txn)
+    c1.commit(txn)
+
+    last_lsn_seen: Dict[int, int] = {}
+    violations = 0
+
+    def observe_pages(client) -> None:
+        nonlocal violations
+        for page_id in list(client.pool.page_ids()):
+            page = client.pool.peek(page_id)
+            if page is None:
+                continue
+            previous = last_lsn_seen.get(page_id)
+            if previous is not None and page.page_lsn < previous:
+                violations += 1
+            last_lsn_seen[page_id] = max(previous or 0, page.page_lsn)
+
+    reads_before = system.server.disk.reads
+
+    txn = c1.begin()
+    for key in range(churn_keys):
+        tree.insert(txn, key, f"v{key}")
+    c1.commit(txn)
+    observe_pages(c1)
+
+    txn = c1.begin()
+    for key in range(churn_keys):
+        tree.delete(txn, key)
+    c1.commit(txn)
+    deallocated = tree.page_deallocations
+    observe_pages(c1)
+
+    tree2 = BTree.attach(c2, tree.anchor_page_id)
+    txn = c2.begin()
+    for key in range(churn_keys, 2 * churn_keys):
+        tree2.insert(txn, key, f"v{key}")
+    c2.commit(txn)
+    observe_pages(c2)
+    tree2.check_invariants()
+
+    # Recovery must also hold after all this churn.
+    system.crash_all()
+    system.restart_all()
+    tree3 = BTree.attach(c1, tree.anchor_page_id)
+    survived = sum(1 for _ in tree3.items())
+
+    return [{
+        "churn_keys": churn_keys,
+        "splits": tree.splits + tree2.splits,
+        "pages_deallocated": deallocated,
+        "lsn_monotonicity_violations": violations,
+        "disk_reads_total": system.server.disk.reads - reads_before,
+        "keys_after_crash_recovery": survived,
+    }]
+
+
+# ---------------------------------------------------------------------------
+# E8 — buffer management policies (sections 1.1.1, 2.1)
+# ---------------------------------------------------------------------------
+
+def run_e8_buffer_policies(buffer_frames: Sequence[int] = (8, 32),
+                           num_txns: int = 40) -> List[Row]:
+    """Steal/no-force vs force-to-disk commit: disk writes and commit
+    work under an update-heavy workload."""
+    rows: List[Row] = []
+    for config_base in (SystemConfig.aries_csa(), SystemConfig.objectstore()):
+        for frames in buffer_frames:
+            config = config_base.with_overrides(client_buffer_frames=frames)
+            system, rids = _fresh(config, ["C1"], 16, 4)
+            spec = WorkloadSpec(num_txns=num_txns, ops_per_txn=6,
+                                read_fraction=0.25, seed=13)
+            programs = generate_programs(spec, rids)
+
+            def work() -> None:
+                for program in programs:
+                    run_program_sequential(system, "C1", program)
+
+            delta = metrics.measure(system, work)
+            rows.append({
+                "system": config.label,
+                "client_frames": frames,
+                "disk_writes": delta.disk_writes,
+                "pages_shipped": delta.page_ships,
+                "log_forces": delta.log_forces,
+                "messages": delta.messages,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E9 — in-operation page recovery cost (section 2.5)
+# ---------------------------------------------------------------------------
+
+def run_e9_page_recovery(updates_since_clean: Sequence[int] = (2, 8, 32),
+                         background_updates: int = 50) -> List[Row]:
+    """Page recovery applies the log from RecAddr, not from the start:
+    cost scales with updates since the page was last clean at the server."""
+    rows: List[Row] = []
+    for k in updates_since_clean:
+        config = SystemConfig(server_checkpoint_interval=0)
+        system, rids = _fresh(config, ["C1"], 8, 4)
+        client = system.client("C1")
+        target = rids[0]
+        other = [rid for rid in rids if rid.page_id != target.page_id]
+        rng = random.Random(17)
+        # Background traffic dilutes the log so scan selectivity matters.
+        for i in range(background_updates):
+            txn = client.begin()
+            client.update(txn, other[rng.randrange(len(other))], ("bg", i))
+            client.commit(txn)
+        # Bring the target page current at the server, then on disk.
+        txn = client.begin()
+        client.update(txn, target, "base")
+        client.commit(txn)
+        client._ship_page(target.page_id)
+        system.server.flush_page(target.page_id)
+        # k more committed updates, shipped to the server's buffer only.
+        for i in range(k):
+            txn = client.begin()
+            client.update(txn, target, ("fresh", i))
+            client.commit(txn)
+        client._ship_page(target.page_id)
+        # Process failure corrupts the server's buffered copy.
+        bcb = system.server.pool.bcb(target.page_id)
+        assert bcb is not None
+        bcb.page.corrupt()
+        page, applied = system.server.recover_corrupted_page(target.page_id)
+        assert system.server_visible_value(target) == ("fresh", k - 1)
+        rows.append({
+            "updates_since_disk_version": k,
+            "records_applied": applied,
+            "log_records_total": system.server.log.stable.record_count(),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E10 — local vs server-round-trip LSN assignment (section 2.2)
+# ---------------------------------------------------------------------------
+
+def run_e10_lsn_assignment(num_txns: int = 20, ops_per_txn: int = 8) -> List[Row]:
+    """Section 2.2: 'one cannot afford to wait for a log record to be
+    sent to the server ... before the page_LSN field is set'."""
+    rows: List[Row] = []
+    for label, assignment in (("local (ARIES/CSA)", LsnAssignment.LOCAL),
+                              ("server round trip", LsnAssignment.SERVER_ROUND_TRIP)):
+        config = SystemConfig(lsn_assignment=assignment)
+        system, rids = _fresh(config, ["C1"], 8, 4)
+        spec = WorkloadSpec(num_txns=num_txns, ops_per_txn=ops_per_txn,
+                            read_fraction=0.0, seed=19)
+        programs = generate_programs(spec, rids)
+
+        def work() -> None:
+            for program in programs:
+                run_program_sequential(system, "C1", program)
+
+        delta = metrics.measure(system, work)
+        rows.append({
+            "variant": label,
+            "lsn_round_trips": delta.lsn_requests,
+            "messages_per_update": delta.messages / (num_txns * ops_per_txn),
+            "messages": delta.messages,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E11 — client-to-client page forwarding (section 4.1 discussion)
+# ---------------------------------------------------------------------------
+
+def run_e11_forwarding(handoffs: int = 24, pages: int = 8) -> List[Row]:
+    """Two clients alternately updating a shared working set: with
+    forwarding, dirty pages travel directly between them after the log
+    records are acknowledged, cutting the server's inbound page bytes."""
+    rows: List[Row] = []
+    for label, enabled in (("via server (baseline)", False),
+                           ("forwarding (sec 4.1)", True)):
+        config = SystemConfig(enable_forwarding=enabled,
+                              server_checkpoint_interval=0,
+                              client_checkpoint_interval=0)
+        system = ClientServerSystem(config, client_ids=["A", "B"])
+        system.bootstrap(data_pages=pages, free_pages=8)
+        rids = seed_table(system, "A", "t", pages, 2)
+        a, b = system.client("A"), system.client("B")
+        rng = random.Random(31)
+        before = metrics.snapshot(system)
+        for i in range(handoffs):
+            client = a if i % 2 == 0 else b
+            txn = client.begin()
+            client.update(txn, rids[rng.randrange(len(rids))], ("h", i))
+            client.commit(txn)
+        delta = metrics.snapshot(system).minus(before)
+        # Correctness: everything still recovers after a total crash.
+        system.crash_all()
+        system.restart_all()
+        rows.append({
+            "variant": label,
+            "handoffs": handoffs,
+            "forwards": system.server.forwards,
+            "page_ships": delta.page_ships,
+            "messages": delta.messages,
+            "bytes": delta.message_bytes,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E12 — LLM lock caching (section 2.1's message-saving optimization)
+# ---------------------------------------------------------------------------
+
+def run_e12_lock_caching(num_txns: int = 30) -> List[Row]:
+    """Locks acquired in LLM names and retained across transactions turn
+    repeat acquisitions into zero-message local grants."""
+    rows: List[Row] = []
+    for label, caching in (("no caching", False), ("LLM lock caching", True)):
+        config = SystemConfig(llm_cache_locks=caching,
+                              commit_lsn_enabled=False)
+        system = ClientServerSystem(config, client_ids=["C1"])
+        system.bootstrap(data_pages=8, free_pages=8)
+        rids = seed_table(system, "C1", "t", 8, 4)
+        client = system.client("C1")
+        rng = random.Random(41)
+        before = metrics.snapshot(system)
+        for i in range(num_txns):
+            txn = client.begin()
+            for _ in range(4):
+                client.read(txn, rids[rng.randrange(len(rids))])
+            client.commit(txn)
+        delta = metrics.snapshot(system).minus(before)
+        rows.append({
+            "variant": label,
+            "lock_requests_to_server": delta.lock_requests,
+            "local_only_grants": delta.llm_local_grants,
+            "messages": delta.messages,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E13 — log-replay transport (the section 5 future-work mode)
+# ---------------------------------------------------------------------------
+
+def run_e13_log_replay(num_txns: int = 30, record_bytes: int = 16,
+                       page_size: int = 4096) -> List[Row]:
+    """Ship records, not pages: small updates on big pages make the
+    image transport pay page-size bytes per steal/transfer, while the
+    log-replay transport pays only the records (at the cost of server
+    replay CPU, counted here as records replayed)."""
+    from repro.config import PageTransport
+    rows: List[Row] = []
+    for label, transport in (("page images", PageTransport.PAGE_IMAGE),
+                             ("log replay (sec 5)", PageTransport.LOG_REPLAY)):
+        config = SystemConfig(
+            page_transport=transport, page_size=page_size,
+            client_buffer_frames=4,        # force steals
+            client_checkpoint_interval=0, server_checkpoint_interval=0,
+        )
+        system = ClientServerSystem(config, client_ids=["C1"])
+        system.bootstrap(data_pages=12, free_pages=8)
+        rids = seed_table(system, "C1", "t", 12, 2,
+                          value_of=lambda i: "x" * record_bytes)
+        client = system.client("C1")
+        rng = random.Random(51)
+        before = metrics.snapshot(system)
+        for i in range(num_txns):
+            txn = client.begin()
+            client.update(txn, rids[rng.randrange(len(rids))],
+                          "y" * record_bytes)
+            client.commit(txn)
+        delta = metrics.snapshot(system).minus(before)
+        # Crash-verify the transport before reporting it.
+        system.crash_all()
+        system.restart_all()
+        rows.append({
+            "variant": label,
+            "bytes_to_server": delta.message_bytes,
+            "page_image_ships": delta.page_ships,
+            "records_replayed_at_server":
+                system.server.records_replayed_for_materialize,
+            "messages": delta.messages,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# F1 — the Figure 1 architecture trace
+# ---------------------------------------------------------------------------
+
+def run_f1_architecture_trace() -> List[Row]:
+    """One transaction's life, as message-type counts: the flows Figure 1
+    draws (page requests/ships down, log ships up, single log at the
+    server)."""
+    system, rids = _fresh(SystemConfig(), ["SEEDER", "C1"], 4, 2,
+                          seed_client="SEEDER")
+    system.network.reset_stats()
+    client = system.client("C1")
+    txn = client.begin()
+    value = client.read(txn, rids[0])
+    client.update(txn, rids[0], ("figure-1", value))
+    client.commit(txn)
+    stats = system.network.stats
+    return [
+        {"flow": msg_type.value, "messages": count}
+        for msg_type, count in sorted(stats.by_type.items(),
+                                      key=lambda kv: kv[0].value)
+        if count
+    ]

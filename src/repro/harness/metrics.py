@@ -1,0 +1,106 @@
+"""Metric snapshots over a whole complex.
+
+Benchmarks run a workload between two snapshots and report the delta —
+messages, bytes, page I/O, log volume, forces, lock calls, cache hit
+rates — the counter-based cost model DESIGN.md's substitution table
+explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+from repro.core.system import ClientServerSystem
+from repro.net.messages import MsgType
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Cumulative counters for one complex at one instant."""
+
+    messages: int = 0
+    message_bytes: int = 0
+    page_ships: int = 0
+    page_requests: int = 0
+    log_ships: int = 0
+    lock_requests: int = 0
+    p_lock_requests: int = 0
+    callbacks: int = 0
+    lsn_requests: int = 0
+
+    disk_reads: int = 0
+    disk_writes: int = 0
+    log_appends: int = 0
+    log_forces: int = 0
+    log_bytes: int = 0
+    wal_forces: int = 0
+    commit_forces: int = 0
+
+    client_lock_calls: int = 0
+    locks_avoided: int = 0
+    llm_local_grants: int = 0
+    glm_requests: int = 0
+
+    client_cache_hits: int = 0
+    client_cache_misses: int = 0
+    commits: int = 0
+    aborts: int = 0
+    pages_shipped_at_commit: int = 0
+
+    def minus(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Per-field difference (this - other)."""
+        values = {
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)
+        }
+        return MetricsSnapshot(**values)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def client_cache_hit_rate(self) -> float:
+        total = self.client_cache_hits + self.client_cache_misses
+        return self.client_cache_hits / total if total else 0.0
+
+
+def snapshot(system: ClientServerSystem) -> MetricsSnapshot:
+    """Capture the complex's cumulative counters."""
+    net = system.network.stats
+    server = system.server
+    clients = list(system.clients.values())
+    return MetricsSnapshot(
+        messages=net.messages,
+        message_bytes=net.bytes,
+        page_ships=net.count(MsgType.PAGE_SHIP),
+        page_requests=net.count(MsgType.PAGE_REQUEST),
+        log_ships=net.count(MsgType.LOG_SHIP),
+        lock_requests=net.count(MsgType.LOCK_REQUEST),
+        p_lock_requests=net.count(MsgType.P_LOCK_REQUEST),
+        callbacks=net.count(MsgType.CALLBACK),
+        lsn_requests=net.count(MsgType.LSN_REQUEST),
+        disk_reads=server.disk.reads,
+        disk_writes=server.disk.writes,
+        log_appends=server.log.stable.appends,
+        log_forces=server.log.stable.forces,
+        log_bytes=server.log.stable.bytes_appended,
+        wal_forces=server.wal_forces,
+        commit_forces=server.commit_forces,
+        client_lock_calls=sum(c.lock_calls for c in clients),
+        locks_avoided=sum(c.locks_avoided_by_commit_lsn for c in clients),
+        llm_local_grants=sum(c.llm.local_only_grants for c in clients),
+        glm_requests=server.glm.logical_requests,
+        client_cache_hits=sum(c.pool.hits for c in clients),
+        client_cache_misses=sum(c.pool.misses for c in clients),
+        commits=sum(c.commits for c in clients),
+        aborts=sum(c.aborts for c in clients),
+        pages_shipped_at_commit=sum(c.pages_shipped_at_commit for c in clients),
+    )
+
+
+def measure(system: ClientServerSystem, action) -> MetricsSnapshot:
+    """Run ``action()`` and return the counter delta it caused."""
+    before = snapshot(system)
+    action()
+    return snapshot(system).minus(before)

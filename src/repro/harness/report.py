@@ -1,0 +1,55 @@
+"""Plain-text tables for the experiment harness.
+
+The benchmarks print the same row/series shapes the paper's claims are
+about; this module renders them readably in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, Any]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = [_fmt(row.get(col, "")) for col in columns]
+        rendered.append(cells)
+        for col, cell in zip(columns, cells):
+            widths[col] = max(widths[col], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for cells in rendered:
+        lines.append(" | ".join(
+            cell.ljust(widths[col]) for col, cell in zip(columns, cells)
+        ))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, Any]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> None:
+    print()
+    print(format_table(rows, columns, title))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b with a defined answer for b == 0."""
+    return a / b if b else float("inf") if a else 1.0

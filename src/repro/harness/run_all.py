@@ -1,0 +1,72 @@
+"""Run the whole experiment suite and print every table.
+
+Usage::
+
+    python -m repro.harness.run_all             # all experiments
+    python -m repro.harness.run_all E1 E4 F1    # a subset
+
+The same tables (at the same default parameters) are what EXPERIMENTS.md
+records and what ``pytest benchmarks/ --benchmark-only`` asserts.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from repro.harness import experiments as X
+from repro.harness.report import format_table
+
+#: Experiment id -> (title, runner).
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], List[dict]]]] = {
+    "E1": ("commit traffic vs write-set size (sec 4.1, 5)",
+           X.run_e1_commit_traffic),
+    "E2": ("inter-transaction cache retention (sec 4.1)",
+           X.run_e2_cache_retention),
+    "E3": ("rollback work placement (sec 4.1, 5)",
+           X.run_e3_rollback_locality),
+    "E4": ("Commit_LSN benefit vs Max_LSN sync period (sec 3)",
+           X.run_e4_commit_lsn),
+    "E4b": ("global vs per-table Commit_LSN (sec 3)",
+            X.run_e4_per_table),
+    "E5": ("failed-client recovery vs checkpointing (sec 2.6)",
+           X.run_e5_client_recovery),
+    "E6": ("client DPLs in the server checkpoint (sec 2.7)",
+           X.run_e6_server_checkpoint),
+    "E7": ("page reallocation across clients (sec 2.3)",
+           X.run_e7_page_realloc),
+    "E8": ("steal/no-force vs force policies (sec 1.1.1, 2.1)",
+           X.run_e8_buffer_policies),
+    "E9": ("in-operation page recovery cost (sec 2.5)",
+           X.run_e9_page_recovery),
+    "E10": ("local vs server-round-trip LSN assignment (sec 2.2)",
+            X.run_e10_lsn_assignment),
+    "E11": ("client-to-client page forwarding (sec 4.1)",
+            X.run_e11_forwarding),
+    "E12": ("LLM lock caching (sec 2.1)",
+            X.run_e12_lock_caching),
+    "E13": ("log-replay transport (sec 5 future work)",
+            X.run_e13_log_replay),
+    "F1": ("the Figure 1 architecture trace",
+           X.run_f1_architecture_trace),
+}
+
+
+def main(argv: List[str]) -> int:
+    wanted = [arg.upper().replace("E4B", "E4b") for arg in argv] or \
+        list(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        title, runner = EXPERIMENTS[name]
+        print(f"\n{'=' * 72}\n{name} — {title}\n{'=' * 72}")
+        print(format_table(runner()))
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

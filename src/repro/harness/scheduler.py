@@ -1,0 +1,197 @@
+"""Cooperative scheduler: concurrent transactions without threads.
+
+Transactions are *programs* (operation lists, see ``repro.workloads``)
+assigned to clients.  The scheduler round-robins one operation at a time
+across all runnable transactions, which interleaves them exactly the way
+the paper's concurrency discussion assumes: record locks serialize
+conflicting accesses, the update privilege serializes physical page
+modification, and everything else overlaps.
+
+Lock conflicts park the requester and feed the waits-for graph; when
+nothing can run, deadlock detection picks the cheapest victim (fewest
+logged updates), rolls it back at its client, and the rest proceed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.system import ClientServerSystem
+from repro.core.transaction import Transaction
+from repro.errors import LockConflictError
+from repro.locking.deadlock import WaitsForGraph
+from repro.workloads.generator import Op, Program
+
+
+class TxnOutcomeKind(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    DEADLOCK_VICTIM = "deadlock-victim"
+
+
+@dataclass
+class ScheduledTxn:
+    name: str
+    client_id: str
+    program: Program
+    txn: Optional[Transaction] = None
+    next_op: int = 0
+    waiting: bool = False
+    outcome: Optional[TxnOutcomeKind] = None
+
+
+@dataclass
+class ScheduleResult:
+    committed: int = 0
+    aborted: int = 0
+    deadlock_victims: int = 0
+    rounds: int = 0
+    outcomes: Dict[str, TxnOutcomeKind] = field(default_factory=dict)
+
+
+class Scheduler:
+    """Round-robin cooperative executor with deadlock resolution."""
+
+    def __init__(self, system: ClientServerSystem) -> None:
+        self.system = system
+        self.graph = WaitsForGraph()
+
+    def run(self, assignments: Sequence[Tuple[str, Program]],
+            max_rounds: int = 100_000) -> ScheduleResult:
+        """Execute all programs; returns aggregate outcomes.
+
+        ``assignments`` pairs a client id with each program.  Programs at
+        the same client interleave with each other and with other
+        clients' programs.
+        """
+        txns = [
+            ScheduledTxn(name=f"S{i}", client_id=client_id, program=program)
+            for i, (client_id, program) in enumerate(assignments)
+        ]
+        result = ScheduleResult()
+        while any(t.outcome is None for t in txns):
+            result.rounds += 1
+            if result.rounds > max_rounds:
+                raise RuntimeError("scheduler exceeded max rounds")
+            progressed = False
+            for scheduled in txns:
+                if scheduled.outcome is not None:
+                    continue
+                if self._step(scheduled):
+                    progressed = True
+            if not progressed:
+                self._break_deadlock(txns, result)
+        for scheduled in txns:
+            assert scheduled.outcome is not None
+            result.outcomes[scheduled.name] = scheduled.outcome
+            if scheduled.outcome is TxnOutcomeKind.COMMITTED:
+                result.committed += 1
+            elif scheduled.outcome is TxnOutcomeKind.ABORTED:
+                result.aborted += 1
+            else:
+                result.deadlock_victims += 1
+        return result
+
+    # -- single step ----------------------------------------------------------
+
+    def _step(self, scheduled: ScheduledTxn) -> bool:
+        """Attempt one operation; returns True on progress."""
+        client = self.system.client(scheduled.client_id)
+        if scheduled.txn is None:
+            scheduled.txn = client.begin()
+        op = scheduled.program[scheduled.next_op]
+        try:
+            self._execute(client, scheduled, op)
+        except LockConflictError as conflict:
+            self._note_wait(scheduled, conflict)
+            return False
+        self.graph.clear_waiter(self._node_name(scheduled))
+        scheduled.waiting = False
+        scheduled.next_op += 1
+        return True
+
+    def _execute(self, client, scheduled: ScheduledTxn, op: Op) -> None:
+        txn = scheduled.txn
+        kind = op[0]
+        if kind == "read":
+            client.read(txn, op[1])
+        elif kind == "update":
+            client.update(txn, op[1], op[2])
+        elif kind == "insert":
+            client.insert(txn, op[1], op[2])
+        elif kind == "delete":
+            client.delete(txn, op[1])
+        elif kind == "savepoint":
+            client.savepoint(txn, op[1])
+        elif kind == "rollback_to":
+            client.rollback(txn, savepoint=op[1])
+        elif kind == "commit":
+            client.commit(txn)
+            scheduled.outcome = TxnOutcomeKind.COMMITTED
+        elif kind == "abort":
+            client.rollback(txn)
+            scheduled.outcome = TxnOutcomeKind.ABORTED
+        else:
+            raise ValueError(f"unknown op {op!r}")
+
+    # -- waits-for bookkeeping ----------------------------------------------------
+
+    def _node_name(self, scheduled: ScheduledTxn) -> str:
+        assert scheduled.txn is not None
+        return scheduled.txn.txn_id
+
+    def _note_wait(self, scheduled: ScheduledTxn,
+                   conflict: LockConflictError) -> None:
+        """Translate a conflict's holders into waits-for edges.
+
+        Local conflicts name transaction ids directly.  Global conflicts
+        name client LLMs; the edge targets are the transactions at those
+        clients currently holding the resource locally.
+        """
+        scheduled.waiting = True
+        waiter = self._node_name(scheduled)
+        targets: List[str] = []
+        for holder in conflict.holders:
+            if holder in self.system.clients:
+                peer = self.system.clients[holder]
+                local_holders = peer.llm.local.holders(conflict.resource)
+                targets.extend(local_holders)
+                if not local_holders:
+                    # Cached-but-idle global lock that could not be
+                    # relinquished this instant; treat the client itself
+                    # as the blocker so detection still terminates.
+                    targets.append(holder)
+            else:
+                targets.append(holder)
+        self.graph.add_wait(waiter, targets)
+
+    def _break_deadlock(self, txns: List[ScheduledTxn],
+                        result: ScheduleResult) -> None:
+        cycle = self.graph.find_cycle()
+        if cycle is None:
+            raise RuntimeError(
+                "no transaction can progress but no cycle found — "
+                "a lock is held by a node outside the schedule"
+            )
+        by_txn_id = {
+            self._node_name(t): t for t in txns
+            if t.txn is not None and t.outcome is None
+        }
+
+        def cost(name: str) -> int:
+            scheduled = by_txn_id.get(name)
+            if scheduled is None or scheduled.txn is None:
+                return 1 << 30  # never pick nodes we cannot abort
+            return scheduled.txn.updates_logged
+
+        victim_name = self.graph.choose_victim(cycle, cost)
+        victim = by_txn_id.get(victim_name)
+        if victim is None:
+            raise RuntimeError(f"deadlock victim {victim_name} is not schedulable")
+        client = self.system.client(victim.client_id)
+        assert victim.txn is not None
+        client.rollback(victim.txn)
+        victim.outcome = TxnOutcomeKind.DEADLOCK_VICTIM
+        self.graph.remove_node(victim_name)

@@ -1,0 +1,20 @@
+"""B+-tree access method with logical undo and SMP-backed page reuse."""
+
+from repro.index.btree import BTree, DuplicateKeyError, KeyNotFoundError
+from repro.index.keys import decode_int_key, encode_key
+from repro.index.undo import (
+    decode_index_key,
+    encode_index_key,
+    logical_undo_effect,
+)
+
+__all__ = [
+    "BTree",
+    "DuplicateKeyError",
+    "KeyNotFoundError",
+    "decode_index_key",
+    "decode_int_key",
+    "encode_index_key",
+    "encode_key",
+    "logical_undo_effect",
+]

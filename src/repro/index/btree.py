@@ -1,0 +1,377 @@
+"""A page-based B+-tree with ARIES-style logging.
+
+The tree is an access method layered on the client transaction API:
+every page change is logged through ``Client.apply_logged_update``, so
+redo/undo flow through the same recovery machinery as heap records.
+
+Logging discipline (ARIES/IM flavor, simplified):
+
+* the *logical* operations — inserting or deleting one ``(key, value)``
+  entry — are undoable records with **logical undo** (the key may have
+  migrated by undo time; see ``repro.index.undo``);
+* *structural* modifications — page splits, root growth, empty-page
+  deallocation — run inside **nested top actions**: their page changes
+  are redo-only records, and a dummy CLR at the end makes rollback step
+  over the whole action.  A committed split therefore survives the
+  rollback of the transaction that happened to perform it;
+* page allocation and deallocation go through the space map pages, and
+  reallocated pages take their format LSN from the SMP (section 2.3) —
+  index page reuse across clients is the paper's own motivating example.
+
+Simplifications (documented in DESIGN.md): no merge/rebalance (only
+empty-leaf deallocation, and only when the left sibling shares the
+parent), no split-during-undo, unique keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core import codec
+from repro.core.log_records import UpdateOp
+from repro.core.transaction import Transaction
+from repro.errors import ReproError
+from repro.index import node
+from repro.index.keys import KeyLike, encode_key
+from repro.index.undo import ROOT_META, encode_index_key
+from repro.locking.lock_modes import LockMode
+from repro.records.heap import decode_value, encode_value
+from repro.storage.page import Page, PageKind
+
+
+class DuplicateKeyError(ReproError):
+    def __init__(self, key: KeyLike) -> None:
+        super().__init__(f"key {key!r} already present")
+        self.key = key
+
+
+class KeyNotFoundError(ReproError):
+    def __init__(self, key: KeyLike) -> None:
+        super().__init__(f"key {key!r} not found")
+        self.key = key
+
+
+class BTree:
+    """A transactional B+-tree bound to one client."""
+
+    def __init__(self, client: Any, anchor_page_id: int,
+                 lock_keys: bool = True) -> None:
+        self.client = client
+        self.anchor_page_id = anchor_page_id
+        self.lock_keys = lock_keys
+        self.splits = 0
+        self.page_deallocations = 0
+
+    # ------------------------------------------------------------------
+    # Creation / attachment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, client: Any, txn: Transaction,
+               lock_keys: bool = True) -> "BTree":
+        """Allocate a new tree (anchor plus an empty root leaf).
+
+        Creation is ordinary undoable work: if the creating transaction
+        rolls back, the allocations and the root pointer are undone.
+        """
+        anchor = client.allocate_page(txn, PageKind.DATA)
+        root = client.allocate_page(
+            txn, PageKind.INDEX_LEAF,
+            initial_meta=[(node.LEVEL_KEY, 0), (node.NEXT_KEY, node.NO_SIBLING)],
+        )
+        client.apply_logged_update(
+            txn, anchor, UpdateOp.META_SET, key=ROOT_META.encode("utf-8"),
+            before=codec.encode(None), after=codec.encode(root.page_id),
+        )
+        return cls(client, anchor.page_id, lock_keys=lock_keys)
+
+    @classmethod
+    def attach(cls, client: Any, anchor_page_id: int,
+               lock_keys: bool = True) -> "BTree":
+        """Bind an existing tree (e.g. at another client)."""
+        return cls(client, anchor_page_id, lock_keys=lock_keys)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _root_id(self, for_write: bool) -> int:
+        fetch = (self.client._ensure_update_privilege if for_write
+                 else self.client._get_page)
+        anchor = fetch(self.anchor_page_id)
+        root_id = anchor.get_meta(ROOT_META)
+        if not isinstance(root_id, int) or root_id < 0:
+            raise ReproError(
+                f"page {self.anchor_page_id} does not anchor a tree"
+            )
+        return root_id
+
+    def _find_path(self, key: bytes, for_write: bool) -> Tuple[Page, List[Page]]:
+        """Descend to the leaf for ``key``; returns (leaf, ancestor path)."""
+        fetch = (self.client._ensure_update_privilege if for_write
+                 else self.client._get_page)
+        page = fetch(self._root_id(for_write))
+        path: List[Page] = []
+        while not node.is_leaf(page):
+            path.append(page)
+            page = fetch(node.child_for(page, key))
+        return page, path
+
+    def _lock_key(self, txn: Optional[Transaction], key: bytes,
+                  mode: LockMode) -> None:
+        if txn is None or not self.lock_keys:
+            return
+        self.client.lock_calls += 1
+        self.client.llm.acquire(
+            txn.txn_id, ("key", self.anchor_page_id, key), mode
+        )
+
+    def search(self, key: KeyLike, txn: Optional[Transaction] = None) -> Optional[Any]:
+        """Point lookup; returns the stored value or None."""
+        kb = encode_key(key)
+        self._lock_key(txn, kb, LockMode.S)
+        leaf, _ = self._find_path(kb, for_write=False)
+        entry = node.find_leaf_entry(leaf, kb)
+        return decode_value(entry.value) if entry is not None else None
+
+    def items(self) -> Iterator[Tuple[bytes, Any]]:
+        """Full scan in key order via the leaf sibling chain."""
+        page = self.client._get_page(self._root_id(False))
+        while not node.is_leaf(page):
+            entries = node.branch_entries(page)
+            page = self.client._get_page(entries[0].child)
+        while True:
+            for entry in node.leaf_entries(page):
+                yield entry.key, decode_value(entry.value)
+            sibling = node.next_sibling(page)
+            if sibling == node.NO_SIBLING:
+                return
+            page = self.client._get_page(sibling)
+
+    def range(self, low: Optional[KeyLike] = None,
+              high: Optional[KeyLike] = None,
+              inclusive_high: bool = False) -> Iterator[Tuple[bytes, Any]]:
+        """Scan keys in [low, high) (or [low, high] when inclusive).
+
+        Descends directly to the leaf covering ``low`` and walks the
+        sibling chain; unbounded ends scan from the first / to the last
+        key.
+        """
+        low_key = encode_key(low) if low is not None else None
+        high_key = encode_key(high) if high is not None else None
+        if low_key is None:
+            page = self.client._get_page(self._root_id(False))
+            while not node.is_leaf(page):
+                entries = node.branch_entries(page)
+                page = self.client._get_page(entries[0].child)
+        else:
+            page, _ = self._find_path(low_key, for_write=False)
+        while True:
+            for entry in node.leaf_entries(page):
+                if low_key is not None and entry.key < low_key:
+                    continue
+                if high_key is not None:
+                    if entry.key > high_key:
+                        return
+                    if entry.key == high_key and not inclusive_high:
+                        return
+                yield entry.key, decode_value(entry.value)
+            sibling = node.next_sibling(page)
+            if sibling == node.NO_SIBLING:
+                return
+            page = self.client._get_page(sibling)
+
+    def keys(self) -> List[bytes]:
+        return [key for key, _ in self.items()]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, key: KeyLike, value: Any) -> None:
+        """Insert a unique key (logical-undo logged)."""
+        kb = encode_key(key)
+        vb = encode_value(value)
+        entry_image = node.encode_leaf_entry(kb, vb)
+        self._lock_key(txn, kb, LockMode.X)
+        leaf, path = self._find_path(kb, for_write=True)
+        if node.find_leaf_entry(leaf, kb) is not None:
+            raise DuplicateKeyError(key)
+        if not leaf.has_room_for(entry_image):
+            self._split_leaf(txn, leaf, path)
+            leaf, path = self._find_path(kb, for_write=True)
+        self.client.apply_logged_update(
+            txn, leaf, UpdateOp.INDEX_INSERT, slot=leaf.next_free_slot(),
+            after=entry_image, key=encode_index_key(self.anchor_page_id, kb),
+        )
+
+    def delete(self, txn: Transaction, key: KeyLike) -> None:
+        """Delete a key (logical-undo logged); may free an empty leaf."""
+        kb = encode_key(key)
+        self._lock_key(txn, kb, LockMode.X)
+        leaf, path = self._find_path(kb, for_write=True)
+        entry = node.find_leaf_entry(leaf, kb)
+        if entry is None:
+            raise KeyNotFoundError(key)
+        self.client.apply_logged_update(
+            txn, leaf, UpdateOp.INDEX_DELETE, slot=entry.slot,
+            before=node.encode_leaf_entry(kb, entry.value),
+            key=encode_index_key(self.anchor_page_id, kb),
+        )
+        if leaf.record_count == 0 and path:
+            self._free_empty_leaf(txn, leaf, path)
+
+    # ------------------------------------------------------------------
+    # Structural modifications (nested top actions)
+    # ------------------------------------------------------------------
+
+    def _split_leaf(self, txn: Transaction, leaf: Page, path: List[Page]) -> None:
+        """Split a full leaf; the whole SMO is one nested top action."""
+        self.splits += 1
+        nta = self.client.begin_nested_top_action(txn)
+        entries = node.leaf_entries(leaf)
+        move = entries[len(entries) // 2:]
+        new_leaf = self.client.allocate_page(
+            txn, PageKind.INDEX_LEAF,
+            initial_meta=[(node.LEVEL_KEY, 0),
+                          (node.NEXT_KEY, node.next_sibling(leaf))],
+        )
+        for entry in move:
+            image = node.encode_leaf_entry(entry.key, entry.value)
+            self.client.apply_logged_update(
+                txn, leaf, UpdateOp.RECORD_DELETE, slot=entry.slot,
+                before=image, redo_only=True,
+            )
+            self.client.apply_logged_update(
+                txn, new_leaf, UpdateOp.RECORD_INSERT,
+                slot=new_leaf.next_free_slot(), after=image, redo_only=True,
+            )
+        self._set_meta(txn, leaf, node.NEXT_KEY, new_leaf.page_id)
+        separator = move[0].key
+        self._insert_separator(txn, path, separator, new_leaf.page_id,
+                               split_level=0)
+        self.client.end_nested_top_action(txn, nta)
+
+    def _insert_separator(self, txn: Transaction, path: List[Page],
+                          separator: bytes, child: int,
+                          split_level: int) -> None:
+        """Insert (separator -> child) into the parent, splitting upward."""
+        image = node.encode_branch_entry(separator, child)
+        if not path:
+            self._grow_root(txn, separator, child, split_level)
+            return
+        parent = path[-1]
+        if parent.has_room_for(image):
+            self.client.apply_logged_update(
+                txn, parent, UpdateOp.RECORD_INSERT,
+                slot=parent.next_free_slot(), after=image, redo_only=True,
+            )
+            return
+        # Split the internal node, then place the separator on the
+        # correct side.
+        entries = node.branch_entries(parent)
+        move = entries[len(entries) // 2:]
+        new_branch = self.client.allocate_page(
+            txn, PageKind.INDEX_INTERNAL,
+            initial_meta=[(node.LEVEL_KEY, node.level_of(parent))],
+        )
+        for entry in move:
+            entry_image = node.encode_branch_entry(entry.key, entry.child)
+            self.client.apply_logged_update(
+                txn, parent, UpdateOp.RECORD_DELETE, slot=entry.slot,
+                before=entry_image, redo_only=True,
+            )
+            self.client.apply_logged_update(
+                txn, new_branch, UpdateOp.RECORD_INSERT,
+                slot=new_branch.next_free_slot(), after=entry_image,
+                redo_only=True,
+            )
+        promoted = move[0].key
+        target = new_branch if separator >= promoted else parent
+        self.client.apply_logged_update(
+            txn, target, UpdateOp.RECORD_INSERT,
+            slot=target.next_free_slot(), after=image, redo_only=True,
+        )
+        self._insert_separator(txn, path[:-1], promoted, new_branch.page_id,
+                               split_level=node.level_of(parent))
+
+    def _grow_root(self, txn: Transaction, separator: bytes, right: int,
+                   split_level: int) -> None:
+        """The root split: a new root above the old one."""
+        old_root_id = self._root_id(for_write=True)
+        new_root = self.client.allocate_page(
+            txn, PageKind.INDEX_INTERNAL,
+            initial_meta=[(node.LEVEL_KEY, split_level + 1)],
+        )
+        for key, child in ((node.LOW_KEY, old_root_id), (separator, right)):
+            self.client.apply_logged_update(
+                txn, new_root, UpdateOp.RECORD_INSERT,
+                slot=new_root.next_free_slot(),
+                after=node.encode_branch_entry(key, child), redo_only=True,
+            )
+        anchor = self.client._ensure_update_privilege(self.anchor_page_id)
+        self._set_meta(txn, anchor, ROOT_META, new_root.page_id,
+                       redo_only=True)
+
+    def _free_empty_leaf(self, txn: Transaction, leaf: Page,
+                         path: List[Page]) -> None:
+        """Deallocate an empty leaf — the section 2.3 reuse candidate.
+
+        Performed only when the left sibling lives under the same parent
+        (so its sibling pointer can be repaired locally); otherwise the
+        empty leaf is simply kept.
+        """
+        parent = path[-1]
+        entries = node.branch_entries(parent)
+        index = next(
+            (i for i, entry in enumerate(entries) if entry.child == leaf.page_id),
+            None,
+        )
+        if index is None or index == 0:
+            return  # leftmost under this parent (or sentinel child): keep it
+        nta = self.client.begin_nested_top_action(txn)
+        left = self.client._ensure_update_privilege(entries[index - 1].child)
+        self._set_meta(txn, left, node.NEXT_KEY, node.next_sibling(leaf))
+        doomed = entries[index]
+        self.client.apply_logged_update(
+            txn, parent, UpdateOp.RECORD_DELETE, slot=doomed.slot,
+            before=node.encode_branch_entry(doomed.key, doomed.child),
+            redo_only=True,
+        )
+        self.client.deallocate_page(txn, leaf.page_id)
+        self.client.end_nested_top_action(txn, nta)
+        self.page_deallocations += 1
+
+    def _set_meta(self, txn: Transaction, page: Page, meta_key: str,
+                  value: Any, redo_only: bool = True) -> None:
+        before = page.get_meta(meta_key)
+        self.client.apply_logged_update(
+            txn, page, UpdateOp.META_SET, key=meta_key.encode("utf-8"),
+            before=codec.encode(before), after=codec.encode(value),
+            redo_only=redo_only,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        page = self.client._get_page(self._root_id(False))
+        depth = 1
+        while not node.is_leaf(page):
+            page = self.client._get_page(node.branch_entries(page)[0].child)
+            depth += 1
+        return depth
+
+    def check_invariants(self) -> None:
+        """Structural sanity: sorted leaf chain, separator coverage."""
+        previous: Optional[bytes] = None
+        for key, _ in self.items():
+            if previous is not None and key <= previous:
+                raise ReproError(
+                    f"leaf chain out of order: {previous!r} !< {key!r}"
+                )
+            previous = key

@@ -1,0 +1,38 @@
+"""Key encoding for the B+-tree.
+
+Keys compare as byte strings; these helpers produce order-preserving
+encodings for the common application types (ints and strings), so a
+tree can be used without thinking about byte order.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+KeyLike = Union[int, str, bytes]
+
+_INT_WIDTH = 8
+_INT_BIAS = 2 ** 63
+
+
+def encode_key(key: KeyLike) -> bytes:
+    """Order-preserving key encoding.
+
+    Ints are biased to unsigned and big-endian packed (so -5 < 3 holds
+    bytewise); strings are UTF-8; bytes pass through.  Mixed-type keys
+    in one tree are the caller's responsibility.
+    """
+    if isinstance(key, bool):
+        raise TypeError("bool keys are ambiguous; use int 0/1 explicitly")
+    if isinstance(key, int):
+        return (key + _INT_BIAS).to_bytes(_INT_WIDTH, "big")
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        return bytes(key)
+    raise TypeError(f"unsupported key type {type(key).__name__}")
+
+
+def decode_int_key(data: bytes) -> int:
+    """Inverse of :func:`encode_key` for int keys."""
+    return int.from_bytes(data, "big") - _INT_BIAS

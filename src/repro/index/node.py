@@ -1,0 +1,111 @@
+"""B+-tree node layout over slotted pages.
+
+Index pages keep their entries in *slots* (stable identities, so
+physical redo replays exactly), not in sorted positions; ordering is
+recomputed on access.  Leaf entries are ``(key, value)`` pairs; internal
+entries are ``(separator_key, child_page_id)`` pairs where a child
+covers keys >= its separator and the first separator is the empty byte
+string (a low sentinel).
+
+Page meta keys: ``level`` (0 = leaf), ``next`` (right sibling page id,
+-1 = none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import codec
+from repro.storage.page import Page, PageKind
+
+LEVEL_KEY = "level"
+NEXT_KEY = "next"
+NO_SIBLING = -1
+
+#: The low sentinel separator carried by the leftmost entry of every
+#: internal node.
+LOW_KEY = b""
+
+
+@dataclass(frozen=True)
+class LeafEntry:
+    key: bytes
+    value: bytes
+    slot: int
+
+
+@dataclass(frozen=True)
+class BranchEntry:
+    key: bytes
+    child: int
+    slot: int
+
+
+def encode_leaf_entry(key: bytes, value: bytes) -> bytes:
+    return codec.encode((key, value))
+
+
+def decode_leaf_entry(image: bytes, slot: int) -> LeafEntry:
+    key, value = codec.decode(image)
+    return LeafEntry(key=key, value=value, slot=slot)
+
+
+def encode_branch_entry(key: bytes, child: int) -> bytes:
+    return codec.encode((key, child))
+
+
+def decode_branch_entry(image: bytes, slot: int) -> BranchEntry:
+    key, child = codec.decode(image)
+    return BranchEntry(key=key, child=child, slot=slot)
+
+
+def is_leaf(page: Page) -> bool:
+    return page.kind is PageKind.INDEX_LEAF
+
+
+def level_of(page: Page) -> int:
+    level = page.get_meta(LEVEL_KEY)
+    return level if isinstance(level, int) else 0
+
+
+def next_sibling(page: Page) -> int:
+    sibling = page.get_meta(NEXT_KEY)
+    return sibling if isinstance(sibling, int) else NO_SIBLING
+
+
+def leaf_entries(page: Page) -> List[LeafEntry]:
+    """All leaf entries in key order."""
+    entries = [decode_leaf_entry(image, slot) for slot, image in page.records()]
+    entries.sort(key=lambda entry: entry.key)
+    return entries
+
+
+def branch_entries(page: Page) -> List[BranchEntry]:
+    """All branch entries in key order (first is the LOW_KEY sentinel)."""
+    entries = [decode_branch_entry(image, slot) for slot, image in page.records()]
+    entries.sort(key=lambda entry: entry.key)
+    return entries
+
+
+def find_leaf_entry(page: Page, key: bytes) -> Optional[LeafEntry]:
+    for slot, image in page.records():
+        entry = decode_leaf_entry(image, slot)
+        if entry.key == key:
+            return entry
+    return None
+
+
+def child_for(page: Page, key: bytes) -> int:
+    """The child covering ``key``: rightmost entry with separator <= key."""
+    best: Optional[BranchEntry] = None
+    for entry in branch_entries(page):
+        if entry.key <= key:
+            best = entry
+        else:
+            break
+    if best is None:
+        raise ValueError(
+            f"internal page {page.page_id} has no child for key {key!r}"
+        )
+    return best.child

@@ -1,0 +1,102 @@
+"""Logical undo for B+-tree operations (sections 1.1.2 and 4.1).
+
+An index insert or delete is undone *logically*: between forward
+processing and undo, splits or page deallocations may have moved the key
+to a different page, so undo re-traverses the tree and compensates
+wherever the key lives *now*.  The CLR then records the actual physical
+change made (page, slot, image) — CLRs stay redo-only and page-oriented.
+
+The update record's ``key`` field carries ``codec.encode((anchor_page_id,
+key_bytes))`` so that any holder of the log — the client during normal
+rollback, or the server during restart / failed-client recovery — can
+perform the undo with nothing but page access.  The paper highlights
+exactly this ability as what ESM-CS's server-side conditional undo
+cannot support.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.core import codec
+from repro.core.apply import UndoEffect
+from repro.core.log_records import UpdateOp, UpdateRecord
+from repro.errors import RecoveryInvariantError
+from repro.index import node
+from repro.storage.page import Page
+
+PageFetch = Callable[[int], Page]
+
+ROOT_META = "root"
+
+
+def encode_index_key(anchor_page_id: int, key: bytes) -> bytes:
+    """The ``key`` payload stored in index update records."""
+    return codec.encode((anchor_page_id, key))
+
+
+def decode_index_key(payload: bytes) -> Tuple[int, bytes]:
+    anchor_page_id, key = codec.decode(payload)
+    return anchor_page_id, key
+
+
+def find_leaf(anchor_page_id: int, key: bytes, fetch: PageFetch) -> Page:
+    """Traverse from the tree anchor down to the leaf covering ``key``."""
+    anchor = fetch(anchor_page_id)
+    root_id = anchor.get_meta(ROOT_META)
+    if not isinstance(root_id, int):
+        raise RecoveryInvariantError(
+            f"page {anchor_page_id} is not a tree anchor (no root pointer)"
+        )
+    page = fetch(root_id)
+    guard = 0
+    while not node.is_leaf(page):
+        page = fetch(node.child_for(page, key))
+        guard += 1
+        if guard > 64:
+            raise RecoveryInvariantError("index traversal did not terminate")
+    return page
+
+
+def logical_undo_effect(record: UpdateRecord, fetch: PageFetch) -> UndoEffect:
+    """Compute the compensating change for an index update record.
+
+    Undo of an insert deletes the key from whichever leaf holds it now;
+    undo of a delete re-inserts the entry into the covering leaf.  The
+    target page can differ from ``record.page_id`` — that is the point.
+    """
+    if record.key is None:
+        raise RecoveryInvariantError(
+            f"index record {record.lsn} lacks a logical key"
+        )
+    anchor_page_id, key = decode_index_key(record.key)
+    leaf = find_leaf(anchor_page_id, key, fetch)
+    if record.op is UpdateOp.INDEX_INSERT:
+        entry = node.find_leaf_entry(leaf, key)
+        if entry is None:
+            raise RecoveryInvariantError(
+                f"undo of index insert: key {key!r} not found in tree "
+                f"anchored at {anchor_page_id}"
+            )
+        return UndoEffect(
+            page_id=leaf.page_id, op=UpdateOp.INDEX_DELETE,
+            slot=entry.slot, after=None, key=record.key,
+        )
+    if record.op is UpdateOp.INDEX_DELETE:
+        if record.before is None:
+            raise RecoveryInvariantError(
+                f"index delete record {record.lsn} lacks a before-image"
+            )
+        if not leaf.has_room_for(record.before):
+            raise RecoveryInvariantError(
+                f"undo of index delete: leaf {leaf.page_id} has no room "
+                f"to re-insert key {key!r} (split-during-undo is not "
+                "implemented; see DESIGN.md simplifications)"
+            )
+        return UndoEffect(
+            page_id=leaf.page_id, op=UpdateOp.INDEX_INSERT,
+            slot=leaf.next_free_slot(), after=record.before, key=record.key,
+        )
+    raise RecoveryInvariantError(
+        f"record {record.lsn} ({record.op}) is not an index operation"
+    )

@@ -1,0 +1,27 @@
+"""Locking substrate: modes, lock tables, GLM, LLMs, deadlock detection."""
+
+from repro.locking.deadlock import WaitsForGraph
+from repro.locking.glm import GlobalLockManager, p_lock_resource
+from repro.locking.llm import LocalLockManager
+from repro.locking.lock_modes import (
+    LockMode,
+    compatible,
+    covers,
+    is_update_mode,
+    supremum,
+)
+from repro.locking.lock_table import LockEntry, LockTable
+
+__all__ = [
+    "GlobalLockManager",
+    "LocalLockManager",
+    "LockEntry",
+    "LockMode",
+    "LockTable",
+    "WaitsForGraph",
+    "compatible",
+    "covers",
+    "is_update_mode",
+    "p_lock_resource",
+    "supremum",
+]

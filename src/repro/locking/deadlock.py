@@ -1,0 +1,75 @@
+"""Waits-for graph deadlock detection.
+
+The cooperative scheduler feeds lock waits into this graph: an edge
+``waiter -> holder`` per blocking holder.  Detection is a DFS cycle
+search; the victim policy is "youngest in the cycle" (fewest completed
+operations), deterministic given the insertion order the scheduler uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+
+class WaitsForGraph:
+    """Directed graph of who waits for whom."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Set[str]] = {}
+
+    def add_wait(self, waiter: str, holders: Iterable[str]) -> None:
+        targets = {holder for holder in holders if holder != waiter}
+        if not targets:
+            return
+        self._edges.setdefault(waiter, set()).update(targets)
+
+    def clear_waiter(self, waiter: str) -> None:
+        self._edges.pop(waiter, None)
+
+    def remove_node(self, node: str) -> None:
+        """Drop a finished/aborted participant entirely."""
+        self._edges.pop(node, None)
+        for targets in self._edges.values():
+            targets.discard(node)
+
+    def waiters(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._edges))
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """Return one cycle as a node list, or None."""
+        visiting: Set[str] = set()
+        done: Set[str] = set()
+        stack: List[str] = []
+
+        def dfs(node: str) -> Optional[List[str]]:
+            visiting.add(node)
+            stack.append(node)
+            for target in sorted(self._edges.get(node, ())):
+                if target in done:
+                    continue
+                if target in visiting:
+                    return stack[stack.index(target):]
+                found = dfs(target)
+                if found is not None:
+                    return found
+            visiting.discard(node)
+            done.add(node)
+            stack.pop()
+            return None
+
+        for start in sorted(self._edges):
+            if start not in done:
+                cycle = dfs(start)
+                if cycle is not None:
+                    return list(cycle)
+        return None
+
+    def choose_victim(self, cycle: List[str],
+                      cost: Callable[[str], int]) -> str:
+        """Pick the cheapest-to-abort node in the cycle.
+
+        ``cost`` maps a participant to its abort cost (typically the
+        number of updates it has logged); ties break on the name for
+        determinism.
+        """
+        return min(cycle, key=lambda node: (cost(node), node))

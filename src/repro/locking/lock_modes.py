@@ -1,0 +1,92 @@
+"""Lock modes and compatibility (hierarchical granular locking).
+
+The full System R / ARIES mode lattice: IS, IX, S, SIX, U, X.  Record
+locks use S/X/U; table-level intents use IS/IX/SIX; coarse (table or
+page) locking configurations take S/X directly at that level.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+
+class LockMode(enum.Enum):
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    SIX = "SIX"
+    U = "U"
+    X = "X"
+
+
+_M = LockMode
+
+#: mode -> set of modes it is compatible with.
+_COMPAT: Dict[LockMode, FrozenSet[LockMode]] = {
+    _M.IS: frozenset({_M.IS, _M.IX, _M.S, _M.SIX, _M.U}),
+    _M.IX: frozenset({_M.IS, _M.IX}),
+    _M.S: frozenset({_M.IS, _M.S, _M.U}),
+    _M.SIX: frozenset({_M.IS}),
+    _M.U: frozenset({_M.IS, _M.S}),
+    _M.X: frozenset(),
+}
+
+#: Least upper bound used for lock conversion: sup(held, requested).
+_SUP: Dict[Tuple[LockMode, LockMode], LockMode] = {}
+
+
+def _init_sup() -> None:
+    order = {
+        _M.IS: 0, _M.IX: 1, _M.S: 1, _M.U: 2, _M.SIX: 3, _M.X: 4,
+    }
+    explicit = {
+        (_M.IS, _M.IS): _M.IS,
+        (_M.IS, _M.IX): _M.IX,
+        (_M.IS, _M.S): _M.S,
+        (_M.IS, _M.SIX): _M.SIX,
+        (_M.IS, _M.U): _M.U,
+        (_M.IS, _M.X): _M.X,
+        (_M.IX, _M.IX): _M.IX,
+        (_M.IX, _M.S): _M.SIX,
+        (_M.IX, _M.SIX): _M.SIX,
+        (_M.IX, _M.U): _M.X,
+        (_M.IX, _M.X): _M.X,
+        (_M.S, _M.S): _M.S,
+        (_M.S, _M.SIX): _M.SIX,
+        (_M.S, _M.U): _M.U,
+        (_M.S, _M.X): _M.X,
+        (_M.SIX, _M.SIX): _M.SIX,
+        (_M.SIX, _M.U): _M.SIX,
+        (_M.SIX, _M.X): _M.X,
+        (_M.U, _M.U): _M.U,
+        (_M.U, _M.X): _M.X,
+        (_M.X, _M.X): _M.X,
+    }
+    for (a, b), result in explicit.items():
+        _SUP[(a, b)] = result
+        _SUP[(b, a)] = result
+    del order  # documentation only
+
+
+_init_sup()
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """True when a lock in ``requested`` can coexist with ``held``."""
+    return requested in _COMPAT[held]
+
+
+def supremum(a: LockMode, b: LockMode) -> LockMode:
+    """Least mode at least as strong as both (conversion target)."""
+    return _SUP[(a, b)]
+
+
+def covers(held: LockMode, requested: LockMode) -> bool:
+    """True when holding ``held`` already grants ``requested``."""
+    return supremum(held, requested) is held
+
+
+def is_update_mode(mode: LockMode) -> bool:
+    """Modes that permit modifying the locked resource."""
+    return mode in (LockMode.X, LockMode.SIX, LockMode.IX)

@@ -1,0 +1,163 @@
+"""A lock table: resources, owners, modes, conversions.
+
+Used twice: as the server's global lock manager (owners are client ids —
+the paper's "locks acquired in the name of the LLMs" optimization) and
+as each client's local lock manager (owners are transaction ids).
+
+The table grants or refuses immediately; queueing and deadlock handling
+are the cooperative scheduler's job (``repro.harness.scheduler``), which
+catches :class:`LockConflictError` and parks the requester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.core.lsn import LogAddr, NULL_ADDR
+from repro.errors import LockConflictError, LockNotHeldError
+from repro.locking.lock_modes import LockMode, compatible, covers, supremum
+
+Resource = Hashable
+
+
+@dataclass
+class LockEntry:
+    """State of one locked resource."""
+
+    resource: Resource
+    holders: Dict[str, LockMode] = field(default_factory=dict)
+    #: Recovery bound kept in the lock table for the section 2.6.2
+    #: variant (no client checkpoints): the log address from which a
+    #: failed holder's updates to this page must be redone.
+    rec_addr: LogAddr = NULL_ADDR
+
+    def max_mode(self) -> Optional[LockMode]:
+        modes = list(self.holders.values())
+        if not modes:
+            return None
+        strongest = modes[0]
+        for mode in modes[1:]:
+            strongest = supremum(strongest, mode)
+        return strongest
+
+
+class LockTable:
+    """Immediate-grant lock table with conversion support."""
+
+    def __init__(self, name: str = "locks") -> None:
+        self.name = name
+        self._entries: Dict[Resource, LockEntry] = {}
+        self.requests = 0
+        self.grants = 0
+        self.conflicts = 0
+        self.releases = 0
+
+    # -- acquisition -----------------------------------------------------
+
+    def acquire(self, owner: str, resource: Resource, mode: LockMode) -> LockMode:
+        """Grant ``mode`` (or a conversion to cover it) to ``owner``.
+
+        Returns the mode now held.  Raises :class:`LockConflictError`
+        when any *other* holder's mode is incompatible with the target
+        mode; the exception carries the blocking holders so the caller
+        can build waits-for edges.
+        """
+        self.requests += 1
+        entry = self._entries.get(resource)
+        if entry is None:
+            entry = LockEntry(resource)
+            self._entries[resource] = entry
+        held = entry.holders.get(owner)
+        target = mode if held is None else supremum(held, mode)
+        blockers = tuple(
+            other for other, other_mode in entry.holders.items()
+            if other != owner and not compatible(other_mode, target)
+        )
+        if blockers:
+            self.conflicts += 1
+            raise LockConflictError(resource, target.value, blockers)
+        entry.holders[owner] = target
+        self.grants += 1
+        return target
+
+    def try_acquire(self, owner: str, resource: Resource,
+                    mode: LockMode) -> Optional[LockMode]:
+        """Like :meth:`acquire` but returns None instead of raising."""
+        try:
+            return self.acquire(owner, resource, mode)
+        except LockConflictError:
+            return None
+
+    # -- release --------------------------------------------------------------
+
+    def release(self, owner: str, resource: Resource) -> None:
+        entry = self._entries.get(resource)
+        if entry is None or owner not in entry.holders:
+            raise LockNotHeldError(f"{owner} holds no lock on {resource!r}")
+        del entry.holders[owner]
+        self.releases += 1
+        if not entry.holders and entry.rec_addr == NULL_ADDR:
+            del self._entries[resource]
+
+    def release_all(self, owner: str) -> List[Resource]:
+        """Release every lock held by ``owner``; returns the resources."""
+        released = []
+        for resource in list(self._entries):
+            entry = self._entries[resource]
+            if owner in entry.holders:
+                del entry.holders[owner]
+                self.releases += 1
+                released.append(resource)
+                if not entry.holders and entry.rec_addr == NULL_ADDR:
+                    del self._entries[resource]
+        return released
+
+    def downgrade(self, owner: str, resource: Resource, mode: LockMode) -> None:
+        """Replace the owner's mode with a weaker one."""
+        entry = self._entries.get(resource)
+        if entry is None or owner not in entry.holders:
+            raise LockNotHeldError(f"{owner} holds no lock on {resource!r}")
+        entry.holders[owner] = mode
+
+    # -- inspection ---------------------------------------------------------------
+
+    def held_mode(self, owner: str, resource: Resource) -> Optional[LockMode]:
+        entry = self._entries.get(resource)
+        return entry.holders.get(owner) if entry is not None else None
+
+    def is_held(self, owner: str, resource: Resource, mode: LockMode) -> bool:
+        held = self.held_mode(owner, resource)
+        return held is not None and covers(held, mode)
+
+    def holders(self, resource: Resource) -> Dict[str, LockMode]:
+        entry = self._entries.get(resource)
+        return dict(entry.holders) if entry is not None else {}
+
+    def resources_held_by(self, owner: str) -> List[Resource]:
+        return [
+            resource for resource, entry in self._entries.items()
+            if owner in entry.holders
+        ]
+
+    def entries(self) -> Iterator[LockEntry]:
+        return iter(self._entries.values())
+
+    def entry(self, resource: Resource) -> Optional[LockEntry]:
+        return self._entries.get(resource)
+
+    def entry_or_create(self, resource: Resource) -> LockEntry:
+        entry = self._entries.get(resource)
+        if entry is None:
+            entry = LockEntry(resource)
+            self._entries[resource] = entry
+        return entry
+
+    def lock_count(self) -> int:
+        return sum(len(entry.holders) for entry in self._entries.values())
+
+    # -- crash model -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Server crash: the lock table is volatile and disappears."""
+        self._entries.clear()

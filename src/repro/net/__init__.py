@@ -1,0 +1,12 @@
+"""Simulated client-server network with traffic accounting."""
+
+from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
+from repro.net.network import Network, TrafficStats
+
+__all__ = [
+    "MESSAGE_OVERHEAD",
+    "MsgType",
+    "Network",
+    "TrafficStats",
+    "payload_size",
+]

@@ -1,0 +1,91 @@
+"""The simulated network: availability plus traffic accounting.
+
+Interactions are synchronous method calls between node objects; the
+network's job is (a) to refuse delivery to crashed nodes, so failure
+paths behave like the real thing, and (b) to count every message and
+byte, per type and per direction, because the paper's comparative claims
+are fundamentally about traffic avoided.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set, Tuple
+
+from repro.errors import NodeUnavailableError
+from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters, sliceable by message type and node pair."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+    by_pair: Counter = field(default_factory=Counter)
+
+    def record(self, src: str, dst: str, msg_type: MsgType, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_type[msg_type] += 1
+        self.bytes_by_type[msg_type] += size
+        self.by_pair[(src, dst)] += 1
+
+    def count(self, msg_type: MsgType) -> int:
+        return self.by_type[msg_type]
+
+    def snapshot(self) -> Dict[str, int]:
+        out = {"messages": self.messages, "bytes": self.bytes}
+        for msg_type, count in sorted(self.by_type.items(), key=lambda kv: kv[0].value):
+            out[msg_type.value] = count
+        return out
+
+
+class Network:
+    """Availability tracking and message accounting for the complex."""
+
+    def __init__(self) -> None:
+        self._nodes: Set[str] = set()
+        self._down: Set[str] = set()
+        self.stats = TrafficStats()
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, node_id: str) -> None:
+        self._nodes.add(node_id)
+
+    def is_up(self, node_id: str) -> bool:
+        return node_id in self._nodes and node_id not in self._down
+
+    def crash(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            raise NodeUnavailableError(node_id)
+        self._down.add(node_id)
+
+    def restore(self, node_id: str) -> None:
+        self._down.discard(node_id)
+
+    def up_nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes - self._down))
+
+    # -- accounting ------------------------------------------------------------
+
+    def send(self, src: str, dst: str, msg_type: MsgType,
+             payload: Any = None) -> None:
+        """Account for one message; raises if either endpoint is down.
+
+        Call this immediately before the corresponding direct method
+        call on the destination object.
+        """
+        if not self.is_up(src):
+            raise NodeUnavailableError(src)
+        if not self.is_up(dst):
+            raise NodeUnavailableError(dst)
+        size = MESSAGE_OVERHEAD + payload_size(payload)
+        self.stats.record(src, dst, msg_type, size)
+
+    def reset_stats(self) -> None:
+        self.stats = TrafficStats()

@@ -1,0 +1,5 @@
+"""Record-level helpers over slotted pages."""
+
+from repro.records.heap import RecordId, decode_value, encode_value
+
+__all__ = ["RecordId", "decode_value", "encode_value"]

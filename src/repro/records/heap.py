@@ -1,0 +1,44 @@
+"""Record identifiers and value encoding for heap (data) pages.
+
+The client API works in terms of :class:`RecordId` — a (page_id, slot)
+pair, the classic RID.  Application values (ints, strings, bytes,
+tuples thereof) are encoded with the library codec so that before/after
+images in log records are real byte strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Tuple
+
+from repro.core import codec
+from repro.storage.page import Page, PageKind
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Stable address of a record: page id plus slot number."""
+
+    page_id: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"{self.page_id}.{self.slot}"
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode an application value into a record image."""
+    return codec.encode(value)
+
+
+def decode_value(image: bytes) -> Any:
+    """Decode a record image back into the application value."""
+    return codec.decode(image)
+
+
+def scan_page(page: Page) -> Iterator[Tuple[RecordId, Any]]:
+    """Yield (rid, decoded value) for every record on a data page."""
+    if page.kind is not PageKind.DATA:
+        return
+    for slot, image in page.records():
+        yield RecordId(page.page_id, slot), decode_value(image)

@@ -1,0 +1,19 @@
+"""Storage substrate: pages, disk, stable log, buffer pools, SMPs, archive."""
+
+from repro.storage.archive import Archive
+from repro.storage.buffer_pool import BufferControlBlock, BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import Page, PageKind
+from repro.storage.stable_log import StableLog
+from repro.storage.space_map import SpaceMapLayout
+
+__all__ = [
+    "Archive",
+    "BufferControlBlock",
+    "BufferPool",
+    "Disk",
+    "Page",
+    "PageKind",
+    "SpaceMapLayout",
+    "StableLog",
+]

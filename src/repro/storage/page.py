@@ -1,0 +1,271 @@
+"""Database pages: slotted records, a page_LSN field, and a byte format.
+
+A :class:`Page` is the unit of transfer between server and clients and
+the unit of atomic disk I/O.  Its header carries ``page_LSN`` — in
+ARIES/CSA an *update sequence number* assigned locally by whichever
+system performed the latest update (section 2.2), required to be
+monotonically increasing per page.
+
+Pages hold records in integer slots (a slotted page), plus a small
+``meta`` dictionary used by space-map pages (allocation bitmaps) and
+B+-tree pages (level, sibling pointers, separator layout).  Pages
+serialize to bytes with a CRC so that the simulated disk stores real
+images and corruption (process or media failure, section 2.5) is
+detectable exactly the way a real system detects it.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.core import codec
+from repro.core.lsn import LSN, NULL_LSN
+from repro.errors import (
+    PageCorruptedError,
+    PageFullError,
+    RecordExistsError,
+    RecordNotFoundError,
+)
+
+#: Fixed header cost charged against the page's byte budget.
+HEADER_OVERHEAD = 64
+#: Per-record slot cost charged against the byte budget.
+SLOT_OVERHEAD = 16
+#: Per-meta-entry cost charged against the byte budget.
+META_OVERHEAD = 8
+
+MetaValue = Union[int, str, bytes, None]
+
+
+class PageKind(enum.Enum):
+    """What a page is used for; determines how recovery treats it."""
+
+    FREE = "free"
+    DATA = "data"
+    SPACE_MAP = "space-map"
+    INDEX_LEAF = "index-leaf"
+    INDEX_INTERNAL = "index-internal"
+
+
+class Page:
+    """One database page.
+
+    Not thread-safe; the simulation is cooperative.  All mutators bump
+    nothing themselves — callers set ``page_lsn`` explicitly after
+    logging, mirroring the paper's update protocol (look up page_LSN,
+    log, then store the returned LSN back into the page).
+    """
+
+    __slots__ = (
+        "page_id", "kind", "page_lsn", "page_size",
+        "_records", "_meta", "_next_slot", "corrupted",
+    )
+
+    def __init__(self, page_id: int, kind: PageKind = PageKind.FREE,
+                 page_size: int = 4096) -> None:
+        self.page_id = page_id
+        self.kind = kind
+        self.page_lsn: LSN = NULL_LSN
+        self.page_size = page_size
+        self._records: Dict[int, bytes] = {}
+        self._meta: Dict[str, MetaValue] = {}
+        self._next_slot = 0
+        self.corrupted = False
+
+    # -- integrity ------------------------------------------------------
+
+    def _check(self) -> None:
+        if self.corrupted:
+            raise PageCorruptedError(self.page_id, "in-memory image")
+
+    def corrupt(self) -> None:
+        """Simulate a process failure mid-update: the image is garbage."""
+        self.corrupted = True
+        self._records.clear()
+        self._meta.clear()
+
+    # -- space accounting -------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.page_size - HEADER_OVERHEAD
+
+    @property
+    def used_bytes(self) -> int:
+        used = sum(len(data) + SLOT_OVERHEAD for data in self._records.values())
+        for key, value in self._meta.items():
+            size = len(value) if isinstance(value, (bytes, str)) else 8
+            used += len(key) + size + META_OVERHEAD
+        return used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def has_room_for(self, data: bytes) -> bool:
+        return self.free_bytes >= len(data) + SLOT_OVERHEAD
+
+    # -- formatting -------------------------------------------------------
+
+    def format(self, kind: PageKind, page_lsn: LSN = NULL_LSN) -> None:
+        """(Re)initialize the page as ``kind`` — the section 2.3 path.
+
+        Called when a page is allocated (or reallocated) without reading
+        its previous contents from disk.  ``page_lsn`` must come from the
+        covering SMP's LSN so per-page monotonicity survives reallocation
+        by a different system.
+        """
+        self.kind = kind
+        self.page_lsn = page_lsn
+        self._records.clear()
+        self._meta.clear()
+        self._next_slot = 0
+        self.corrupted = False
+
+    # -- records ----------------------------------------------------------
+
+    def insert_record(self, data: bytes, slot: Optional[int] = None) -> int:
+        """Insert ``data``; returns the slot used.
+
+        With ``slot=None`` the lowest never-used slot is taken.  Explicit
+        slots are used by redo and by undo of deletes (reinsert at the
+        original slot).
+        """
+        self._check()
+        if not self.has_room_for(data):
+            raise PageFullError(self.page_id)
+        if slot is None:
+            slot = self._next_slot
+        if slot in self._records:
+            raise RecordExistsError(self.page_id, slot)
+        self._records[slot] = bytes(data)
+        if slot >= self._next_slot:
+            self._next_slot = slot + 1
+        return slot
+
+    def read_record(self, slot: int) -> bytes:
+        self._check()
+        try:
+            return self._records[slot]
+        except KeyError:
+            raise RecordNotFoundError(self.page_id, slot) from None
+
+    def modify_record(self, slot: int, data: bytes) -> bytes:
+        """Replace the record in ``slot``; returns the before-image."""
+        self._check()
+        if slot not in self._records:
+            raise RecordNotFoundError(self.page_id, slot)
+        before = self._records[slot]
+        grow = len(data) - len(before)
+        if grow > 0 and self.free_bytes < grow:
+            raise PageFullError(self.page_id)
+        self._records[slot] = bytes(data)
+        return before
+
+    def delete_record(self, slot: int) -> bytes:
+        """Remove the record in ``slot``; returns the before-image."""
+        self._check()
+        if slot not in self._records:
+            raise RecordNotFoundError(self.page_id, slot)
+        return self._records.pop(slot)
+
+    def next_free_slot(self) -> int:
+        """The slot an auto-placed insert would take (for pre-logging)."""
+        self._check()
+        return self._next_slot
+
+    def has_record(self, slot: int) -> bool:
+        self._check()
+        return slot in self._records
+
+    def slots(self) -> Tuple[int, ...]:
+        self._check()
+        return tuple(sorted(self._records))
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        self._check()
+        for slot in sorted(self._records):
+            yield slot, self._records[slot]
+
+    @property
+    def record_count(self) -> int:
+        self._check()
+        return len(self._records)
+
+    # -- meta ---------------------------------------------------------------
+
+    def get_meta(self, key: str, default: MetaValue = None) -> MetaValue:
+        self._check()
+        return self._meta.get(key, default)
+
+    def set_meta(self, key: str, value: MetaValue) -> MetaValue:
+        """Set a metadata entry; returns the previous value (or None)."""
+        self._check()
+        before = self._meta.get(key)
+        self._meta[key] = value
+        return before
+
+    def meta_keys(self) -> Tuple[str, ...]:
+        self._check()
+        return tuple(sorted(self._meta))
+
+    # -- copying / serialization -------------------------------------------
+
+    def snapshot(self) -> "Page":
+        """Deep copy — what crossing the wire or hitting disk produces."""
+        self._check()
+        clone = Page(self.page_id, self.kind, self.page_size)
+        clone.page_lsn = self.page_lsn
+        clone._records = dict(self._records)
+        clone._meta = dict(self._meta)
+        clone._next_slot = self._next_slot
+        return clone
+
+    def content_equal(self, other: "Page") -> bool:
+        """True when the user-visible content matches (ignores page_lsn)."""
+        return (
+            self.page_id == other.page_id
+            and self.kind == other.kind
+            and self._records == other._records
+            and self._meta == other._meta
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a trailing CRC32 over the payload."""
+        self._check()
+        payload = codec.encode((
+            self.page_id,
+            self.kind.value,
+            self.page_lsn,
+            self.page_size,
+            self._next_slot,
+            tuple((slot, data) for slot, data in sorted(self._records.items())),
+            tuple((k, self._meta[k]) for k in sorted(self._meta)),
+        ))
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return payload + crc.to_bytes(4, "big")
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Page":
+        """Deserialize; raises :class:`PageCorruptedError` on a bad CRC."""
+        if len(data) < 4:
+            raise PageCorruptedError(-1, "truncated image")
+        payload, crc_bytes = data[:-4], data[-4:]
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != int.from_bytes(crc_bytes, "big"):
+            raise PageCorruptedError(-1, "crc mismatch")
+        fields = codec.decode(payload)
+        page_id, kind, page_lsn, page_size, next_slot, records, meta = fields
+        page = Page(page_id, PageKind(kind), page_size)
+        page.page_lsn = page_lsn
+        page._next_slot = next_slot
+        page._records = {slot: record for slot, record in records}
+        page._meta = {key: value for key, value in meta}
+        return page
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Page(id={self.page_id}, kind={self.kind.value}, "
+            f"lsn={self.page_lsn}, records={len(self._records)})"
+        )

@@ -1,0 +1,123 @@
+"""Space map pages (SMPs): allocation state and the section 2.3 LSN trick.
+
+Page-id space is segmented DB2-style: every ``coverage + 1`` page ids
+form a segment whose first page is the SMP describing the allocation
+status of the following ``coverage`` pages.  Page 0 is therefore the
+first SMP, covering pages 1..coverage, and so on.
+
+The SMP is the linchpin of correct page reallocation across systems:
+
+* deallocating page P updates the SMP entry for P, and the LSN
+  assignment rule (``max(page_lsn, Local_Max_LSN) + 1``) guarantees the
+  SMP's new LSN exceeds P's final LSN;
+* reallocating P (possibly at a *different* client) again updates the
+  SMP first, so the SMP's LSN at that moment still exceeds P's last LSN;
+* the format record for the reborn P takes its LSN *from the SMP*, so
+  P's page_LSN keeps increasing even though nobody read the dead page
+  from disk.
+
+This module provides the pure page-level operations; logging and LSN
+plumbing live with the transaction machinery in ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import AllocationError
+from repro.storage.page import Page, PageKind
+
+#: Meta key under which an SMP stores its allocation bitmap.
+BITMAP_KEY = "bitmap"
+
+ALLOCATED = 1
+FREE = 0
+
+
+class SpaceMapLayout:
+    """Pure arithmetic over the segmented page-id space."""
+
+    def __init__(self, coverage: int) -> None:
+        if coverage < 1:
+            raise ValueError("SMP coverage must be positive")
+        self.coverage = coverage
+        self.segment_size = coverage + 1
+
+    def is_smp(self, page_id: int) -> bool:
+        return page_id % self.segment_size == 0
+
+    def smp_for(self, page_id: int) -> int:
+        """The SMP page id covering ``page_id``."""
+        if self.is_smp(page_id):
+            raise AllocationError(f"page {page_id} is itself a space map page")
+        return (page_id // self.segment_size) * self.segment_size
+
+    def bit_for(self, page_id: int) -> int:
+        """The bitmap index of ``page_id`` within its SMP."""
+        return page_id - self.smp_for(page_id) - 1
+
+    def page_for(self, smp_id: int, bit: int) -> int:
+        """Inverse of :meth:`bit_for`."""
+        if not self.is_smp(smp_id):
+            raise AllocationError(f"page {smp_id} is not a space map page")
+        if not 0 <= bit < self.coverage:
+            raise AllocationError(f"bit {bit} out of range for coverage {self.coverage}")
+        return smp_id + 1 + bit
+
+    def smp_ids(self, max_page_id: int) -> Iterator[int]:
+        """All SMP ids needed to cover page ids up to ``max_page_id``."""
+        smp = 0
+        while smp <= max_page_id:
+            yield smp
+            smp += self.segment_size
+
+
+def format_smp(page: Page, coverage: int) -> None:
+    """Initialize ``page`` as an empty space map page."""
+    page.format(PageKind.SPACE_MAP, page_lsn=page.page_lsn)
+    page.set_meta(BITMAP_KEY, bytes(coverage))
+
+
+def bitmap(page: Page) -> bytes:
+    raw = page.get_meta(BITMAP_KEY)
+    if not isinstance(raw, (bytes, bytearray)):
+        raise AllocationError(f"page {page.page_id} has no allocation bitmap")
+    return bytes(raw)
+
+
+def bit_state(page: Page, bit: int) -> int:
+    """ALLOCATED or FREE for one covered page."""
+    bits = bitmap(page)
+    if not 0 <= bit < len(bits):
+        raise AllocationError(f"bit {bit} out of range on SMP {page.page_id}")
+    return bits[bit]
+
+
+def find_free_bit(page: Page) -> Optional[int]:
+    """Lowest free bit on this SMP, or None when the segment is full."""
+    for index, state in enumerate(bitmap(page)):
+        if state == FREE:
+            return index
+    return None
+
+
+def set_bit(page: Page, bit: int, state: int) -> int:
+    """Set one allocation bit; returns the previous state.
+
+    The caller logs this as an SMP_ALLOCATE / SMP_DEALLOCATE update with
+    ``slot=bit`` and one-byte before/after images, then stores the new
+    LSN into the SMP page.
+    """
+    bits = bytearray(bitmap(page))
+    if not 0 <= bit < len(bits):
+        raise AllocationError(f"bit {bit} out of range on SMP {page.page_id}")
+    before = bits[bit]
+    bits[bit] = state
+    page.set_meta(BITMAP_KEY, bytes(bits))
+    return before
+
+
+def allocated_bits(page: Page) -> Iterator[int]:
+    for index, state in enumerate(bitmap(page)):
+        if state == ALLOCATED:
+            yield index

@@ -1,0 +1,197 @@
+"""The single stable log at the server.
+
+ARIES/CSA keeps exactly one log, owned by the server (Figure 1).  Log
+records arrive from the server's own log manager and, in batches, from
+the clients' virtual-storage log buffers.  Appending assigns each record
+a **log address** — the byte offset of its frame in the conceptual log
+file — which is distinct from the LSN inside the record (section 2.2).
+
+The log models the volatile/stable split precisely:
+
+* ``append`` places the record in the volatile tail;
+* ``force`` makes everything up to an address stable;
+* ``crash`` discards the volatile tail, keeping only forced bytes.
+
+Scanning decodes records on demand from their stored bytes, so recovery
+reads exactly what survived, byte for byte.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.log_records import LogRecord, decode_record, encode_record
+from repro.core.lsn import LogAddr
+from repro.errors import LogRecordNotFoundError
+
+#: Bytes of framing charged per record (length prefix etc.).
+FRAME_OVERHEAD = 8
+
+
+class StableLog:
+    """Append-only log with force semantics and crash truncation."""
+
+    def __init__(self) -> None:
+        self._addrs: List[LogAddr] = []
+        self._frames: List[bytes] = []
+        self._next_addr: LogAddr = 0
+        #: Exclusive upper bound of the stable prefix, as a byte address.
+        self._flushed_addr: LogAddr = 0
+        self.appends = 0
+        self.forces = 0
+        self.bytes_appended = 0
+        self.records_lost_last_crash = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: LogRecord) -> LogAddr:
+        """Append ``record`` to the volatile tail; returns its address."""
+        frame = encode_record(record)
+        addr = self._next_addr
+        self._addrs.append(addr)
+        self._frames.append(frame)
+        self._next_addr = addr + len(frame) + FRAME_OVERHEAD
+        self.appends += 1
+        self.bytes_appended += len(frame) + FRAME_OVERHEAD
+        return addr
+
+    def force(self, up_to_addr: Optional[LogAddr] = None) -> None:
+        """Make the log stable through ``up_to_addr`` (inclusive).
+
+        With no argument the whole log is forced.  Forcing an already
+        stable prefix is a no-op and is not counted, matching the usual
+        group-commit accounting.
+        """
+        if up_to_addr is None:
+            target = self._next_addr
+        else:
+            target = self._frame_end(up_to_addr)
+        if target <= self._flushed_addr:
+            return
+        self._flushed_addr = target
+        self.forces += 1
+
+    def _frame_end(self, addr: LogAddr) -> LogAddr:
+        index = bisect.bisect_left(self._addrs, addr)
+        if index >= len(self._addrs) or self._addrs[index] != addr:
+            # Conservative callers may pass an address between frames;
+            # force through the frame containing/preceding it.
+            index = min(index, len(self._addrs) - 1)
+            if index < 0:
+                return 0
+        return self._addrs[index] + len(self._frames[index]) + FRAME_OVERHEAD
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def end_of_log_addr(self) -> LogAddr:
+        """Address one past the last appended record."""
+        return self._next_addr
+
+    @property
+    def flushed_addr(self) -> LogAddr:
+        return self._flushed_addr
+
+    def is_stable(self, addr: LogAddr) -> bool:
+        """True when the record at ``addr`` has been forced."""
+        return self._frame_end(addr) <= self._flushed_addr if self._addrs else False
+
+    def read_at(self, addr: LogAddr) -> LogRecord:
+        """Decode the record whose frame starts at ``addr``."""
+        index = bisect.bisect_left(self._addrs, addr)
+        if index >= len(self._addrs) or self._addrs[index] != addr:
+            raise LogRecordNotFoundError(f"no log record at address {addr}")
+        return decode_record(self._frames[index])
+
+    def scan(self, from_addr: LogAddr = 0,
+             to_addr: Optional[LogAddr] = None) -> Iterator[Tuple[LogAddr, LogRecord]]:
+        """Yield ``(addr, record)`` for records with addr in [from, to).
+
+        ``from_addr`` need not land exactly on a frame boundary; scanning
+        starts at the first frame at or after it — the conservative
+        RecAddr semantics of section 2.5.2 rely on this.
+        """
+        start = bisect.bisect_left(self._addrs, max(from_addr, 0))
+        for index in range(start, len(self._addrs)):
+            addr = self._addrs[index]
+            if to_addr is not None and addr >= to_addr:
+                return
+            yield addr, decode_record(self._frames[index])
+
+    def scan_backward(self, from_addr: Optional[LogAddr] = None,
+                      down_to_addr: LogAddr = 0) -> Iterator[Tuple[LogAddr, LogRecord]]:
+        """Yield ``(addr, record)`` in descending address order.
+
+        Covers records with addr in [down_to_addr, from_addr); with no
+        ``from_addr`` the scan starts at the end of the log.  This is the
+        access pattern of the ARIES undo pass, which in ARIES/CSA cannot
+        chase PrevLSN pointers directly (LSNs are not addresses) and so
+        walks the log backward matching records against the losers'
+        expected UndoNxtLSNs.
+        """
+        if from_addr is None:
+            start = len(self._addrs)
+        else:
+            start = bisect.bisect_left(self._addrs, from_addr)
+        for index in range(start - 1, -1, -1):
+            addr = self._addrs[index]
+            if addr < down_to_addr:
+                return
+            yield addr, decode_record(self._frames[index])
+
+    def record_count(self) -> int:
+        return len(self._addrs)
+
+    def records_between(self, from_addr: LogAddr, to_addr: Optional[LogAddr] = None) -> int:
+        """How many records a scan over [from, to) would visit."""
+        return sum(1 for _ in self.scan(from_addr, to_addr))
+
+    # -- truncation ------------------------------------------------------------
+
+    def truncate_prefix(self, up_to_addr: LogAddr) -> int:
+        """Discard records with addresses below ``up_to_addr``.
+
+        Addresses of surviving records are unchanged (they are logical
+        offsets; a real system archives the bytes and advances the log's
+        low-water mark).  Only the stable prefix may be truncated.
+        Returns the number of records discarded.
+        """
+        if up_to_addr > self._flushed_addr:
+            raise ValueError(
+                f"cannot truncate into the volatile tail "
+                f"(addr {up_to_addr} > flushed {self._flushed_addr})"
+            )
+        keep = bisect.bisect_left(self._addrs, up_to_addr)
+        del self._addrs[:keep]
+        del self._frames[:keep]
+        return keep
+
+    @property
+    def low_water_addr(self) -> LogAddr:
+        """Address of the oldest retained record (0 for an empty log)."""
+        return self._addrs[0] if self._addrs else self._next_addr
+
+    # -- crash model ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Server crash: the unforced tail vanishes."""
+        keep = bisect.bisect_right(
+            self._addrs,
+            self._flushed_addr - 1,
+        )
+        # A frame survives iff its *end* is within the flushed prefix.
+        while keep > 0:
+            last = keep - 1
+            end = self._addrs[last] + len(self._frames[last]) + FRAME_OVERHEAD
+            if end <= self._flushed_addr:
+                break
+            keep = last
+        self.records_lost_last_crash = len(self._addrs) - keep
+        del self._addrs[keep:]
+        del self._frames[keep:]
+        self._next_addr = (
+            self._addrs[-1] + len(self._frames[-1]) + FRAME_OVERHEAD
+            if self._addrs else 0
+        )
+        self._flushed_addr = self._next_addr

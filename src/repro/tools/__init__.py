@@ -1,0 +1,10 @@
+"""Developer tools: log inspection and debugging aids."""
+
+from repro.tools.logdump import (
+    dump_log,
+    page_history,
+    summarize,
+    transaction_history,
+)
+
+__all__ = ["dump_log", "page_history", "summarize", "transaction_history"]

@@ -1,0 +1,182 @@
+"""Log inspection: human-readable views of the server's stable log.
+
+Debugging a recovery system is reading its log; these helpers render
+the views a developer actually wants — the raw sequence, one
+transaction's chain (forward records and CLR back-pointers), and one
+page's update history — plus a compact anomaly summary.
+
+Usage::
+
+    from repro.tools.logdump import dump_log, transaction_history
+    print(dump_log(system.server))
+    print(transaction_history(system.server, "C1.T3"))
+
+or, for a demonstration on a synthetic workload::
+
+    python -m repro.tools.logdump
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.log_records import (
+    BeginCheckpointRecord,
+    CDPLRecord,
+    CommitRecord,
+    CompensationRecord,
+    EndCheckpointRecord,
+    EndRecord,
+    LogRecord,
+    PrepareRecord,
+    UpdateRecord,
+)
+from repro.core.server import Server
+
+
+def _describe(record: LogRecord) -> str:
+    if isinstance(record, UpdateRecord):
+        flags = " redo-only" if record.redo_only else ""
+        return (f"UPDATE {record.op.value} page={record.page_id} "
+                f"slot={record.slot}{flags}")
+    if isinstance(record, CompensationRecord):
+        if record.op is None:
+            return f"CLR (dummy) undo-next={record.undo_next_lsn}"
+        return (f"CLR {record.op.value} page={record.page_id} "
+                f"slot={record.slot} undo-next={record.undo_next_lsn}")
+    if isinstance(record, CommitRecord):
+        return "COMMIT"
+    if isinstance(record, PrepareRecord):
+        return f"PREPARE locks={len(record.locks)}"
+    if isinstance(record, EndRecord):
+        return f"END {record.outcome.value}"
+    if isinstance(record, BeginCheckpointRecord):
+        return f"BEGIN-CKPT owner={record.owner}"
+    if isinstance(record, EndCheckpointRecord):
+        return (f"END-CKPT owner={record.owner} "
+                f"dpl={len(record.dirty_pages)} txns={len(record.transactions)}")
+    if isinstance(record, CDPLRecord):
+        return f"CDPL entries={len(record.entries)}"
+    return record.type_name
+
+
+def _line(addr: int, record: LogRecord, stable: bool) -> str:
+    marker = " " if stable else "*"
+    txn = record.txn_id if record.txn_id is not None else "-"
+    return (f"{marker}{addr:>8}  lsn={record.lsn:<6} {record.client_id:<8} "
+            f"{txn:<10} {_describe(record)}")
+
+
+def dump_log(server: Server, from_addr: int = 0,
+             limit: Optional[int] = None) -> str:
+    """The whole log, one line per record.
+
+    A leading ``*`` marks records in the volatile (unforced) tail — the
+    part a crash would destroy.
+    """
+    lines = [" addr      lsn       client   txn        record",
+             " " + "-" * 70]
+    count = 0
+    for addr, record in server.log.scan(from_addr):
+        lines.append(_line(addr, record, server.log.stable.is_stable(addr)))
+        count += 1
+        if limit is not None and count >= limit:
+            lines.append(f" ... (truncated at {limit} records)")
+            break
+    return "\n".join(lines)
+
+
+def transaction_history(server: Server, txn_id: str) -> str:
+    """One transaction's records, annotated with chain structure."""
+    lines = [f"transaction {txn_id}:"]
+    records: List = [
+        (addr, record) for addr, record in server.log.scan()
+        if record.txn_id == txn_id
+    ]
+    if not records:
+        return f"transaction {txn_id}: no records in the log"
+    for addr, record in records:
+        stable = server.log.stable.is_stable(addr)
+        lines.append(_line(addr, record, stable)
+                     + f"  prev={record.prev_lsn}")
+    terminal = records[-1][1]
+    if isinstance(terminal, EndRecord):
+        lines.append(f"  => ended: {terminal.outcome.value}")
+    elif isinstance(terminal, CommitRecord):
+        lines.append("  => committed (End pending)")
+    else:
+        lines.append("  => in flight")
+    return "\n".join(lines)
+
+
+def page_history(server: Server, page_id: int) -> str:
+    """Every logged change to one page, with the LSN chain made visible."""
+    lines = [f"page {page_id} history:"]
+    previous_lsn = None
+    for addr, record in server.log.scan():
+        if not record.is_redoable() or record.page_id != page_id:
+            continue
+        jump = ""
+        if previous_lsn is not None and record.lsn <= previous_lsn:
+            jump = "  <-- LSN ORDER ANOMALY"
+        lines.append(_line(addr, record, server.log.stable.is_stable(addr))
+                     + jump)
+        previous_lsn = record.lsn
+    disk_lsn = server.disk.stored_lsn(page_id)
+    bcb = server.pool.bcb(page_id)
+    lines.append(f"  disk version: LSN {disk_lsn}")
+    if bcb is not None:
+        lines.append(
+            f"  buffered version: LSN {bcb.page.page_lsn}"
+            f"{' (dirty, RecAddr=%d)' % bcb.rec_addr if bcb.dirty else ''}"
+        )
+    return "\n".join(lines)
+
+
+def summarize(server: Server) -> str:
+    """Counts by record type, plus volatile-tail and checkpoint status."""
+    from collections import Counter
+    counts: Counter = Counter()
+    unstable = 0
+    for addr, record in server.log.scan():
+        counts[record.type_name] += 1
+        if not server.log.stable.is_stable(addr):
+            unstable += 1
+    lines = ["log summary:"]
+    for name, count in sorted(counts.items()):
+        lines.append(f"  {name:<24} {count}")
+    lines.append(f"  total records            {sum(counts.values())}")
+    lines.append(f"  volatile tail            {unstable} records")
+    master = server._master
+    lines.append(f"  last server ckpt at addr {master['server_ckpt_begin_addr']}")
+    for client_id, addr in sorted(master["client_ckpts"].items()):
+        lines.append(f"  last {client_id} ckpt at addr {addr}")
+    return "\n".join(lines)
+
+
+def _demo() -> None:  # pragma: no cover - illustrative CLI
+    from repro.config import SystemConfig
+    from repro.core.system import ClientServerSystem
+    from repro.workloads.generator import seed_table
+
+    system = ClientServerSystem(SystemConfig(), client_ids=["C1"])
+    system.bootstrap(data_pages=2)
+    rids = seed_table(system, "C1", "demo", 2, 2)
+    client = system.client("C1")
+    txn = client.begin()
+    client.update(txn, rids[0], "hello")
+    client.commit(txn)
+    doomed = client.begin()
+    client.update(doomed, rids[1], "world")
+    client.rollback(doomed)
+    print(dump_log(system.server))
+    print()
+    print(transaction_history(system.server, doomed.txn_id))
+    print()
+    print(page_history(system.server, rids[0].page_id))
+    print()
+    print(summarize(system.server))
+
+
+if __name__ == "__main__":
+    _demo()

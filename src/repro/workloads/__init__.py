@@ -1,0 +1,21 @@
+"""Workload generators for examples, tests and benchmarks."""
+
+from repro.workloads.generator import (
+    Program,
+    WorkloadSpec,
+    cad_session_programs,
+    debit_credit_programs,
+    generate_programs,
+    run_program_sequential,
+    seed_table,
+)
+
+__all__ = [
+    "Program",
+    "WorkloadSpec",
+    "cad_session_programs",
+    "debit_credit_programs",
+    "generate_programs",
+    "run_program_sequential",
+    "seed_table",
+]

@@ -1,0 +1,174 @@
+"""Synthetic workloads: the transaction mixes the paper's setting implies.
+
+The paper motivates CS caching with CAD/CASE-style clients (long
+sessions over a private working set) and contrasts commit policies whose
+costs depend on write-set size (debit-credit style short transactions).
+This module generates both, as *programs*: lists of operations the
+cooperative scheduler (or a simple sequential runner) feeds to clients.
+
+Operations are tuples:
+
+* ``("read", rid)``
+* ``("update", rid, value)``
+* ``("insert", page_id, value)``
+* ``("delete", rid)``
+* ``("savepoint", name)`` / ``("rollback_to", name)``
+* ``("commit",)`` / ``("abort",)`` — exactly one terminator per program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.system import ClientServerSystem
+from repro.records.heap import RecordId
+
+Op = Tuple[Any, ...]
+Program = List[Op]
+
+
+def seed_table(system: ClientServerSystem, client_id: str, table: str,
+               pages: int, records_per_page: int,
+               value_of=lambda i: ("init", i)) -> List[RecordId]:
+    """Create a table and populate it with committed records.
+
+    Returns the RecordIds, page-major.  Seeding runs as ordinary
+    committed transactions at ``client_id`` (one per page, to keep the
+    seeding transactions small).
+    """
+    page_ids = system.create_table(table, pages)
+    client = system.client(client_id)
+    rids: List[RecordId] = []
+    counter = 0
+    for page_id in page_ids:
+        txn = client.begin()
+        for _ in range(records_per_page):
+            rids.append(client.insert(txn, page_id, value_of(counter)))
+            counter += 1
+        client.commit(txn)
+    return rids
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters for a random update/read transaction mix."""
+
+    num_txns: int = 50
+    ops_per_txn: int = 8
+    read_fraction: float = 0.5
+    abort_fraction: float = 0.0
+    #: 0.0 = uniform access; higher values skew toward low rid indexes
+    #: (a simple Zipf-like bias without scipy dependence in the hot path).
+    skew: float = 0.0
+    seed: int = 7
+    value_prefix: str = "v"
+
+
+def _pick_index(rng: random.Random, n: int, skew: float) -> int:
+    if skew <= 0.0:
+        return rng.randrange(n)
+    # Inverse-power sampling: u^(1+skew) biases toward 0.
+    u = rng.random() ** (1.0 + skew)
+    return min(int(u * n), n - 1)
+
+
+def generate_programs(spec: WorkloadSpec,
+                      rids: Sequence[RecordId]) -> List[Program]:
+    """Random read/update programs over the given records."""
+    rng = random.Random(spec.seed)
+    programs: List[Program] = []
+    for txn_index in range(spec.num_txns):
+        program: Program = []
+        for op_index in range(spec.ops_per_txn):
+            rid = rids[_pick_index(rng, len(rids), spec.skew)]
+            if rng.random() < spec.read_fraction:
+                program.append(("read", rid))
+            else:
+                value = f"{spec.value_prefix}-{txn_index}-{op_index}"
+                program.append(("update", rid, value))
+        terminator = ("abort",) if rng.random() < spec.abort_fraction \
+            else ("commit",)
+        program.append(terminator)
+        programs.append(program)
+    return programs
+
+
+def debit_credit_programs(num_txns: int, rids: Sequence[RecordId],
+                          write_set_size: int, seed: int = 11) -> List[Program]:
+    """Short update transactions touching ``write_set_size`` distinct
+    pages each — the commit-policy stress of experiment E1."""
+    rng = random.Random(seed)
+    by_page: dict = {}
+    for rid in rids:
+        by_page.setdefault(rid.page_id, []).append(rid)
+    pages = sorted(by_page)
+    programs: List[Program] = []
+    for txn_index in range(num_txns):
+        chosen_pages = rng.sample(pages, min(write_set_size, len(pages)))
+        program: Program = []
+        for page_id in chosen_pages:
+            rid = rng.choice(by_page[page_id])
+            program.append(("update", rid, f"dc-{txn_index}-{page_id}"))
+        program.append(("commit",))
+        programs.append(program)
+    return programs
+
+
+def cad_session_programs(num_txns: int, working_set: Sequence[RecordId],
+                         revisits: int, seed: int = 23) -> List[Program]:
+    """A CAD/CASE-style session: successive transactions repeatedly
+    visiting the same cached working set (experiment E2).
+
+    Each transaction reads the whole working set ``revisits`` times and
+    updates a few records — inter-transaction cache retention is what
+    makes this cheap under ARIES/CSA and expensive under purge-at-commit.
+    """
+    rng = random.Random(seed)
+    programs: List[Program] = []
+    for txn_index in range(num_txns):
+        program: Program = []
+        for _ in range(revisits):
+            for rid in working_set:
+                program.append(("read", rid))
+        for rid in rng.sample(list(working_set), max(1, len(working_set) // 8)):
+            program.append(("update", rid, f"cad-{txn_index}"))
+        program.append(("commit",))
+        programs.append(program)
+    return programs
+
+
+def run_program_sequential(system: ClientServerSystem, client_id: str,
+                           program: Program) -> Optional[str]:
+    """Execute one program to completion at one client.
+
+    Returns "committed" / "aborted".  Lock conflicts are not handled
+    here — use the scheduler for concurrent mixes.
+    """
+    client = system.client(client_id)
+    txn = client.begin()
+    for op in program:
+        kind = op[0]
+        if kind == "read":
+            client.read(txn, op[1])
+        elif kind == "update":
+            client.update(txn, op[1], op[2])
+        elif kind == "insert":
+            client.insert(txn, op[1], op[2])
+        elif kind == "delete":
+            client.delete(txn, op[1])
+        elif kind == "savepoint":
+            client.savepoint(txn, op[1])
+        elif kind == "rollback_to":
+            client.rollback(txn, savepoint=op[1])
+        elif kind == "commit":
+            client.commit(txn)
+            return "committed"
+        elif kind == "abort":
+            client.rollback(txn)
+            return "aborted"
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    client.commit(txn)
+    return "committed"

@@ -1,0 +1,46 @@
+"""Shared fixtures for the ARIES/CSA test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.workloads.generator import seed_table
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """Default ARIES/CSA configuration with automatic checkpoints off
+    (tests drive checkpoints explicitly unless they opt in)."""
+    return SystemConfig(
+        client_checkpoint_interval=0,
+        server_checkpoint_interval=0,
+    )
+
+
+@pytest.fixture
+def system(config: SystemConfig) -> ClientServerSystem:
+    """A two-client complex with an 8-page bootstrapped database."""
+    complex_ = ClientServerSystem(config, client_ids=["C1", "C2"])
+    complex_.bootstrap(data_pages=8, free_pages=32)
+    return complex_
+
+
+@pytest.fixture
+def seeded(system: ClientServerSystem):
+    """(system, rids): an 8-page table with 4 committed records per page,
+    seeded by C1."""
+    rids = seed_table(system, "C1", "t", 8, 4)
+    return system, rids
+
+
+def make_system(client_ids=("C1", "C2"), data_pages=8, free_pages=32,
+                **config_overrides) -> ClientServerSystem:
+    """Imperative variant for tests that need custom configurations."""
+    defaults = dict(client_checkpoint_interval=0, server_checkpoint_interval=0)
+    defaults.update(config_overrides)
+    config = SystemConfig(**defaults)
+    complex_ = ClientServerSystem(config, client_ids=client_ids)
+    complex_.bootstrap(data_pages=data_pages, free_pages=free_pages)
+    return complex_

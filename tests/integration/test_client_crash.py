@@ -1,0 +1,184 @@
+"""Integration: client failures and server-performed recovery (2.6)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestClientCrashRecovery:
+    def test_inflight_txn_rolled_back_at_server(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "uncommitted")
+        client._ship_log_records()
+        report = system.crash_client("C1")
+        assert report.txns_rolled_back == 1
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+
+    def test_committed_but_unshipped_pages_redone(self, seeded):
+        """The committed update lives only in the crashed client's cache;
+        the server must redo it from the log onto its own copy."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "committed")
+        client.commit(txn)
+        # Server's version is stale (no-force): the client held the only
+        # current copy, which the crash destroys.
+        report = system.crash_client("C1")
+        assert report.redos_applied >= 1
+        assert system.server_visible_value(rids[0]) == "committed"
+
+    def test_unshipped_log_records_lost_with_client(self, seeded):
+        """Updates whose records never reached the server simply never
+        happened — WAL-to-server guarantees no page copy holds them."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "never-shipped")
+        # No shipping: records only in client virtual storage.
+        system.crash_client("C1")
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+
+    def test_locks_released_after_recovery(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "x")
+        c1._ship_log_records()
+        system.crash_client("C1")
+        # C2 can take the record and the page immediately.
+        txn2 = c2.begin()
+        c2.update(txn2, rids[0], "c2")
+        c2.commit(txn2)
+        assert system.current_value(rids[0]) == "c2"
+
+    def test_clrs_written_in_failed_clients_name(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client._ship_log_records()
+        system.crash_client("C1")
+        clrs = [
+            record for _, record in system.server.log.scan()
+            if record.is_clr()
+        ]
+        assert clrs and all(c.client_id == "C1" for c in clrs)
+
+    def test_reconnect_is_workless(self, seeded):
+        """Section 2.6.1: recovery happens when the failure is noticed;
+        the client has nothing to replay at reconnect."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client._ship_log_records()
+        system.crash_client("C1")
+        indoubt = system.reconnect_client("C1")
+        assert indoubt == []
+        txn = client.begin()
+        client.update(txn, rids[0], "after-reconnect")
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "after-reconnect"
+
+    def test_other_clients_unaffected(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn2 = c2.begin()
+        c2.update(txn2, rids[4], "c2-inflight")  # different page
+        txn1 = c1.begin()
+        c1.update(txn1, rids[0], "c1-doomed")
+        c1._ship_log_records()
+        system.crash_client("C1")
+        # C2's in-flight transaction is untouched and commits fine.
+        c2.commit(txn2)
+        assert system.current_value(rids[4]) == "c2-inflight"
+
+    def test_client_checkpoint_bounds_recovery(self):
+        """With a recent client checkpoint, recovery analyzes only the
+        log suffix after it."""
+        system = make_system(client_ids=("C1",), data_pages=8)
+        rids = seed_table(system, "C1", "t", 8, 2)
+        client = system.client("C1")
+        for i in range(30):
+            txn = client.begin()
+            client.update(txn, rids[i % len(rids)], ("n", i))
+            client.commit(txn)
+        client.take_checkpoint()
+        txn = client.begin()
+        client.update(txn, rids[0], "post-ckpt")
+        client._ship_log_records()
+        report = system.crash_client("C1")
+        # Analysis covers only records after the checkpoint's Begin.
+        assert report.analysis_records <= 8
+
+    def test_crash_with_multiple_inflight_txns(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        t1 = client.begin()
+        t2 = client.begin()
+        client.update(t1, rids[0], "t1")
+        client.update(t2, rids[1], "t2")
+        client._ship_log_records()
+        report = system.crash_client("C1")
+        assert report.txns_rolled_back == 2
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+        assert system.server_visible_value(rids[1]) == ("init", 1)
+
+    def test_crash_mid_rollback_completes_rollback(self, seeded):
+        """A client that crashes halfway through its own rollback leaves
+        CLRs in the log; server recovery finishes from UndoNxtLSN without
+        redoing compensation (bounded logging)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "v1")
+        client.update(txn, rids[1], "v2")
+        client.savepoint(txn, "mid")
+        # Partial rollback produces one CLR batch, then crash.
+        client.update(txn, rids[2], "v3")
+        client.rollback(txn, savepoint="mid")
+        client._ship_log_records()
+        system.crash_client("C1")
+        for i in range(3):
+            assert system.server_visible_value(rids[i]) == ("init", i)
+
+
+class TestGlmVariantRecovery:
+    """Section 2.6.2: no client checkpoints, RecAddr in the lock table."""
+
+    def make(self):
+        config = SystemConfig.no_client_checkpoints(
+            server_checkpoint_interval=0)
+        system = ClientServerSystem(config, client_ids=["C1", "C2"])
+        system.bootstrap(data_pages=8, free_pages=8)
+        rids = seed_table(system, "C1", "t", 8, 2)
+        return system, rids
+
+    def test_recovery_without_checkpoints(self):
+        system, rids = self.make()
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "committed")
+        client.commit(txn)
+        txn = client.begin()
+        client.update(txn, rids[2], "doomed")
+        client._ship_log_records()
+        report = system.crash_client("C1")
+        assert system.server_visible_value(rids[0]) == "committed"
+        assert system.server_visible_value(rids[2]) == ("init", 2)
+        assert report.kind == "client-recovery:C1"
+
+    def test_lock_table_rec_addr_pinned_on_first_grant(self):
+        system, rids = self.make()
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client.commit(txn)
+        addr = system.server.glm.lock_table_rec_addr(rids[0].page_id)
+        assert addr >= 0

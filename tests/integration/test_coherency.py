@@ -1,0 +1,130 @@
+"""Integration: cache coherency — invalidations, callbacks, staleness."""
+
+import pytest
+
+from repro.net.messages import MsgType
+
+
+class TestInvalidation:
+    def test_reader_copy_invalidated_on_privilege_grant(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid = rids[0]
+        # C2 caches the page as a reader.
+        txn2 = c2.begin()
+        c2.read(txn2, rid)
+        c2.commit(txn2)
+        assert c2.pool.peek(rid.page_id) is not None
+        # C1 takes the update privilege: C2's copy must be dropped.
+        txn1 = c1.begin()
+        c1.update(txn1, rids[1], "write")  # different record, same page
+        c1.commit(txn1)
+        assert c2.pool.peek(rid.page_id) is None
+
+    def test_reader_refetches_fresh_version(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid = rids[0]
+        txn2 = c2.begin()
+        assert c2.read(txn2, rid) == ("init", 0)
+        c2.commit(txn2)
+        txn1 = c1.begin()
+        c1.update(txn1, rid, "new-version")
+        c1.commit(txn1)
+        txn2 = c2.begin()
+        assert c2.read(txn2, rid) == "new-version"
+        c2.commit(txn2)
+
+    def test_cached_copy_reused_when_current(self, seeded):
+        """A server answer of "your copy is current" ships no page."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.read(txn, rids[0])
+        client.commit(txn)
+        ships_before = system.network.stats.count(MsgType.PAGE_SHIP)
+        txn = client.begin()
+        client.read(txn, rids[0])   # cache hit, no traffic at all
+        client.commit(txn)
+        assert system.network.stats.count(MsgType.PAGE_SHIP) == ships_before
+
+
+class TestCallbacks:
+    def test_owner_pushes_current_version_for_reader(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid = rids[0]
+        txn1 = c1.begin()
+        c1.update(txn1, rid, "committed-cached")
+        c1.commit(txn1)   # dirty only at C1
+        callbacks_before = system.server.callbacks_sent
+        txn2 = c2.begin()
+        assert c2.read(txn2, rid) == "committed-cached"
+        c2.commit(txn2)
+        assert system.server.callbacks_sent > callbacks_before
+        # C1 downgraded X -> S: no update owner, both hold cache tokens.
+        from repro.locking.lock_modes import LockMode
+        assert system.server.glm.update_privilege_owner(rid.page_id) is None
+        assert c1._p_locks[rid.page_id] is LockMode.S
+        assert c1.pool.peek(rid.page_id) is not None  # copy retained
+
+    def test_privilege_transfer_ships_logs_before_page(self, seeded):
+        """WAL with respect to the server: when C1 gives up the page, its
+        buffered log records precede the page in the log/pool."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid = rids[0]
+        txn1 = c1.begin()
+        c1.update(txn1, rid, "uncommitted")
+        unshipped_before = len(c1.log.unshipped())
+        assert unshipped_before > 0
+        txn2 = c2.begin()
+        c2.update(txn2, rids[1], "takes-privilege")
+        # The transfer shipped C1's records.
+        assert len(c1.log.unshipped()) == 0
+        c1.commit(txn1)
+        c2.commit(txn2)
+
+    def test_cached_lock_relinquished_via_callback(self, seeded):
+        """LLM lock caching: an idle cached lock is given back when
+        another client conflicts, without failing the requester."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid = rids[0]
+        txn1 = c1.begin()
+        c1.update(txn1, rid, "v1")
+        c1.commit(txn1)             # lock released locally, cached globally
+        txn2 = c2.begin()
+        c2.update(txn2, rid, "v2")  # triggers the relinquish callback
+        c2.commit(txn2)
+        assert c1.llm.callbacks_honored >= 1
+        assert system.current_value(rid) == "v2"
+
+
+class TestMessageEconomy:
+    def test_lock_caching_saves_messages(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        for _ in range(3):
+            txn = client.begin()
+            client.read(txn, rids[0])
+            client.commit(txn)
+        # The first read acquired the global lock; later reads hit the
+        # LLM cache.
+        assert client.llm.local_only_grants >= 2
+
+    def test_repeat_txn_after_commit_is_message_free(self, seeded):
+        """No-force + cache retention: a fully warmed client runs a
+        read-only transaction with zero network messages."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.read(txn, rids[0])
+        client.commit(txn)
+        messages_before = system.network.stats.messages
+        txn = client.begin()
+        client.read(txn, rids[0])
+        client.commit(txn)
+        # Allow the commit-path messages only (log ship + force request).
+        delta = system.network.stats.messages - messages_before
+        assert delta <= 2

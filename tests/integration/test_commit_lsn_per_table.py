@@ -1,0 +1,121 @@
+"""Integration: per-table Commit_LSN (section 3's per-file refinement)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.workloads.generator import seed_table
+
+
+@pytest.fixture
+def two_tables():
+    config = SystemConfig(max_lsn_sync_period=1, commit_lsn_per_table=True)
+    system = ClientServerSystem(config, client_ids=["W", "R"])
+    system.bootstrap(data_pages=8, free_pages=8)
+    hot = seed_table(system, "W", "hot", 4, 2)
+    cold = seed_table(system, "W", "cold", 4, 2)
+    return system, hot, cold
+
+
+class TestPerTableCommitLsn:
+    def test_long_txn_pins_only_its_table(self, two_tables):
+        system, hot, cold = two_tables
+        writer, reader = system.client("W"), system.client("R")
+        long_txn = writer.begin()
+        writer.update(long_txn, hot[0], "pin")
+        writer._ship_log_records()
+        # Freshen a cold page after the pin.
+        txn = writer.begin()
+        writer.update(txn, cold[0], "fresh")
+        writer.commit(txn)
+        system.server.broadcast_sync()
+        # Cold read: per-table threshold proves committed.
+        read_txn = reader.begin()
+        reader.read(read_txn, cold[0])
+        assert reader.locks_avoided_by_commit_lsn >= 1
+        reader.commit(read_txn)
+        writer.rollback(long_txn)
+
+    def test_hot_table_reads_still_lock(self, two_tables):
+        """Safety: the pinned table's pages with in-flight data never
+        pass the check."""
+        system, hot, cold = two_tables
+        writer, reader = system.client("W"), system.client("R")
+        long_txn = writer.begin()
+        writer.update(long_txn, hot[0], "uncommitted")
+        writer._ship_log_records()
+        system.server.broadcast_sync()
+        avoided_before = reader.locks_avoided_by_commit_lsn
+        read_txn = reader.begin()
+        # Reading the sibling record on the page with in-flight data:
+        # must take a real lock.
+        reader.read(read_txn, hot[1])
+        page = reader.pool.peek(hot[1].page_id)
+        table_threshold = reader._table_commit_lsn.get("hot",
+                                                       reader._floor_bound)
+        assert page.page_lsn >= table_threshold or \
+            reader.locks_avoided_by_commit_lsn == avoided_before
+        reader.commit(read_txn)
+        writer.rollback(long_txn)
+
+    def test_tracker_table_association(self, two_tables):
+        system, hot, cold = two_tables
+        writer = system.client("W")
+        txn = writer.begin()
+        writer.update(txn, hot[0], "x")
+        writer.update(txn, cold[0], "y")
+        writer._ship_log_records()
+        tracked = system.server.tracker.get(txn.txn_id)
+        assert tracked.tables == {"hot", "cold"}
+        writer.commit(txn)
+
+    def test_table_values_piggybacked(self, two_tables):
+        system, hot, cold = two_tables
+        writer, reader = system.client("W"), system.client("R")
+        long_txn = writer.begin()
+        writer.update(long_txn, hot[0], "pin")
+        writer._ship_log_records()
+        system.server.broadcast_sync()
+        assert "hot" in reader._table_commit_lsn
+        assert reader._floor_bound > 0
+        # The hot table's value is at most the pinning first_lsn.
+        tracked = system.server.tracker.get(long_txn.txn_id)
+        assert reader._table_commit_lsn["hot"] <= tracked.first_lsn
+        writer.rollback(long_txn)
+
+    def test_floor_bound_safe_for_unconstrained_tables(self, two_tables):
+        """The floors-only bound never exceeds any unshipped record's
+        LSN (the safety condition for tables without active txns)."""
+        system, hot, cold = two_tables
+        writer = system.client("W")
+        txn = writer.begin()
+        writer.update(txn, cold[0], "unshipped")   # buffered only
+        bound = system.server.tracker.floor_bound()
+        assert txn.first_lsn >= bound
+        writer.rollback(txn)
+
+
+class TestLockCachingConfig:
+    def test_cache_disabled_releases_globals(self):
+        config = SystemConfig(llm_cache_locks=False, commit_lsn_enabled=False)
+        system = ClientServerSystem(config, client_ids=["C1"])
+        system.bootstrap(data_pages=4, free_pages=4)
+        rids = seed_table(system, "C1", "t", 4, 2)
+        client = system.client("C1")
+        txn = client.begin()
+        client.read(txn, rids[0])
+        client.commit(txn)
+        # Without caching the global lock went back to the GLM.
+        assert client.llm.global_locks_snapshot() == {}
+        assert system.server.glm.logical.lock_count() == 0
+
+    def test_cache_enabled_retains_globals(self):
+        config = SystemConfig(llm_cache_locks=True, commit_lsn_enabled=False)
+        system = ClientServerSystem(config, client_ids=["C1"])
+        system.bootstrap(data_pages=4, free_pages=4)
+        rids = seed_table(system, "C1", "t", 4, 2)
+        client = system.client("C1")
+        txn = client.begin()
+        client.read(txn, rids[0])
+        client.commit(txn)
+        assert len(client.llm.global_locks_snapshot()) > 0

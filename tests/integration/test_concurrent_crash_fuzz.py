@@ -1,0 +1,133 @@
+"""Concurrent crash-fuzz: interleaved transactions + failures.
+
+The plain crash fuzzer runs one transaction at a time; here the
+cooperative scheduler interleaves transactions across both clients and
+failures strike *between scheduler rounds*, so crashes land mid-
+transaction with arbitrary lock/cache/log states — including transfers
+in progress.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.errors import LockConflictError, NodeUnavailableError
+from repro.harness.oracle import CommittedStateOracle, verify_durability
+from repro.harness.scheduler import Scheduler, ScheduledTxn, TxnOutcomeKind
+from repro.workloads.generator import WorkloadSpec, generate_programs, seed_table
+
+
+def run_concurrent_fuzz(seed: int, crash_every: int) -> None:
+    rng = random.Random(seed)
+    config = SystemConfig(
+        client_buffer_frames=6, client_checkpoint_interval=4,
+        server_checkpoint_interval=30, max_lsn_sync_period=4,
+        enable_forwarding=bool(seed % 2),
+    )
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=6, free_pages=8)
+    rids = seed_table(system, "C1", "t", 6, 3)
+    oracle = CommittedStateOracle()
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+
+    spec = WorkloadSpec(num_txns=16, ops_per_txn=3, read_fraction=0.25,
+                        abort_fraction=0.15, seed=seed)
+    programs = generate_programs(spec, rids)
+    txns = [
+        ScheduledTxn(name=f"S{i}", client_id="C1" if i % 2 == 0 else "C2",
+                     program=program)
+        for i, program in enumerate(programs)
+    ]
+    scheduler = Scheduler(system)
+    rounds = 0
+    while any(t.outcome is None for t in txns) and rounds < 4000:
+        rounds += 1
+        progressed = False
+        for scheduled in txns:
+            if scheduled.outcome is not None:
+                continue
+            client = system.clients[scheduled.client_id]
+            if client.crashed:
+                # Its transactions died with it.
+                scheduled.outcome = TxnOutcomeKind.ABORTED
+                scheduler.graph.remove_node(
+                    scheduled.txn.txn_id if scheduled.txn else scheduled.name)
+                continue
+            try:
+                if scheduler._step(scheduled):
+                    progressed = True
+                    if scheduled.outcome is TxnOutcomeKind.COMMITTED:
+                        for op in scheduled.program:
+                            if op[0] == "update":
+                                oracle.note_committed_update(op[1], op[2])
+                    elif scheduled.outcome is TxnOutcomeKind.ABORTED:
+                        for op in scheduled.program:
+                            if op[0] == "update":
+                                oracle.note_uncommitted_value(op[1], op[2])
+            except NodeUnavailableError:
+                pass
+        if not progressed:
+            try:
+                scheduler._break_deadlock(txns, type("R", (), {
+                    "committed": 0, "aborted": 0, "deadlock_victims": 0,
+                })())
+            except RuntimeError:
+                break
+        if rounds % crash_every == 0:
+            kind = rng.choice(["client", "server", "all"])
+            doomed_txns = []
+            if kind == "client":
+                victim = rng.choice(["C1", "C2"])
+                if not system.clients[victim].crashed:
+                    doomed_txns = [t for t in txns if t.outcome is None
+                                   and t.client_id == victim]
+                    system.crash_client(victim)
+                    system.reconnect_client(victim)
+            elif kind == "server":
+                system.crash_server()
+                system.restart_server()
+            else:
+                doomed_txns = [t for t in txns if t.outcome is None]
+                system.crash_all()
+                system.restart_all()
+            for scheduled in doomed_txns:
+                scheduled.outcome = TxnOutcomeKind.ABORTED
+                if scheduled.txn is not None:
+                    scheduler.graph.remove_node(scheduled.txn.txn_id)
+                for op in scheduled.program[:scheduled.next_op]:
+                    if op[0] == "update":
+                        oracle.note_uncommitted_value(op[1], op[2])
+            # Survivor transactions whose locks were disturbed can retry.
+            for scheduled in txns:
+                if scheduled.outcome is None:
+                    scheduled.waiting = False
+
+    # Doomed-but-unfinished survivors: roll them back explicitly.
+    for scheduled in txns:
+        if scheduled.outcome is None and scheduled.txn is not None:
+            client = system.clients[scheduled.client_id]
+            if not client.crashed and \
+                    client.txns.maybe_get(scheduled.txn.txn_id) is not None:
+                client.rollback(scheduled.txn)
+            for op in scheduled.program[:scheduled.next_op]:
+                if op[0] == "update":
+                    oracle.note_uncommitted_value(op[1], op[2])
+
+    system.crash_all()
+    system.restart_all()
+    verify_durability(oracle, system, where="server")
+    from repro.harness.invariants import assert_invariants
+    assert_invariants(system)
+
+
+class TestConcurrentCrashFuzz:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_interleaved_failures(self, seed):
+        run_concurrent_fuzz(seed, crash_every=7)
+
+    @pytest.mark.parametrize("seed", range(10, 16))
+    def test_frequent_failures(self, seed):
+        run_concurrent_fuzz(seed, crash_every=3)

@@ -1,0 +1,158 @@
+"""The configuration matrix: every policy combination through every
+failure scenario.
+
+ARIES/CSA's policy knobs compose (transport × forwarding × Commit_LSN
+flavor × lock caching × recovery-info placement).  Each cell of this
+matrix runs a standard scenario battery — commit, abort, savepoint,
+client crash, server crash, total crash, B+-tree work — and checks
+durability at the end.  A regression in any interaction between features
+fails here first.
+"""
+
+import pytest
+
+from repro.config import (
+    ClientRecoveryInfo,
+    LockGranularity,
+    PageTransport,
+    SystemConfig,
+)
+from repro.core.system import ClientServerSystem
+from repro.errors import RecordNotFoundError
+from repro.harness.oracle import CommittedStateOracle, verify_durability
+from repro.workloads.generator import seed_table
+
+CONFIGS = {
+    "baseline": dict(),
+    "forwarding": dict(enable_forwarding=True),
+    "log-replay": dict(page_transport=PageTransport.LOG_REPLAY),
+    "forwarding+log-replay": dict(enable_forwarding=True,
+                                  page_transport=PageTransport.LOG_REPLAY),
+    "per-table-clsn": dict(commit_lsn_per_table=True, max_lsn_sync_period=2),
+    "no-lock-caching": dict(llm_cache_locks=False),
+    "page-locks": dict(lock_granularity=LockGranularity.PAGE,
+                       commit_lsn_enabled=False),
+    "glm-recovery-info": dict(
+        client_recovery_info=ClientRecoveryInfo.GLM_LOCK_TABLE,
+        client_checkpoint_interval=0,
+    ),
+    "tiny-buffers": dict(client_buffer_frames=3, server_buffer_frames=6),
+    "auto-checkpoints": dict(client_checkpoint_interval=2,
+                             server_checkpoint_interval=15),
+}
+
+
+def build(config_name):
+    overrides = dict(client_checkpoint_interval=4,
+                     server_checkpoint_interval=0)
+    overrides.update(CONFIGS[config_name])
+    config = SystemConfig(**overrides)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=6, free_pages=64)
+    rids = seed_table(system, "C1", "t", 6, 3)
+    oracle = CommittedStateOracle()
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+    return system, rids, oracle
+
+
+def scenario_battery(system, rids, oracle):
+    """The standard battery every configuration must survive."""
+    c1, c2 = system.client("C1"), system.client("C2")
+
+    # 1. cross-client committed updates
+    txn = c1.begin()
+    c1.update(txn, rids[0], "c1-commit")
+    c1.commit(txn)
+    oracle.note_committed_update(rids[0], "c1-commit")
+    txn = c2.begin()
+    c2.update(txn, rids[3], "c2-commit")
+    c2.commit(txn)
+    oracle.note_committed_update(rids[3], "c2-commit")
+
+    # 2. abort with savepoint
+    txn = c1.begin()
+    c1.update(txn, rids[1], "kept-then-dropped")
+    c1.savepoint(txn, "sp")
+    c1.update(txn, rids[2], "inner")
+    c1.rollback(txn, savepoint="sp")
+    c1.rollback(txn)
+    oracle.note_uncommitted_value(rids[1], "kept-then-dropped")
+    oracle.note_uncommitted_value(rids[2], "inner")
+
+    # 3. client crash mid-transaction (shipped records)
+    txn = c2.begin()
+    c2.update(txn, rids[4], "dies-with-c2")
+    c2._ship_log_records()
+    oracle.note_uncommitted_value(rids[4], "dies-with-c2")
+    system.crash_client("C2")
+    system.reconnect_client("C2")
+
+    # 4. server crash with a surviving in-flight transaction
+    txn = c1.begin()
+    c1.update(txn, rids[5], "survives-outage")
+    system.crash_server()
+    system.restart_server()
+    c1.commit(txn)
+    oracle.note_committed_update(rids[5], "survives-outage")
+
+    # 5. total crash
+    txn = c2.begin()
+    c2.update(txn, rids[6], "blackout-loser")
+    c2._ship_log_records()
+    system.server.log.force()
+    oracle.note_uncommitted_value(rids[6], "blackout-loser")
+    system.crash_all()
+    system.restart_all()
+
+    # 6. work continues after total recovery
+    txn = c1.begin()
+    c1.update(txn, rids[7], "after-everything")
+    c1.commit(txn)
+    oracle.note_committed_update(rids[7], "after-everything")
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+class TestConfigMatrix:
+    def test_battery_then_final_crash(self, config_name):
+        system, rids, oracle = build(config_name)
+        scenario_battery(system, rids, oracle)
+        system.crash_all()
+        system.restart_all()
+        verify_durability(oracle, system, where="server")
+
+    def test_battery_twice(self, config_name):
+        """Run the battery, recover, run it again on the same complex —
+        recovery must leave a fully serviceable system."""
+        system, rids, oracle = build(config_name)
+        scenario_battery(system, rids, oracle)
+        scenario_battery(system, rids, oracle)
+        system.crash_all()
+        system.restart_all()
+        verify_durability(oracle, system, where="server")
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_btree_under_config(config_name):
+    """A committed B+-tree build + crash under every configuration."""
+    if config_name == "tiny-buffers":
+        pytest.skip("tree working set exceeds a 3-frame pool by design")
+    from repro.index import BTree
+    overrides = dict(client_checkpoint_interval=0,
+                     server_checkpoint_interval=0, page_size=1024)
+    overrides.update(CONFIGS[config_name])
+    overrides.pop("client_buffer_frames", None)
+    config = SystemConfig(**overrides)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=2, free_pages=128)
+    client = system.client("C1")
+    txn = client.begin()
+    tree = BTree.create(client, txn)
+    for key in range(80):
+        tree.insert(txn, key, key)
+    client.commit(txn)
+    system.crash_all()
+    system.restart_all()
+    recovered = BTree.attach(system.client("C2"), tree.anchor_page_id)
+    assert len(recovered) == 80
+    recovered.check_invariants()

@@ -1,0 +1,144 @@
+"""Randomized crash-recovery fuzzing.
+
+Random transaction streams across two clients, interrupted by random
+failures (client crash, server crash, whole-complex crash) at random
+points.  After every recovery, the durability oracle checks the two
+halves of the contract: committed values present, uncommitted values
+absent.  Seeds are fixed so failures replay deterministically.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.harness.oracle import CommittedStateOracle, verify_durability
+from repro.workloads.generator import seed_table
+
+
+def build_system(seed: int) -> tuple:
+    config = SystemConfig(
+        client_buffer_frames=6,            # force steals
+        client_checkpoint_interval=5,
+        server_checkpoint_interval=40,
+        max_lsn_sync_period=4,
+    )
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=6, free_pages=8)
+    rids = seed_table(system, "C1", "t", 6, 3)
+    oracle = CommittedStateOracle()
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+    return system, rids, oracle
+
+
+def run_fuzz(seed: int, steps: int, crash_mix: str) -> None:
+    rng = random.Random(seed)
+    system, rids, oracle = build_system(seed)
+    live_txns = {}
+
+    def random_client():
+        return system.client(rng.choice(["C1", "C2"]))
+
+    for step in range(steps):
+        action = rng.random()
+        client = random_client()
+        if client.crashed:
+            system.reconnect_client(client.client_id)
+            continue
+        try:
+            if action < 0.55:
+                # Advance or start a transaction at this client.
+                txn, writes = live_txns.get(client.client_id, (None, []))
+                if txn is None:
+                    txn = client.begin()
+                    writes = []
+                rid = rids[rng.randrange(len(rids))]
+                value = ("fuzz", seed, step)
+                client.update(txn, rid, value)
+                writes.append((rid, value))
+                live_txns[client.client_id] = (txn, writes)
+                if rng.random() < 0.4:
+                    client._ship_log_records()
+            elif action < 0.75:
+                txn, writes = live_txns.pop(client.client_id, (None, []))
+                if txn is None:
+                    continue
+                if rng.random() < 0.7:
+                    client.commit(txn)
+                    for rid, value in writes:
+                        oracle.note_committed_update(rid, value)
+                else:
+                    client.rollback(txn)
+                    for rid, value in writes:
+                        oracle.note_uncommitted_value(rid, value)
+            else:
+                # Failure injection.
+                kind = rng.choice(crash_mix.split("+"))
+                if kind == "client":
+                    victim = rng.choice(["C1", "C2"])
+                    if not system.clients[victim].crashed:
+                        txn_info = live_txns.pop(victim, (None, []))
+                        for rid, value in txn_info[1]:
+                            oracle.note_uncommitted_value(rid, value)
+                        system.crash_client(victim)
+                        system.reconnect_client(victim)
+                elif kind == "server":
+                    for client_id, (txn, writes) in list(live_txns.items()):
+                        # Survivor txns continue; nothing forgotten.
+                        pass
+                    system.crash_server()
+                    system.restart_server()
+                    # Survivors' in-flight txns live on, but any locks
+                    # they relied on were reinstalled; continue.
+                else:  # "all"
+                    for client_id, (txn, writes) in live_txns.items():
+                        for rid, value in writes:
+                            oracle.note_uncommitted_value(rid, value)
+                    live_txns.clear()
+                    system.crash_all()
+                    system.restart_all()
+        except Exception as exc:  # noqa: BLE001 - fuzz tolerates lock noise
+            from repro.errors import LockConflictError, NodeUnavailableError
+            if isinstance(exc, LockConflictError):
+                continue  # contention: try something else next step
+            raise
+    # Quiesce: roll back whatever is still in flight, then total check.
+    for client_id, (txn, writes) in live_txns.items():
+        client = system.clients[client_id]
+        if client.crashed:
+            system.reconnect_client(client_id)
+            for rid, value in writes:
+                oracle.note_uncommitted_value(rid, value)
+            continue
+        try:
+            client.commit(txn)
+            for rid, value in writes:
+                oracle.note_committed_update(rid, value)
+        except Exception:
+            for rid, value in writes:
+                oracle.note_uncommitted_value(rid, value)
+    system.crash_all()
+    system.restart_all()
+    verify_durability(oracle, system, where="server")
+    from repro.harness.invariants import assert_invariants
+    assert_invariants(system)
+
+
+class TestCrashFuzz:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_whole_complex_crashes(self, seed):
+        run_fuzz(seed, steps=60, crash_mix="all")
+
+    @pytest.mark.parametrize("seed", range(6, 12))
+    def test_client_crashes(self, seed):
+        run_fuzz(seed, steps=60, crash_mix="client")
+
+    @pytest.mark.parametrize("seed", range(12, 18))
+    def test_server_crashes(self, seed):
+        run_fuzz(seed, steps=60, crash_mix="server")
+
+    @pytest.mark.parametrize("seed", range(18, 30))
+    def test_mixed_failures(self, seed):
+        run_fuzz(seed, steps=80, crash_mix="client+server+all")

@@ -1,0 +1,194 @@
+"""Integration: client-to-client dirty-page forwarding (section 4.1).
+
+"the log records of the sending client must be received by the server
+and acknowledged, before this client can send the page to the
+requesting client" — and recovery must stay correct even though the
+server never saw the forwarded image.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.workloads.generator import seed_table
+
+
+@pytest.fixture
+def fwd_system():
+    config = SystemConfig(enable_forwarding=True,
+                          client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["A", "B"])
+    system.bootstrap(data_pages=6, free_pages=6)
+    rids = seed_table(system, "A", "t", 6, 2)
+    return system, rids
+
+
+class TestForwardingMechanics:
+    def test_dirty_page_travels_directly(self, fwd_system):
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        rid = rids[0]
+        txn = a.begin()
+        a.update(txn, rid, "from-a")
+        a.commit(txn)                       # dirty only at A
+        forwards_before = system.server.forwards
+        txn = b.begin()
+        b.update(txn, rid, "from-b")        # privilege transfer A -> B
+        b.commit(txn)
+        assert system.server.forwards == forwards_before + 1
+        assert system.current_value(rid) == "from-b"
+
+    def test_forwarded_page_carries_senders_uncommitted_data(self, fwd_system):
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        rid_x, rid_y = rids[0], rids[1]      # same page
+        txn_a = a.begin()
+        a.update(txn_a, rid_x, "a-uncommitted")
+        txn_b = b.begin()
+        b.update(txn_b, rid_y, "b-写")       # forwards the dirty page
+        b.commit(txn_b)
+        assert system.current_value(rid_x) == "a-uncommitted"
+        a.commit(txn_a)
+        assert system.current_value(rid_x) == "a-uncommitted"
+
+    def test_sender_log_records_acked_before_forward(self, fwd_system):
+        """The WAL-to-server rule: nothing unshipped remains at the
+        sender once the page has traveled."""
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        txn = a.begin()
+        a.update(txn, rids[0], "logged-first")
+        assert a.log.has_unshipped()
+        txn_b = b.begin()
+        b.update(txn_b, rids[1], "triggers-forward")
+        assert not a.log.has_unshipped()
+        a.commit(txn)
+        b.commit(txn_b)
+
+    def test_server_copy_is_stale_but_tracked(self, fwd_system):
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        rid = rids[0]
+        txn = a.begin()
+        a.update(txn, rid, "v1")
+        a.commit(txn)
+        txn = b.begin()
+        b.update(txn, rid, "v2")
+        b.commit(txn)
+        page_id = rid.page_id
+        assert page_id in system.server._forwarded_dirty
+        # A reader forces the holder to push; the table entry clears.
+        txn = a.begin()
+        assert a.read(txn, rid) == "v2"
+        a.commit(txn)
+        assert page_id not in system.server._forwarded_dirty
+
+
+class TestForwardingRecovery:
+    def test_holder_crash_rebuilds_from_all_clients(self, fwd_system):
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        rid_x, rid_y = rids[0], rids[1]
+        txn = a.begin()
+        a.update(txn, rid_x, "a-committed")
+        a.commit(txn)
+        txn = b.begin()
+        b.update(txn, rid_y, "b-committed")   # forward A -> B
+        b.commit(txn)
+        system.crash_client("B")
+        # Both clients' committed updates survive even though the server
+        # never received the forwarded image.
+        assert system.server_visible_value(rid_x) == "a-committed"
+        assert system.server_visible_value(rid_y) == "b-committed"
+
+    def test_holder_crash_undoes_uncommitted(self, fwd_system):
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        txn = a.begin()
+        a.update(txn, rids[0], "a-committed")
+        a.commit(txn)
+        txn = b.begin()
+        b.update(txn, rids[1], "b-doomed")
+        b._ship_log_records()
+        system.crash_client("B")
+        assert system.server_visible_value(rids[0]) == "a-committed"
+        assert system.server_visible_value(rids[1]) == ("init", 1)
+
+    def test_full_crash_with_forward_in_flight(self, fwd_system):
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        txn = a.begin()
+        a.update(txn, rids[0], "gen-a")
+        a.commit(txn)
+        txn = b.begin()
+        b.update(txn, rids[1], "gen-b")
+        b.commit(txn)
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == "gen-a"
+        assert system.server_visible_value(rids[1]) == "gen-b"
+
+    def test_checkpoint_covers_forwarded_pages(self, fwd_system):
+        """The coordinated checkpoint must include the forwarded-dirty
+        table; otherwise the E6 window reopens through forwarding."""
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        txn = a.begin()
+        a.update(txn, rids[0], "pre-ckpt")
+        a.commit(txn)
+        txn = b.begin()
+        b.update(txn, rids[1], "forwarded-pre-ckpt")
+        b.commit(txn)
+        system.server.take_checkpoint()
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == "pre-ckpt"
+        assert system.server_visible_value(rids[1]) == "forwarded-pre-ckpt"
+
+    def test_chain_of_forwards(self, fwd_system):
+        """A -> B -> A -> B churn: responsibility follows the page."""
+        system, rids = fwd_system
+        a, b = system.client("A"), system.client("B")
+        rid = rids[0]
+        for i in range(8):
+            client = a if i % 2 == 0 else b
+            txn = client.begin()
+            client.update(txn, rid, ("chain", i))
+            client.commit(txn)
+        holder = system.server._forwarded_dirty.get(rid.page_id)
+        assert holder is not None
+        system.crash_client(holder[1])
+        assert system.server_visible_value(rid) == ("chain", 7)
+
+
+class TestForwardingFuzz:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzz_with_forwarding(self, seed):
+        """The full crash-fuzz loop with forwarding enabled."""
+        from tests.integration.test_crash_fuzz import run_fuzz, build_system
+        import tests.integration.test_crash_fuzz as fuzz_mod
+        original = fuzz_mod.build_system
+
+        def forwarding_system(seed_):
+            from repro.config import SystemConfig
+            from repro.core.system import ClientServerSystem
+            from repro.harness.oracle import CommittedStateOracle
+            config = SystemConfig(
+                enable_forwarding=True, client_buffer_frames=6,
+                client_checkpoint_interval=5, server_checkpoint_interval=40,
+                max_lsn_sync_period=4,
+            )
+            system = ClientServerSystem(config, client_ids=["C1", "C2"])
+            system.bootstrap(data_pages=6, free_pages=8)
+            rids = seed_table(system, "C1", "t", 6, 3)
+            oracle = CommittedStateOracle()
+            for index, rid in enumerate(rids):
+                oracle.note_committed_insert(rid, ("init", index))
+            return system, rids, oracle
+
+        fuzz_mod.build_system = forwarding_system
+        try:
+            run_fuzz(seed + 100, steps=70, crash_mix="client+server+all")
+        finally:
+            fuzz_mod.build_system = original

@@ -1,0 +1,135 @@
+"""Integration: process/media failures during normal operation (2.5)."""
+
+import pytest
+
+from repro.errors import MediaFailureError
+
+
+class TestServerPageCorruption:
+    """Section 2.5.1: the server's buffered copy is corrupted."""
+
+    def test_recover_from_disk_plus_log(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        # Base version reaches disk.
+        txn = client.begin()
+        client.update(txn, rid, "base")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        # More committed updates, only in the server's buffer.
+        txn = client.begin()
+        client.update(txn, rid, "newer")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        bcb = system.server.pool.bcb(rid.page_id)
+        bcb.page.corrupt()
+        page, applied = system.server.recover_corrupted_page(rid.page_id)
+        assert applied >= 1
+        assert system.server_visible_value(rid) == "newer"
+
+    def test_recovered_page_usable_afterwards(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "v1")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.pool.bcb(rid.page_id).page.corrupt()
+        system.server.recover_corrupted_page(rid.page_id)
+        # Another client keeps working on the recovered page.
+        c2 = system.client("C2")
+        txn2 = c2.begin()
+        c2.update(txn2, rid, "v2")
+        c2.commit(txn2)
+        assert system.current_value(rid) == "v2"
+
+
+class TestClientPageCorruption:
+    """Section 2.5.2: a client's cached copy is corrupted by a process
+    failure; the log buffer survives."""
+
+    def test_recover_via_server_rebuild(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "uncommitted-but-logged")
+        # Process failure corrupts the cached page, not the log buffer.
+        client.pool.peek(rid.page_id).corrupt()
+        page = client.recover_corrupted_page(rid.page_id)
+        assert not page.corrupted
+        # The update (logged before the failure) is back in the image.
+        from repro.records.heap import decode_value
+        assert decode_value(page.read_record(rid.slot)) == "uncommitted-but-logged"
+        client.commit(txn)
+        assert system.current_value(rid) == "uncommitted-but-logged"
+
+    def test_rollback_still_possible_after_page_recovery(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "doomed")
+        client.pool.peek(rid.page_id).corrupt()
+        client.recover_corrupted_page(rid.page_id)
+        client.rollback(txn)
+        assert system.current_value(rid) == ("init", 0)
+
+
+class TestMediaRecovery:
+    """Section 2.5.3: the disk copy is unreadable; archive + log redo."""
+
+    def test_media_recovery_from_backup(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "archived")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        system.server.take_backup()
+        # Post-backup committed updates (buffered at server, then disk).
+        txn = client.begin()
+        client.update(txn, rid, "post-backup")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        system.server.disk.inject_media_failure(rid.page_id)
+        page, applied = system.server.media_recover_page(rid.page_id)
+        assert applied >= 1
+        assert not system.server.disk.has_media_failure(rid.page_id)
+        assert system.server_visible_value(rid) == "post-backup"
+
+    def test_media_recovery_without_backup_fails(self, seeded):
+        from repro.errors import ArchiveError
+        system, rids = seeded
+        rid = rids[0]
+        system.server.disk.inject_media_failure(rid.page_id)
+        with pytest.raises(ArchiveError):
+            system.server.media_recover_page(rid.page_id)
+
+    def test_backup_redo_bound_covers_dirty_pages(self, seeded):
+        """A fuzzy backup taken while pages are dirty in the complex must
+        record a redo address low enough to cover them."""
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "dirty-at-backup")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        # New committed update dirty at the CLIENT when backup is taken.
+        txn = client.begin()
+        client.update(txn, rid, "after-flush")
+        client.commit(txn)
+        system.server.take_backup()
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        system.server.disk.inject_media_failure(rid.page_id)
+        page, applied = system.server.media_recover_page(rid.page_id)
+        assert system.server_visible_value(rid) == "after-flush"

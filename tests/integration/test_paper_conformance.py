@@ -1,0 +1,345 @@
+"""Paper conformance: each test quotes a sentence of Mohan & Narang
+(SIGMOD 1994) and verifies the implementation honors it.
+
+Organized by paper section; together with EXPERIMENTS.md this is the
+traceability matrix of the reproduction.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.log_records import (
+    CompensationRecord,
+    EndCheckpointRecord,
+    UpdateRecord,
+)
+from repro.core.system import ClientServerSystem
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestSection21Assumptions:
+    """Section 2.1 — the environment's ground rules."""
+
+    def test_log_records_precede_dirty_pages_to_server(self, seeded):
+        """'All newly produced log records currently buffered in a client
+        are sent to the server just before any dirty page is sent back'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        assert client.log.has_unshipped()
+        client._ship_page(rids[0].page_id)
+        # After the page traveled, nothing unshipped remains.
+        assert not client.log.has_unshipped()
+        client.commit(txn)
+
+    def test_commit_only_after_force(self, seeded):
+        """'a transaction is declared to have committed only after all
+        its log records are sent to the server and the server has forced
+        them to its stable storage'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "committed")
+        client.commit(txn)
+        log = system.server.log
+        # The commit record itself is inside the stable prefix.
+        commit_addrs = [
+            addr for addr, record in log.scan()
+            if record.type_name == "CommitRecord" and record.txn_id == txn.txn_id
+        ]
+        assert commit_addrs and log.stable.is_stable(commit_addrs[0])
+
+    def test_client_discards_records_only_when_stable(self, seeded):
+        """'A client does not discard a log record from its log buffer
+        until it gets confirmation that that log record has been safely
+        recorded on stable storage at the server.'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client._ship_log_records()           # appended, NOT forced
+        # Still buffered locally: the append alone is not confirmation.
+        assert client.log.buffered_count() >= 1
+        client.commit(txn)                   # force happens here
+        assert client.log.buffered_count() <= 1  # only the lazy End record
+
+    def test_log_records_carry_client_identity(self, seeded):
+        """'The log records written by a client contain the client's
+        identity.'"""
+        system, rids = seeded
+        for who in ("C1", "C2"):
+            client = system.client(who)
+            txn = client.begin()
+            client.update(txn, rids[0 if who == "C1" else 4], who)
+            client.commit(txn)
+        identities = {record.client_id for _, record in system.server.log.scan()}
+        assert {"C1", "C2"} <= identities
+
+    def test_one_active_modifier_per_page(self, seeded):
+        """'at any given time, only one system is allowed to be actively
+        modifying a page ... managed using physical (P) locks'"""
+        system, rids = seeded
+        c1 = system.client("C1")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "x")
+        owners = [
+            owner for owner, mode in
+            system.server.glm.p_lock_holders(rids[0].page_id).items()
+            if mode.value == "X"
+        ]
+        assert owners == ["C1"]
+        c1.commit(txn)
+
+    def test_privilege_transfer_needs_no_disk_write(self, seeded):
+        """'The latest version need not have been written to disk before
+        another client is granted the update privilege.'"""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "v1")
+        c1.commit(txn)
+        writes_before = system.server.disk.writes
+        txn = c2.begin()
+        c2.update(txn, rids[1], "v2")   # transfer C1 -> C2
+        c2.commit(txn)
+        assert system.server.disk.writes == writes_before
+
+
+class TestSection22LsnManagement:
+    """Section 2.2 — local LSN assignment."""
+
+    def test_lsn_is_max_rule(self, seeded):
+        """'The log manager assigns to the new log record as its LSN the
+        higher of ... 1 + the page_LSN ... [and] 1 + Local_Max_LSN'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        page = client._ensure_update_privilege(rids[0].page_id)
+        local_max = client.log.clock.local_max_lsn
+        page_lsn = page.page_lsn
+        client.update(txn, rids[0], "x")
+        new_page = client.pool.peek(rids[0].page_id)
+        assert new_page.page_lsn == max(page_lsn, local_max) + 1
+        client.commit(txn)
+
+    def test_monotonic_across_different_pages(self, seeded):
+        """'all the log records written by it will have LSNs which are
+        monotonically increasing, even across log records for different
+        database pages'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        for rid in rids[:6]:
+            client.update(txn, rid, "x")
+        client.commit(txn)
+        own = [record.lsn for _, record in system.server.log.scan()
+               if record.client_id == "C1"]
+        assert own == sorted(own)
+
+    def test_force_addr_conservative(self, seeded):
+        """'the server's buffer manager can conservatively assign as that
+        page's ForceAddr the logical address ... of the most recently
+        written log record that came from that client'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client._ship_page(rids[0].page_id)
+        bcb = system.server.pool.bcb(rids[0].page_id)
+        assert bcb.force_addr == \
+            system.server.log.force_addr_for_client("C1")
+        client.commit(txn)
+
+
+class TestSection24Rollback:
+    """Section 2.4 — transaction rollback at the client."""
+
+    def test_rollback_fetches_records_from_server(self, seeded):
+        """'it is possible for a client to retrieve log records from a
+        server for a transaction rollback if they are not available
+        locally'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client._ship_log_records()
+        system.server.log.force()
+        client.log.prune_stable(system.server.log.flushed_addr)
+        client.rollback(txn)
+        assert client.rollback_records_fetched_remotely >= 1
+
+    def test_clrs_are_redo_only(self, seeded):
+        """'CLRs have the property that they are redo-only log records'
+        — a crash right after a rollback replays the CLRs, never undoes
+        them."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "doomed")
+        client.rollback(txn)
+        system.crash_all()
+        report = system.restart_all()
+        # The already-rolled-back transaction needs no further undo.
+        assert report.clrs_written == 0
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+
+    def test_clr_chaining_bounds_logging(self, seeded):
+        """'a bounded amount of logging is ensured during rollbacks, even
+        in the face of repeated failures' — UndoNxtLSN points past the
+        compensated record."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "a")
+        client.update(txn, rids[1], "b")
+        client.rollback(txn)
+        clrs = [record for _, record in system.server.log.scan()
+                if isinstance(record, CompensationRecord)
+                and record.txn_id == txn.txn_id]
+        updates = [record for _, record in system.server.log.scan()
+                   if isinstance(record, UpdateRecord)
+                   and record.txn_id == txn.txn_id]
+        assert len(clrs) == len(updates) == 2
+        # Each CLR's UndoNxtLSN equals the PrevLSN of the record it
+        # compensates (reverse order).
+        assert clrs[0].undo_next_lsn == updates[1].prev_lsn
+        assert clrs[1].undo_next_lsn == updates[0].prev_lsn == 0
+
+
+class TestSection26ClientFailure:
+    """Section 2.6 — client checkpoints and failure handling."""
+
+    def test_server_rewrites_reclsn_to_recaddr(self, seeded):
+        """'the server maps, for each page in DPL, the RecLSN value to an
+        appropriate RecAddr, updates the End_Checkpoint log record ...
+        and appends the log record to its log'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "dirty")
+        client.commit(txn)
+        client.take_checkpoint()
+        end = [record for _, record in system.server.log.scan()
+               if isinstance(record, EndCheckpointRecord)
+               and record.owner == "C1"][-1]
+        for entry in end.dirty_pages:
+            assert entry.rec_addr >= 0
+
+    def test_only_failed_clients_records_analyzed(self, seeded):
+        """'During these passes, only the log records written by the
+        failed client have to be processed.'"""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        # C2 produces unrelated work.
+        for i in range(5):
+            txn = c2.begin()
+            c2.update(txn, rids[4], ("c2", i))
+            c2.commit(txn)
+        txn = c1.begin()
+        c1.update(txn, rids[0], "doomed")
+        c1._ship_log_records()
+        report = system.crash_client("C1")
+        # C2's committed work is untouched by C1's recovery.
+        assert system.current_value(rids[4]) == ("c2", 4)
+        assert report.clrs_written == 1
+
+    def test_sufficiency_of_client_checkpoint_after_transfer(self, seeded):
+        """The paper's P1/C1/C2 walkthrough: C2's updates are in the
+        server's buffered version, so recovering failed C1 only needs
+        C1's redo — and a later server crash still recovers C2's too."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        rid_a, rid_b = rids[0], rids[1]          # one page P1
+        txn = c2.begin()
+        c2.update(txn, rid_a, "c2-update")
+        c2.commit(txn)
+        txn = c1.begin()
+        c1.update(txn, rid_b, "c1-update")       # privilege C2 -> C1
+        c1.commit(txn)
+        system.crash_client("C1")
+        assert system.server_visible_value(rid_a) == "c2-update"
+        assert system.server_visible_value(rid_b) == "c1-update"
+        # "if the server itself were to fail before writing P1 to disk,
+        # then C2's updates would also have to be redone"
+        system.crash_server()
+        system.restart_server()
+        assert system.server_visible_value(rid_a) == "c2-update"
+        assert system.server_visible_value(rid_b) == "c1-update"
+
+
+class TestSection27ServerFailure:
+    """Section 2.7 — coordinated checkpoints, restart."""
+
+    def test_clients_lists_before_server_list(self, seeded):
+        """'It is important that the server wait until all the
+        operational clients have sent in their lists before it merges its
+        current list' — a page pushed back in between must be covered."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "in-window")
+        client.commit(txn)
+        # Monkeypatch-free check: the implementation gathers clients
+        # first by construction; verify the merged DPL covers the page
+        # even though the server's own list was empty at Begin time.
+        system.server.take_checkpoint()
+        end = [record for _, record in system.server.log.scan()
+               if isinstance(record, EndCheckpointRecord)
+               and record.owner == "SERVER"][-1]
+        assert any(e.page_id == rids[0].page_id for e in end.dirty_pages)
+
+    def test_lock_info_refetched_from_survivors(self, seeded):
+        """'the server talks to all its operational clients to fetch the
+        lock information that they have for their transactions and dirty
+        pages' — the survivor's logical (record) locks are reinstalled,
+        so its in-flight transaction's isolation holds across the
+        outage."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "locked")
+        system.crash_server()
+        system.restart_server()
+        assert system.server.glm.holders(("rec", rids[0].page_id, 0))
+        from repro.errors import LockConflictError
+        txn2 = c2.begin()
+        with pytest.raises(LockConflictError):
+            c2.update(txn2, rids[0], "must-block")
+        c1.commit(txn)
+
+
+class TestSection3CommitLsn:
+    """Section 3 — the Commit_LSN optimization."""
+
+    def test_lamport_rule_verbatim(self, seeded):
+        """'When Max_LSN is received by each client, if it is found to be
+        greater than the current client's Local_Max_LSN, then
+        Local_Max_LSN is set to Max_LSN.'"""
+        system, rids = seeded
+        c2 = system.client("C2")
+        before = c2.log.clock.local_max_lsn
+        c1 = system.client("C1")
+        for i in range(3):
+            txn = c1.begin()
+            c1.update(txn, rids[0], i)
+            c1.commit(txn)
+        system.server.broadcast_sync()
+        assert c2.log.clock.local_max_lsn >= system.server.log.max_lsn_seen
+        assert c2.log.clock.local_max_lsn > before
+
+    def test_commit_lsn_inference_is_safe(self, seeded):
+        """'all the updates in pages with page_LSN less than Commit_LSN
+        have been committed' — checked against ground truth."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        inflight = c1.begin()
+        c1.update(inflight, rids[0], "uncommitted")
+        c1._ship_log_records()
+        system.server.broadcast_sync()
+        commit_lsn = system.server.current_commit_lsn()
+        # The page holding uncommitted data must not pass the test.
+        page = c1.pool.peek(rids[0].page_id)
+        assert not page.page_lsn < commit_lsn
+        c1.commit(inflight)

@@ -1,0 +1,192 @@
+"""Paper conformance, part 2: sections 1.1, 2.3 and 2.5."""
+
+import pytest
+
+from repro.records.heap import RecordId
+from repro.storage import space_map as sm
+from repro.storage.page import PageKind
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestSection11AriesBasics:
+    """Section 1.1 — the single-system behaviours CSA inherits."""
+
+    def test_page_lsn_set_on_every_update(self, seeded):
+        """'On performing an update of a page, the page's page_LSN field
+        is set to the LSN of the log record describing that update.'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        page = client.pool.peek(rids[0].page_id)
+        own = [record for record in client.log.buffered_records()
+               if record.is_update()]
+        assert page.page_lsn == own[-1].lsn
+        client.commit(txn)
+
+    def test_rec_lsn_is_conservative_bound(self, seeded):
+        """'Typically, the current end-of-log LSN is picked conservatively
+        as RecLSN' — our client picks Local_Max_LSN at the clean->dirty
+        transition; every update to the page then has a larger LSN."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "first")
+        client.update(txn, rids[0], "second")
+        bcb = client.pool.bcb(rids[0].page_id)
+        for record in client.log.buffered_records():
+            if record.is_update() and record.page_id == rids[0].page_id:
+                assert record.lsn > bcb.rec_lsn
+        client.commit(txn)
+
+    def test_analysis_starts_at_last_complete_checkpoint(self, seeded):
+        """'the analysis pass ... starts at the Begin_Checkpoint log
+        record of the last completed checkpoint'"""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "pre")
+        client.commit(txn)
+        begin_addr = system.server.take_checkpoint()
+        assert system.server._master["server_ckpt_begin_addr"] == begin_addr
+
+    def test_redo_repeats_history_for_losers_too(self, seeded):
+        """'ARIES repeats history ... by redoing all those updates whose
+        effects are missing in the disk version' — including a loser's,
+        which undo then compensates."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "loser-update")
+        client._ship_log_records()
+        system.server.log.force()
+        system.crash_all()
+        report = system.restart_all()
+        assert report.redos_applied >= 1      # history repeated
+        assert report.clrs_written >= 1       # then compensated
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+
+
+class TestSection23PageReallocation:
+    """Section 2.3 — the SMP trick, quoted piece by piece."""
+
+    def test_dealloc_smp_record_exceeds_dead_pages_lsn(self, system):
+        """'it is ensured that the SMP update log record's LSN is higher
+        than the latest LSN of the page being deallocated'"""
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        client.insert(txn, page.page_id, "content")
+        client.commit(txn)
+        dead_lsn = page.page_lsn
+        txn = client.begin()
+        client.delete(txn, RecordId(page.page_id, 0))
+        client.deallocate_page(txn, page.page_id)
+        client.commit(txn)
+        smp_id = system.server.layout.smp_for(page.page_id)
+        smp = client.pool.peek(smp_id)
+        assert smp.page_lsn > dead_lsn
+
+    def test_no_read_of_deallocated_version(self, system):
+        """'the deallocated version of the page is not read from disk ...
+        it saves a synchronous I/O'"""
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        client.commit(txn)
+        txn = client.begin()
+        client.deallocate_page(txn, page.page_id)
+        client.commit(txn)
+        # Force the dead page entirely out of every cache.
+        client.pool.drop(page.page_id)
+        system.server.pool.drop(page.page_id)
+        reads_before = system.server.disk.reads
+        txn = client.begin()
+        reborn = client.allocate_page(txn, PageKind.INDEX_LEAF)
+        client.commit(txn)
+        assert reborn.page_id == page.page_id
+        # The SMP may be read; the dead page itself must not be.
+        assert system.server.disk.reads - reads_before <= 1
+
+    def test_format_lsn_derived_from_smp(self, system):
+        """'we can ensure that the LSN assigned for the page-formatting
+        log record is higher than the current LSN of the SMP page'"""
+        client = system.client("C1")
+        txn = client.begin()
+        page = client.allocate_page(txn, PageKind.DATA)
+        smp_id = system.server.layout.smp_for(page.page_id)
+        smp = client.pool.peek(smp_id)
+        # The SMP was updated (allocation bit) just before the format;
+        # the format record's LSN must exceed the SMP's pre-format LSN,
+        # which the assignment rule guarantees via the lsn_floor.
+        assert page.page_lsn > 0
+        assert page.page_lsn >= smp.page_lsn  # format followed SMP update
+        client.commit(txn)
+
+
+class TestSection25PageRecovery:
+    """Section 2.5 — in-operation page recovery, quoted."""
+
+    def test_corrupted_page_needs_log_range_from_reclsn(self, seeded):
+        """'The log records which need to be applied will be in the range
+        of page_LSN of the uncorrupted copy to the end-of-log'"""
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "on-disk")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        disk_lsn = system.server.disk.stored_lsn(rid.page_id)
+        for i in range(3):
+            txn = client.begin()
+            client.update(txn, rid, ("newer", i))
+            client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.pool.bcb(rid.page_id).page.corrupt()
+        page, applied = system.server.recover_corrupted_page(rid.page_id)
+        assert applied == 3                      # exactly the missing range
+        assert page.page_lsn > disk_lsn
+        assert system.server_visible_value(rid) == ("newer", 2)
+
+    def test_server_retains_old_recaddr_for_redirtied_page(self, seeded):
+        """'If the server already had a dirty version of that page ...
+        the server's buffer manager retains the old RecAddr.'"""
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "v1")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        old_rec_addr = system.server.pool.bcb(rid.page_id).rec_addr
+        txn = client.begin()
+        client.update(txn, rid, "v2")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        assert system.server.pool.bcb(rid.page_id).rec_addr == old_rec_addr
+
+    def test_media_recovery_from_backup_plus_log(self, seeded):
+        """'Obtaining a copy of the page from the last backup copy ...
+        performing the necessary redos by starting from the appropriate
+        log address as recorded with the backup copy.'"""
+        system, rids = seeded
+        client = system.client("C1")
+        rid = rids[0]
+        txn = client.begin()
+        client.update(txn, rid, "archived-state")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_all()
+        system.server.take_backup()
+        txn = client.begin()
+        client.update(txn, rid, "after-archive")
+        client.commit(txn)
+        client._ship_page(rid.page_id)
+        system.server.flush_page(rid.page_id)
+        system.server.disk.inject_media_failure(rid.page_id)
+        page, applied = system.server.media_recover_page(rid.page_id)
+        assert applied >= 1
+        assert system.server_visible_value(rid) == "after-archive"

@@ -1,0 +1,73 @@
+"""Integration: two-phase commit in-doubt transactions."""
+
+import pytest
+
+from repro.core.transaction import TxnState
+
+
+class TestPreparedTransactions:
+    def test_prepared_txn_survives_full_crash(self, seeded):
+        """In-doubt transactions are not rolled back by restart
+        (section 1.1.2)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "indoubt")
+        client.prepare(txn)
+        system.crash_all()
+        report = system.restart_all()
+        assert report.txns_rolled_back == 0
+        # The in-doubt update is present in the recovered state (it will
+        # be kept or undone by the coordinator's decision, not restart).
+        assert system.server_visible_value(rids[0]) == "indoubt"
+
+    def test_prepared_txn_commit_second_phase(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "2pc")
+        client.prepare(txn)
+        assert txn.state is TxnState.PREPARED
+        client.commit_prepared(txn)
+        assert system.current_value(rids[0]) == "2pc"
+
+    def test_prepare_forces_log(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client.prepare(txn)
+        assert system.server.log.flushed_addr == system.server.log.end_of_log_addr
+        client.commit_prepared(txn)
+
+    def test_indoubt_locks_handed_back_at_reconnect(self, seeded):
+        """Section 2.6.1: the server keeps in-doubt info and hands it to
+        the reconnecting client, which reacquires the locks."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "indoubt")
+        c1.prepare(txn)
+        system.crash_client("C1")
+        # The in-doubt update must not have been undone.
+        assert system.server_visible_value(rids[0]) == "indoubt"
+        indoubt = system.reconnect_client("C1")
+        assert [txn_id for txn_id, _locks, _chain in indoubt] == [txn.txn_id]
+        # The reacquired lock blocks other clients again.
+        from repro.errors import LockConflictError
+        txn2 = c2.begin()
+        with pytest.raises(LockConflictError):
+            c2.update(txn2, rids[0], "blocked")
+
+    def test_commit_prepared_after_reconnect(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "indoubt")
+        client.prepare(txn)
+        system.crash_client("C1")
+        system.reconnect_client("C1")
+        recovered_txn = client.txns.get(txn.txn_id)
+        assert recovered_txn.state is TxnState.PREPARED
+        client.commit_prepared(recovered_txn)
+        assert system.current_value(rids[0]) == "indoubt"

@@ -1,0 +1,169 @@
+"""Integration: client-side total and partial rollback (section 2.4)."""
+
+import pytest
+
+from repro.errors import RecordNotFoundError
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestTotalRollback:
+    def test_update_rolled_back(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "doomed")
+        client.rollback(txn)
+        assert system.current_value(rids[0]) == ("init", 0)
+
+    def test_insert_rolled_back(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        rid = client.insert(txn, rids[0].page_id, "ghost")
+        client.rollback(txn)
+        with pytest.raises(RecordNotFoundError):
+            system.current_value(rid)
+
+    def test_delete_rolled_back(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.delete(txn, rids[0])
+        client.rollback(txn)
+        assert system.current_value(rids[0]) == ("init", 0)
+
+    def test_mixed_ops_rolled_back_in_reverse(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "v1")
+        client.update(txn, rids[0], "v2")
+        client.update(txn, rids[1], "other")
+        client.rollback(txn)
+        assert system.current_value(rids[0]) == ("init", 0)
+        assert system.current_value(rids[1]) == ("init", 1)
+
+    def test_locks_released_after_rollback(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "x")
+        c1.rollback(txn)
+        txn2 = c2.begin()
+        c2.update(txn2, rids[0], "free")
+        c2.commit(txn2)
+
+    def test_rollback_after_log_shipping_fetches_from_server(self, seeded):
+        """Once records are pruned from the client's buffer, rollback
+        must fetch them back from the server (section 2.4)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "will-undo")
+        client._ship_log_records()
+        system.server.log.force()
+        client.log.prune_stable(system.server.log.flushed_addr)
+        assert client.log.find_local(txn.txn_id, txn.last_lsn) is None
+        client.rollback(txn)
+        assert client.rollback_records_fetched_remotely >= 1
+        assert system.current_value(rids[0]) == ("init", 0)
+
+    def test_rollback_after_page_steal_refetches_page(self):
+        """Steal policy: the page with the to-be-undone update may have
+        left the client's pool; rollback re-obtains it (section 2.4)."""
+        system = make_system(client_ids=("C1",), data_pages=8,
+                             client_buffer_frames=2)
+        rids = seed_table(system, "C1", "t", 8, 1)
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "doomed")
+        # Touch enough other pages to evict rids[0]'s page (steal).
+        for rid in rids[1:6]:
+            client.update(txn, rid, "filler")
+        assert client.pool.peek(rids[0].page_id) is None
+        client.rollback(txn)
+        assert system.current_value(rids[0]) == ("init", 0)
+        for rid in rids[1:6]:
+            assert system.current_value(rid) == ("init", rids.index(rid))
+
+    def test_abort_then_new_txn_same_records(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "aborted")
+        client.rollback(txn)
+        txn2 = client.begin()
+        client.update(txn2, rids[0], "committed")
+        client.commit(txn2)
+        assert system.current_value(rids[0]) == "committed"
+
+
+class TestPartialRollback:
+    def test_rollback_to_savepoint(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "keep")
+        client.savepoint(txn, "sp1")
+        client.update(txn, rids[1], "drop")
+        client.rollback(txn, savepoint="sp1")
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "keep"
+        assert system.current_value(rids[1]) == ("init", 1)
+
+    def test_nested_savepoints(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "a")
+        client.savepoint(txn, "outer")
+        client.update(txn, rids[1], "b")
+        client.savepoint(txn, "inner")
+        client.update(txn, rids[2], "c")
+        client.rollback(txn, savepoint="inner")
+        client.rollback(txn, savepoint="outer")
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "a"
+        assert system.current_value(rids[1]) == ("init", 1)
+        assert system.current_value(rids[2]) == ("init", 2)
+
+    def test_continue_after_partial_rollback(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.savepoint(txn, "sp")
+        client.update(txn, rids[0], "first-try")
+        client.rollback(txn, savepoint="sp")
+        client.update(txn, rids[0], "second-try")
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "second-try"
+
+    def test_partial_then_total_rollback(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x1")
+        client.savepoint(txn, "sp")
+        client.update(txn, rids[1], "x2")
+        client.rollback(txn, savepoint="sp")
+        client.rollback(txn)
+        assert system.current_value(rids[0]) == ("init", 0)
+        assert system.current_value(rids[1]) == ("init", 1)
+
+    def test_repeated_partial_rollbacks_bounded(self, seeded):
+        """CLR chaining bounds logging: rolling back the same span twice
+        cannot undo it twice (nested-rollback safety)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "v1")
+        client.savepoint(txn, "sp")
+        client.update(txn, rids[0], "v2")
+        client.rollback(txn, savepoint="sp")
+        clrs_after_first = client.clrs_written_locally
+        # Savepoint still valid; rolling back to it again is a no-op.
+        client.rollback(txn, savepoint="sp")
+        assert client.clrs_written_locally == clrs_after_first
+        client.rollback(txn)
+        assert system.current_value(rids[0]) == ("init", 0)

@@ -1,0 +1,247 @@
+"""Integration: server failures and restart recovery (section 2.7)."""
+
+import pytest
+
+from repro.errors import NodeUnavailableError
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestServerRestart:
+    def test_committed_state_survives(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "durable")
+        client.commit(txn)
+        client._ship_page(rids[0].page_id)  # server buffer, not disk
+        system.crash_server()
+        system.restart_server()
+        assert system.server_visible_value(rids[0]) == "durable"
+
+    def test_unforced_tail_reshipped_by_survivors(self, seeded):
+        """Clients keep log records until stable (section 2.1); after a
+        server crash they re-ship what the log lost."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "inflight")
+        client._ship_log_records()   # appended, NOT forced
+        system.crash_server()
+        assert system.server.log.stable.records_lost_last_crash >= 1
+        system.restart_server()
+        # The surviving client re-shipped and can commit normally.
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "inflight"
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == "inflight"
+
+    def test_surviving_clients_txns_not_undone(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "keeps-running")
+        client.commit(txn)  # make it stable for clarity of the next txn
+        txn2 = client.begin()
+        client.update(txn2, rids[1], "survivor-inflight")
+        system.crash_server()
+        report = system.restart_server()
+        assert report.txns_rolled_back == 0
+        client.update(txn2, rids[2], "more")
+        client.commit(txn2)
+        assert system.current_value(rids[1]) == "survivor-inflight"
+
+    def test_lock_table_reconstructed_from_survivors(self, seeded):
+        """Section 2.7: after restart the server fetches lock info from
+        operational clients."""
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        txn = c1.begin()
+        c1.update(txn, rids[0], "locked-by-c1")
+        system.crash_server()
+        system.restart_server()
+        # C2 must still conflict with C1's reinstalled record lock.
+        from repro.errors import LockConflictError
+        txn2 = c2.begin()
+        with pytest.raises(LockConflictError):
+            c2.update(txn2, rids[0], "should-block")
+        c1.commit(txn)
+
+    def test_privilege_reacquired_after_restart(self, seeded):
+        """Survivors converge on the recovered server state: privileges
+        (and caches) are dropped — every update is already materialized
+        at the server — and re-acquired on demand, so the in-flight
+        transaction continues seamlessly."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        system.crash_server()
+        system.restart_server()
+        assert system.server.glm.update_privilege_owner(rids[0].page_id) is None
+        # The transaction's update was materialized server-side.
+        assert system.server_visible_value(rids[0]) == "x"
+        client.update(txn, rids[0], "x2")   # privilege re-acquired here
+        assert system.server.glm.update_privilege_owner(rids[0].page_id) == "C1"
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "x2"
+
+    def test_calls_rejected_while_down(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        system.crash_server()
+        with pytest.raises(NodeUnavailableError):
+            client.begin()
+        system.restart_server()
+
+    def test_repeated_crash_restart_cycles(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        for i in range(4):
+            txn = client.begin()
+            client.update(txn, rids[i], ("cycle", i))
+            client.commit(txn)
+            system.crash_server()
+            system.restart_server()
+        for i in range(4):
+            assert system.current_value(rids[i]) == ("cycle", i)
+
+    def test_client_dirty_pages_survive_server_crash(self, seeded):
+        """No-force means committed pages may live only in a client
+        cache across a server outage; nothing is lost."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "client-cached")
+        client.commit(txn)
+        system.crash_server()
+        system.restart_server()
+        assert system.current_value(rids[0]) == "client-cached"
+
+
+class TestCheckpointedRestart:
+    def test_restart_starts_at_last_complete_checkpoint(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        for i in range(20):
+            txn = client.begin()
+            client.update(txn, rids[i % len(rids)], ("pre", i))
+            client.commit(txn)
+        system.server.take_checkpoint()
+        txn = client.begin()
+        client.update(txn, rids[0], "post-ckpt")
+        client.commit(txn)
+        system.crash_all()
+        report = system.restart_all()
+        # Analysis scanned only the records after Begin_Checkpoint.
+        assert report.analysis_records < 15
+        assert system.server_visible_value(rids[0]) == "post-ckpt"
+
+    def test_coordinated_checkpoint_includes_client_dpl(self, seeded):
+        """Section 2.7: client DPLs are merged into the server's ckpt."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "dirty-at-client")
+        client.commit(txn)
+        system.server.take_checkpoint()
+        from repro.core.log_records import EndCheckpointRecord, SERVER_ID
+        end_ckpts = [
+            record for _, record in system.server.log.scan()
+            if isinstance(record, EndCheckpointRecord)
+            and record.owner == SERVER_ID
+        ]
+        assert end_ckpts
+        pages_in_dpl = {e.page_id for e in end_ckpts[-1].dirty_pages}
+        assert rids[0].page_id in pages_in_dpl
+
+    def test_the_paper_window_scenario(self, seeded):
+        """Dirty at client before server ckpt, shipped after, crash
+        before disk write: must still recover (the section 2.7 problem)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "window")
+        client.commit(txn)
+        system.server.take_checkpoint()
+        client._ship_page(rids[0].page_id)
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == "window"
+
+    def test_checkpoint_during_active_txns(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "active-at-ckpt")
+        client._ship_log_records()
+        system.server.take_checkpoint()
+        system.crash_all()
+        report = system.restart_all()
+        assert report.txns_rolled_back >= 1
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+
+
+class TestFullComplexCrash:
+    def test_losers_across_clients_rolled_back(self, seeded):
+        system, rids = seeded
+        c1, c2 = system.client("C1"), system.client("C2")
+        t1 = c1.begin()
+        c1.update(t1, rids[0], "c1-loser")
+        c1._ship_log_records()
+        t2 = c2.begin()
+        c2.update(t2, rids[4], "c2-loser")
+        c2._ship_log_records()
+        # A commit elsewhere forces the log, making the losers' records
+        # stable — so restart must actually undo them.
+        t3 = c1.begin()
+        c1.update(t3, rids[8], "committed")
+        c1.commit(t3)
+        system.crash_all()
+        report = system.restart_all()
+        assert report.txns_rolled_back == 2
+        assert report.clrs_written == 2
+        assert system.server_visible_value(rids[8]) == "committed"
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+        assert system.server_visible_value(rids[4]) == ("init", 4)
+
+    def test_winners_and_losers_mixed(self, seeded):
+        system, rids = seeded
+        c1 = system.client("C1")
+        t_win = c1.begin()
+        c1.update(t_win, rids[0], "winner")
+        c1.commit(t_win)
+        t_lose = c1.begin()
+        c1.update(t_lose, rids[1], "loser")
+        c1._ship_log_records()
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == "winner"
+        assert system.server_visible_value(rids[1]) == ("init", 1)
+
+    def test_idempotent_recovery(self, seeded):
+        """Crashing again right after restart must be harmless
+        (repeated-failure safety)."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "loser")
+        client._ship_log_records()
+        system.crash_all()
+        system.restart_all()
+        system.crash_all()
+        system.restart_all()
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == ("init", 0)
+
+    def test_clients_can_work_after_full_restart(self, seeded):
+        system, rids = seeded
+        system.crash_all()
+        system.restart_all()
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "fresh-start")
+        client.commit(txn)
+        assert system.current_value(rids[0]) == "fresh-start"

@@ -1,0 +1,145 @@
+"""Integration: distributed transactions via the presumed-abort
+coordinator, with every crash placement."""
+
+import pytest
+
+from repro.core.coordinator import TwoPhaseCoordinator
+from repro.core.transaction import TxnState
+from repro.errors import RecordNotFoundError
+from repro.workloads.generator import seed_table
+
+
+@pytest.fixture
+def dist(seeded):
+    system, rids = seeded
+    return system, rids, TwoPhaseCoordinator(system.server)
+
+
+class TestHappyPath:
+    def test_two_branch_commit(self, dist):
+        system, rids, coord = dist
+        c1, c2 = system.client("C1"), system.client("C2")
+        gtxn = coord.begin_global()
+        t1 = coord.enlist(gtxn, c1)
+        t2 = coord.enlist(gtxn, c2)
+        c1.update(t1, rids[0], "branch-1")
+        c2.update(t2, rids[4], "branch-2")
+        assert coord.commit(gtxn) == "committed"
+        assert system.current_value(rids[0]) == "branch-1"
+        assert system.current_value(rids[4]) == "branch-2"
+
+    def test_enlist_is_idempotent(self, dist):
+        system, rids, coord = dist
+        c1 = system.client("C1")
+        gtxn = coord.begin_global()
+        assert coord.enlist(gtxn, c1) is coord.enlist(gtxn, c1)
+
+    def test_unilateral_abort(self, dist):
+        system, rids, coord = dist
+        c1, c2 = system.client("C1"), system.client("C2")
+        gtxn = coord.begin_global()
+        c1.update(coord.enlist(gtxn, c1), rids[0], "gone-1")
+        c2.update(coord.enlist(gtxn, c2), rids[4], "gone-2")
+        coord.abort(gtxn)
+        assert system.current_value(rids[0]) == ("init", 0)
+        assert system.current_value(rids[4]) == ("init", 4)
+
+    def test_committed_global_survives_total_crash(self, dist):
+        system, rids, coord = dist
+        c1, c2 = system.client("C1"), system.client("C2")
+        gtxn = coord.begin_global()
+        c1.update(coord.enlist(gtxn, c1), rids[0], "durable-1")
+        c2.update(coord.enlist(gtxn, c2), rids[4], "durable-2")
+        coord.commit(gtxn)
+        system.crash_all()
+        system.restart_all()
+        assert system.server_visible_value(rids[0]) == "durable-1"
+        assert system.server_visible_value(rids[4]) == "durable-2"
+
+
+class TestBranchFailures:
+    def test_branch_crash_before_prepare_aborts_all(self, dist):
+        system, rids, coord = dist
+        c1, c2 = system.client("C1"), system.client("C2")
+        gtxn = coord.begin_global()
+        c1.update(coord.enlist(gtxn, c1), rids[0], "x1")
+        c2.update(coord.enlist(gtxn, c2), rids[4], "x2")
+        c2._ship_log_records()
+        system.crash_client("C2")     # C2's branch rolled back by server
+        assert coord.commit(gtxn) == "aborted"
+        assert system.server_visible_value(rids[4]) == ("init", 4)
+        assert system.current_value(rids[0]) == ("init", 0)
+        system.reconnect_client("C2")
+
+    def test_indoubt_branch_resolves_commit_at_reconnect(self, dist):
+        """The full section 2.6.1 story: a prepared branch survives its
+        client's crash, the locks come back at reconnect, and the
+        coordinator's logged decision settles it."""
+        system, rids, coord = dist
+        c1, c2 = system.client("C1"), system.client("C2")
+        gtxn = coord.begin_global()
+        c1.update(coord.enlist(gtxn, c1), rids[0], "both-sides")
+        t2 = coord.enlist(gtxn, c2)
+        c2.update(t2, rids[4], "both-sides")
+        outcome = coord.commit(gtxn)
+        assert outcome == "committed"
+        # Now pretend C2 never learned: crash it while prepared... To
+        # stage that, run a NEW global txn and crash between phases.
+        gtxn2 = coord.begin_global()
+        t1 = coord.enlist(gtxn2, c1)
+        t2 = coord.enlist(gtxn2, c2)
+        c1.update(t1, rids[1], "second-round")
+        c2.update(t2, rids[5], "second-round")
+        c1.prepare(t1)
+        c2.prepare(t2)
+        coord._log_decision(gtxn2.global_id)   # decision reached...
+        system.crash_client("C2")              # ...but C2 never heard it
+        system.reconnect_client("C2")
+        resolved = coord.resolve_indoubt_at(c2)
+        assert resolved == [(gtxn2.global_id, "committed")]
+        assert system.current_value(rids[5]) == "second-round"
+        c1.commit_prepared(t1)
+
+    def test_indoubt_branch_resolves_abort_when_no_decision(self, dist):
+        """Presumed abort: no decision record => aborted."""
+        system, rids, coord = dist
+        c2 = system.client("C2")
+        gtxn = coord.begin_global()
+        t2 = coord.enlist(gtxn, c2)
+        c2.update(t2, rids[4], "presumed-dead")
+        c2.prepare(t2)
+        system.crash_client("C2")     # in-doubt survives recovery
+        assert system.server_visible_value(rids[4]) == "presumed-dead"
+        system.reconnect_client("C2")
+        resolved = coord.resolve_indoubt_at(c2)
+        assert resolved == [(gtxn.global_id, "aborted")]
+        assert system.current_value(rids[4]) == ("init", 4)
+
+
+class TestCoordinatorCrash:
+    def test_decision_survives_server_crash(self, dist):
+        system, rids, coord = dist
+        c1 = system.client("C1")
+        gtxn = coord.begin_global()
+        c1.update(coord.enlist(gtxn, c1), rids[0], "decided")
+        coord.commit(gtxn)
+        system.crash_server()
+        system.restart_server()
+        fresh = TwoPhaseCoordinator(system.server)   # volatile cache gone
+        assert fresh.recover_decisions() >= 1
+        assert fresh.resolve(gtxn.global_id) == "committed"
+
+    def test_undedecided_resolves_aborted_after_server_crash(self, dist):
+        system, rids, coord = dist
+        c1 = system.client("C1")
+        gtxn = coord.begin_global()
+        t1 = coord.enlist(gtxn, c1)
+        c1.update(t1, rids[0], "never-decided")
+        c1.prepare(t1)
+        system.crash_server()
+        system.restart_server()
+        fresh = TwoPhaseCoordinator(system.server)
+        assert fresh.resolve(gtxn.global_id) == "aborted"
+        resolved = fresh.resolve_indoubt_at(c1)
+        assert resolved == [(gtxn.global_id, "aborted")]
+        assert system.current_value(rids[0]) == ("init", 0)

@@ -1,0 +1,106 @@
+"""Property tests: the B+-tree against a dict model, with rollbacks."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.index import BTree
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: (key, insert?) operations; committed one transaction per batch.
+batches = st.lists(
+    st.lists(st.tuples(st.integers(0, 60), st.booleans()),
+             min_size=1, max_size=12),
+    min_size=1, max_size=6,
+)
+
+
+def fresh_tree():
+    config = SystemConfig(page_size=1024, client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1"])
+    system.bootstrap(data_pages=2, free_pages=220)
+    client = system.client("C1")
+    txn = client.begin()
+    tree = BTree.create(client, txn)
+    client.commit(txn)
+    return system, client, tree
+
+
+class TestBTreeModel:
+    @SLOW
+    @given(batches)
+    def test_matches_dict_model_committed(self, batch_list):
+        system, client, tree = fresh_tree()
+        model = {}
+        for batch in batch_list:
+            txn = client.begin()
+            for key, insert in batch:
+                if insert and key not in model:
+                    tree.insert(txn, key, key * 7)
+                    model[key] = key * 7
+                elif not insert and key in model:
+                    tree.delete(txn, key)
+                    del model[key]
+            client.commit(txn)
+        assert {k: v for k, v in
+                ((int.from_bytes(kb, "big") - 2 ** 63, v)
+                 for kb, v in tree.items())} == model
+        tree.check_invariants()
+
+    @SLOW
+    @given(batches, batches)
+    def test_rollback_restores_model(self, committed, doomed):
+        system, client, tree = fresh_tree()
+        model = {}
+        for batch in committed:
+            txn = client.begin()
+            for key, insert in batch:
+                if insert and key not in model:
+                    tree.insert(txn, key, "keep")
+                    model[key] = "keep"
+                elif not insert and key in model:
+                    tree.delete(txn, key)
+                    del model[key]
+            client.commit(txn)
+        # A doomed transaction does arbitrary things, then rolls back.
+        txn = client.begin()
+        shadow = dict(model)
+        for batch in doomed:
+            for key, insert in batch:
+                if insert and key not in shadow:
+                    tree.insert(txn, key, "doomed")
+                    shadow[key] = "doomed"
+                elif not insert and key in shadow:
+                    tree.delete(txn, key)
+                    del shadow[key]
+        client.rollback(txn)
+        surviving = {int.from_bytes(kb, "big") - 2 ** 63: v
+                     for kb, v in tree.items()}
+        assert surviving == model
+        tree.check_invariants()
+
+    @SLOW
+    @given(batches)
+    def test_crash_recovery_restores_committed_model(self, batch_list):
+        system, client, tree = fresh_tree()
+        model = {}
+        for batch in batch_list:
+            txn = client.begin()
+            for key, insert in batch:
+                if insert and key not in model:
+                    tree.insert(txn, key, key)
+                    model[key] = key
+                elif not insert and key in model:
+                    tree.delete(txn, key)
+                    del model[key]
+            client.commit(txn)
+        system.crash_all()
+        system.restart_all()
+        recovered = BTree.attach(system.client("C1"), tree.anchor_page_id)
+        surviving = {int.from_bytes(kb, "big") - 2 ** 63: v
+                     for kb, v in recovered.items()}
+        assert surviving == model
+        recovered.check_invariants()

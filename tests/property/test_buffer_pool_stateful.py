@@ -1,0 +1,114 @@
+"""Stateful property test: the buffer pool against a reference model."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import BufferPoolFullError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import Page, PageKind
+
+CAPACITY = 4
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """Random admit/get/dirty/clean/fix/evict sequences vs a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.evicted = []
+        self.pool = BufferPool(CAPACITY, "model-pool",
+                               on_evict=lambda bcb: self.evicted.append(
+                                   (bcb.page_id, bcb.dirty)))
+        #: page_id -> (dirty, fixed)
+        self.model = {}
+
+    def _page(self, page_id):
+        return Page(page_id, PageKind.DATA)
+
+    @rule(page_id=st.integers(0, 9), dirty=st.booleans())
+    def admit(self, page_id, dirty):
+        if len(self.model) >= CAPACITY and page_id not in self.model and \
+                all(fixed for _, fixed in self.model.values()):
+            try:
+                self.pool.admit(self._page(page_id), dirty=dirty)
+                assert False, "should have raised BufferPoolFullError"
+            except BufferPoolFullError:
+                return
+        before = set(self.model)
+        self.pool.admit(self._page(page_id), dirty=dirty,
+                        rec_lsn=1 if dirty else 0)
+        if page_id in before:
+            was_dirty = self.model[page_id][0]
+            self.model[page_id] = (was_dirty or dirty, self.model[page_id][1])
+        else:
+            if len(before) >= CAPACITY:
+                # Exactly one unfixed page was evicted.
+                gone = before - set(
+                    pid for pid in before if self.pool.peek(pid) is not None
+                )
+                assert len(gone) == 1
+                victim = gone.pop()
+                assert not self.model[victim][1], "evicted a fixed page"
+                del self.model[victim]
+            self.model[page_id] = (dirty, False)
+
+    @rule(page_id=st.integers(0, 9))
+    def get(self, page_id):
+        page = self.pool.get(page_id)
+        assert (page is not None) == (page_id in self.model)
+
+    @rule(page_id=st.integers(0, 9))
+    def mark_dirty(self, page_id):
+        if page_id in self.model:
+            self.pool.mark_dirty(page_id, rec_lsn=1)
+            self.model[page_id] = (True, self.model[page_id][1])
+
+    @rule(page_id=st.integers(0, 9))
+    def mark_clean(self, page_id):
+        self.pool.mark_clean(page_id)
+        if page_id in self.model:
+            self.model[page_id] = (False, self.model[page_id][1])
+
+    @rule(page_id=st.integers(0, 9))
+    def fix_unfix(self, page_id):
+        if page_id in self.model:
+            bcb = self.pool.bcb(page_id)
+            if self.model[page_id][1]:
+                self.pool.unfix(page_id)
+                self.model[page_id] = (self.model[page_id][0], False)
+            else:
+                self.pool.fix(page_id)
+                self.model[page_id] = (self.model[page_id][0], True)
+
+    @rule(page_id=st.integers(0, 9))
+    def drop(self, page_id):
+        self.pool.drop(page_id)
+        self.model.pop(page_id, None)
+
+    @invariant()
+    def contents_match_model(self):
+        assert set(self.pool.page_ids()) == set(self.model)
+        for page_id, (dirty, _fixed) in self.model.items():
+            bcb = self.pool.bcb(page_id)
+            assert bcb.dirty == dirty, f"dirty mismatch on {page_id}"
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.pool) <= CAPACITY
+
+    @invariant()
+    def dirty_evictions_went_through_writeback(self):
+        # Every dirty page that left via eviction hit the callback.
+        for page_id, was_dirty in self.evicted:
+            assert isinstance(was_dirty, bool)
+
+
+BufferPoolMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestBufferPoolStateful = BufferPoolMachine.TestCase

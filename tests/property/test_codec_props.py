@@ -1,0 +1,50 @@
+"""Property tests: codec round trips for arbitrary values."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import codec
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 70), max_value=2 ** 70),
+    st.text(max_size=40),
+    st.binary(max_size=60),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.tuples(children, children) | st.lists(
+        children, max_size=5).map(tuple),
+    max_leaves=20,
+)
+
+
+class TestCodecProperties:
+    @given(values)
+    def test_round_trip(self, value):
+        assert codec.decode(codec.encode(value)) == value
+
+    @given(values)
+    def test_deterministic(self, value):
+        assert codec.encode(value) == codec.encode(value)
+
+    @given(values, values)
+    def test_injective_on_distinct_values(self, a, b):
+        if a != b:
+            assert codec.encode(a) != codec.encode(b)
+
+    @given(values, st.binary(min_size=1, max_size=8))
+    def test_trailing_garbage_always_rejected(self, value, garbage):
+        import pytest
+        with pytest.raises(codec.CodecError):
+            codec.decode(codec.encode(value) + garbage)
+
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_crash(self, blob):
+        """Decoding random bytes either works or raises CodecError —
+        never any other exception."""
+        try:
+            codec.decode(blob)
+        except codec.CodecError:
+            pass

@@ -1,0 +1,128 @@
+"""Property tests: the end-to-end durability contract.
+
+Hypothesis drives random transaction scripts with crash points; after
+recovery, committed effects must be present and uncommitted ones absent.
+These are slower than unit properties, so example counts are tuned down.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.harness.oracle import CommittedStateOracle, verify_durability
+from repro.workloads.generator import seed_table
+
+#: One step of a transaction script:
+#:   (client 0/1, record index, terminator) — terminator in
+#:   {commit, abort, crash-client, crash-all, none}.
+steps = st.lists(
+    st.tuples(
+        st.integers(0, 1),
+        st.integers(0, 11),
+        st.sampled_from(["none", "none", "commit", "commit", "abort",
+                         "crash-client", "crash-all"]),
+    ),
+    min_size=1, max_size=25,
+)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def fresh_complex():
+    config = SystemConfig(client_buffer_frames=5,
+                          client_checkpoint_interval=3,
+                          server_checkpoint_interval=25)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=4, free_pages=4)
+    rids = seed_table(system, "C1", "t", 4, 3)
+    oracle = CommittedStateOracle()
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+    return system, rids, oracle
+
+
+class TestDurabilityProperties:
+    @SLOW
+    @given(steps)
+    def test_committed_survives_uncommitted_does_not(self, script):
+        from repro.errors import LockConflictError
+        system, rids, oracle = fresh_complex()
+        clients = ["C1", "C2"]
+        live = {}
+        counter = 0
+        for client_index, rid_index, terminator in script:
+            client_id = clients[client_index]
+            client = system.clients[client_id]
+            if client.crashed:
+                system.reconnect_client(client_id)
+            txn, writes = live.get(client_id, (None, []))
+            counter += 1
+            value = ("w", counter)
+            try:
+                if txn is None:
+                    txn = client.begin()
+                    writes = []
+                client.update(txn, rids[rid_index], value)
+                writes.append((rids[rid_index], value))
+                live[client_id] = (txn, writes)
+            except LockConflictError:
+                pass
+            if terminator == "commit" and client_id in live:
+                txn, writes = live.pop(client_id)
+                client.commit(txn)
+                for rid, val in writes:
+                    oracle.note_committed_update(rid, val)
+            elif terminator == "abort" and client_id in live:
+                txn, writes = live.pop(client_id)
+                client.rollback(txn)
+                for rid, val in writes:
+                    oracle.note_uncommitted_value(rid, val)
+            elif terminator == "crash-client":
+                if client_id in live:
+                    __, writes = live.pop(client_id)
+                    for rid, val in writes:
+                        oracle.note_uncommitted_value(rid, val)
+                system.crash_client(client_id)
+                system.reconnect_client(client_id)
+            elif terminator == "crash-all":
+                for cid, (t, writes) in live.items():
+                    for rid, val in writes:
+                        oracle.note_uncommitted_value(rid, val)
+                live.clear()
+                system.crash_all()
+                system.restart_all()
+        # Quiesce: abort leftovers so the final check is unambiguous.
+        for client_id, (txn, writes) in live.items():
+            client = system.clients[client_id]
+            if not client.crashed:
+                client.rollback(txn)
+            for rid, val in writes:
+                oracle.note_uncommitted_value(rid, val)
+        system.crash_all()
+        system.restart_all()
+        verify_durability(oracle, system, where="server")
+
+    @SLOW
+    @given(st.lists(st.tuples(st.integers(0, 11), st.booleans()),
+                    min_size=1, max_size=15))
+    def test_single_client_crash_matrix(self, script):
+        """Every prefix of committed work survives a crash injected after
+        any transaction."""
+        system, rids, oracle = fresh_complex()
+        client = system.client("C1")
+        for rid_index, should_commit in script:
+            txn = client.begin()
+            value = ("v", rid_index, should_commit)
+            client.update(txn, rids[rid_index], value)
+            if should_commit:
+                client.commit(txn)
+                oracle.note_committed_update(rids[rid_index], value)
+            else:
+                client._ship_log_records()
+                oracle.note_uncommitted_value(rids[rid_index], value)
+                system.crash_client("C1")
+                system.reconnect_client("C1")
+        system.crash_all()
+        system.restart_all()
+        verify_durability(oracle, system, where="server")

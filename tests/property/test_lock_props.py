@@ -1,0 +1,86 @@
+"""Property tests: lock table safety under arbitrary request streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import LockConflictError, LockNotHeldError
+from repro.locking.lock_modes import LockMode, compatible
+from repro.locking.lock_table import LockTable
+
+owners = st.sampled_from(["A", "B", "C"])
+resources = st.sampled_from([("r", 1), ("r", 2), ("p", 1)])
+modes = st.sampled_from(list(LockMode))
+
+ops = st.lists(st.one_of(
+    st.tuples(st.just("acquire"), owners, resources, modes),
+    st.tuples(st.just("release"), owners, resources),
+    st.tuples(st.just("release_all"), owners),
+), max_size=60)
+
+
+class TestLockTableSafety:
+    @given(ops)
+    def test_held_modes_always_pairwise_compatible(self, script):
+        """No interleaving of grants/releases ever leaves two
+        incompatible locks granted on the same resource."""
+        table = LockTable()
+        for op in script:
+            try:
+                if op[0] == "acquire":
+                    table.acquire(op[1], op[2], op[3])
+                elif op[0] == "release":
+                    table.release(op[1], op[2])
+                else:
+                    table.release_all(op[1])
+            except (LockConflictError, LockNotHeldError):
+                pass
+            for entry in table.entries():
+                holders = list(entry.holders.items())
+                for i, (owner_a, mode_a) in enumerate(holders):
+                    for owner_b, mode_b in holders[i + 1:]:
+                        assert compatible(mode_a, mode_b) or \
+                            compatible(mode_b, mode_a), (
+                            f"{owner_a}:{mode_a} vs {owner_b}:{mode_b} "
+                            f"on {entry.resource!r}"
+                        )
+
+    @given(ops)
+    def test_release_all_leaves_no_trace(self, script):
+        table = LockTable()
+        for op in script:
+            try:
+                if op[0] == "acquire":
+                    table.acquire(op[1], op[2], op[3])
+                elif op[0] == "release":
+                    table.release(op[1], op[2])
+                else:
+                    table.release_all(op[1])
+            except (LockConflictError, LockNotHeldError):
+                pass
+        for owner in ("A", "B", "C"):
+            table.release_all(owner)
+        assert table.lock_count() == 0
+
+    @given(ops)
+    def test_conversion_never_weakens(self, script):
+        """An owner's held mode only strengthens while it holds a lock."""
+        from repro.locking.lock_modes import covers
+        table = LockTable()
+        held = {}
+        for op in script:
+            try:
+                if op[0] == "acquire":
+                    granted = table.acquire(op[1], op[2], op[3])
+                    key = (op[1], op[2])
+                    if key in held:
+                        assert covers(granted, held[key])
+                    held[key] = granted
+                elif op[0] == "release":
+                    table.release(op[1], op[2])
+                    held.pop((op[1], op[2]), None)
+                else:
+                    table.release_all(op[1])
+                    for key in list(held):
+                        if key[0] == op[1]:
+                            del held[key]
+            except (LockConflictError, LockNotHeldError):
+                pass

@@ -1,0 +1,54 @@
+"""Property tests: the section 2.2 LSN rule under arbitrary interleavings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lsn import LsnClock, NULL_LSN
+
+
+class TestLsnProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3),
+                              st.integers(0, 2)), max_size=80))
+    def test_per_page_monotonic_across_clients(self, ops):
+        """Any interleaving of updates by several clocks to several pages
+        keeps every page's LSN strictly increasing — the property the
+        whole recovery argument needs."""
+        clocks = [LsnClock() for _ in range(4)]
+        page_lsns = {0: NULL_LSN, 1: NULL_LSN, 2: NULL_LSN}
+        for clock_index, page in ops:
+            new = clocks[clock_index].next_lsn(page_lsns[page])
+            assert new > page_lsns[page]
+            page_lsns[page] = new
+
+    @given(st.lists(st.integers(0, 3), max_size=60))
+    def test_per_clock_monotonic_across_pages(self, pages):
+        clock = LsnClock()
+        issued = []
+        page_lsns = [NULL_LSN] * 4
+        for page in pages:
+            lsn = clock.next_lsn(page_lsns[page])
+            page_lsns[page] = lsn
+            issued.append(lsn)
+        assert issued == sorted(issued)
+        assert len(set(issued)) == len(issued)
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("next"), st.integers(0, 100)),
+        st.tuples(st.just("sync"), st.integers(0, 500)),
+    ), max_size=60))
+    def test_lamport_merge_never_decreases(self, ops):
+        clock = LsnClock()
+        previous = clock.local_max_lsn
+        for kind, value in ops:
+            if kind == "next":
+                clock.next_lsn(value)
+            else:
+                clock.observe_max_lsn(value)
+            assert clock.local_max_lsn >= previous
+            previous = clock.local_max_lsn
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=40))
+    def test_sync_then_issue_exceeds_synced_value(self, syncs):
+        clock = LsnClock()
+        for value in syncs:
+            clock.observe_max_lsn(value)
+        assert clock.next_lsn() > max(syncs)

@@ -1,0 +1,87 @@
+"""Property tests: slotted pages and their serialization."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import PageFullError, RecordExistsError, RecordNotFoundError
+from repro.storage.page import Page, PageKind
+
+record_data = st.binary(min_size=0, max_size=64)
+
+ops = st.lists(st.one_of(
+    st.tuples(st.just("insert"), record_data),
+    st.tuples(st.just("modify"), st.integers(0, 20), record_data),
+    st.tuples(st.just("delete"), st.integers(0, 20)),
+), max_size=40)
+
+
+def apply_ops(page, operations):
+    """Apply operations, mirroring them onto a plain dict model."""
+    model = {}
+    next_slot = 0
+    for op in operations:
+        try:
+            if op[0] == "insert":
+                slot = page.insert_record(op[1])
+                model[slot] = op[1]
+                next_slot = max(next_slot, slot + 1)
+            elif op[0] == "modify":
+                page.modify_record(op[1], op[2])
+                model[op[1]] = op[2]
+            else:
+                page.delete_record(op[1])
+                del model[op[1]]
+        except (RecordNotFoundError, PageFullError, RecordExistsError):
+            pass  # model unchanged on failed ops
+    return model
+
+
+class TestPageModel:
+    @given(ops)
+    def test_matches_dict_model(self, operations):
+        page = Page(1, PageKind.DATA, page_size=2048)
+        page.format(PageKind.DATA)
+        model = apply_ops(page, operations)
+        assert dict(page.records()) == model
+
+    @given(ops)
+    def test_serialization_round_trip_any_state(self, operations):
+        page = Page(1, PageKind.DATA, page_size=2048)
+        page.format(PageKind.DATA)
+        apply_ops(page, operations)
+        page.page_lsn = 12345
+        page.set_meta("next", -1)
+        clone = Page.from_bytes(page.to_bytes())
+        assert clone.content_equal(page)
+        assert clone.page_lsn == page.page_lsn
+        assert clone.next_free_slot() == page.next_free_slot()
+
+    @given(ops)
+    def test_free_bytes_never_negative(self, operations):
+        page = Page(1, PageKind.DATA, page_size=2048)
+        page.format(PageKind.DATA)
+        apply_ops(page, operations)
+        assert page.free_bytes >= 0
+
+    @given(ops, st.integers(0, 300))
+    def test_crc_detects_single_byte_flip(self, operations, position):
+        from repro.errors import PageCorruptedError
+        import pytest
+        page = Page(1, PageKind.DATA, page_size=2048)
+        page.format(PageKind.DATA)
+        apply_ops(page, operations)
+        image = bytearray(page.to_bytes())
+        assume(position < len(image))
+        original = image[position]
+        image[position] ^= 0x5A
+        assume(image[position] != original)
+        with pytest.raises(PageCorruptedError):
+            Page.from_bytes(bytes(image))
+
+    @given(ops)
+    def test_snapshot_independence(self, operations):
+        page = Page(1, PageKind.DATA, page_size=2048)
+        page.format(PageKind.DATA)
+        apply_ops(page, operations)
+        snap = page.snapshot()
+        page.insert_record(b"post-snapshot")
+        assert snap.record_count == page.record_count - 1

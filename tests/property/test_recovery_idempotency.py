@@ -1,0 +1,92 @@
+"""Property: recovery is idempotent and convergent.
+
+Running restart recovery once, twice, or after repeated interrupted
+attempts must converge to the same server-visible state — the bounded-
+logging/repeating-history guarantees, as a hypothesis property over
+random committed/uncommitted workloads and random re-crash counts.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.errors import RecordNotFoundError
+from repro.records.heap import RecordId
+from repro.workloads.generator import seed_table
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: (rid index, commit?) per transaction.
+workloads = st.lists(st.tuples(st.integers(0, 7), st.booleans()),
+                     min_size=1, max_size=12)
+
+
+def build_and_run(script):
+    config = SystemConfig(client_buffer_frames=4,
+                          client_checkpoint_interval=3,
+                          server_checkpoint_interval=20)
+    system = ClientServerSystem(config, client_ids=["C1"])
+    system.bootstrap(data_pages=4, free_pages=4)
+    rids = seed_table(system, "C1", "t", 4, 2)
+    client = system.client("C1")
+    for index, (rid_index, commit) in enumerate(script):
+        txn = client.begin()
+        client.update(txn, rids[rid_index], ("v", index))
+        if commit:
+            client.commit(txn)
+        else:
+            client._ship_log_records()
+            system.server.log.force()
+            break  # leave the last one in flight
+    return system, rids
+
+
+def state_of(system, rids):
+    out = {}
+    for rid in rids:
+        try:
+            out[rid] = system.server_visible_value(rid)
+        except RecordNotFoundError:
+            out[rid] = None
+    return out
+
+
+class TestRecoveryIdempotency:
+    @SLOW
+    @given(workloads)
+    def test_double_recovery_equals_single(self, script):
+        system, rids = build_and_run(script)
+        system.crash_all()
+        system.restart_all()
+        once = state_of(system, rids)
+        system.crash_all()
+        system.restart_all()
+        twice = state_of(system, rids)
+        assert once == twice
+
+    @SLOW
+    @given(workloads, st.integers(1, 4))
+    def test_repeated_crash_loops_converge(self, script, extra_crashes):
+        system, rids = build_and_run(script)
+        system.crash_all()
+        system.restart_all()
+        reference = state_of(system, rids)
+        for _ in range(extra_crashes):
+            system.crash_all()
+            system.restart_all()
+        assert state_of(system, rids) == reference
+
+    @SLOW
+    @given(workloads)
+    def test_no_new_log_work_on_second_recovery(self, script):
+        """The second restart finds nothing to undo (CLRs bounded) and
+        its redo work does not grow."""
+        system, rids = build_and_run(script)
+        system.crash_all()
+        first = system.restart_all()
+        system.crash_all()
+        second = system.restart_all()
+        assert second.clrs_written == 0
+        assert second.txns_rolled_back == 0
+        assert second.redos_applied <= first.redos_applied + first.clrs_written

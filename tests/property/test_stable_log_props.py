@@ -1,0 +1,81 @@
+"""Property tests: stable log force/crash semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.log_records import UpdateOp, UpdateRecord
+from repro.storage.stable_log import StableLog
+
+
+def rec(lsn):
+    return UpdateRecord(lsn=lsn, client_id="C", txn_id="T", prev_lsn=lsn - 1,
+                        page_id=1, op=UpdateOp.RECORD_MODIFY, slot=0,
+                        before=b"x", after=b"y")
+
+
+#: Sequences of (append | force-through-random-index | crash) actions.
+actions = st.lists(st.one_of(
+    st.just(("append",)),
+    st.tuples(st.just("force"), st.integers(0, 30)),
+    st.just(("crash",)),
+), max_size=40)
+
+
+class TestStableLogProperties:
+    @given(actions)
+    def test_crash_preserves_exactly_the_forced_prefix(self, script):
+        log = StableLog()
+        appended = []          # lsns in append order
+        stable_count = 0       # how many of them are stable
+        next_lsn = 1
+        for action in script:
+            if action[0] == "append":
+                log.append(rec(next_lsn))
+                appended.append(next_lsn)
+                next_lsn += 1
+            elif action[0] == "force":
+                index = min(action[1], len(appended) - 1)
+                if index >= 0:
+                    addrs = [a for a, _ in log.scan()]
+                    log.force(addrs[index])
+                    stable_count = max(stable_count, index + 1)
+            else:
+                log.crash()
+                appended = appended[:stable_count]
+        survivors = [record.lsn for _, record in log.scan()]
+        assert survivors == appended
+
+    @given(actions)
+    def test_address_invariants_across_crashes(self, script):
+        """Addresses strictly increase within a crash-free span, and a
+        post-crash append lands exactly at the flushed boundary — byte
+        offsets of truncated (never durable) records are legitimately
+        reused, but stable records' addresses are never reassigned."""
+        log = StableLog()
+        next_lsn = 1
+        last_addr_this_epoch = -1
+        stable_addrs = set()
+        for action in script:
+            if action[0] == "append":
+                addr = log.append(rec(next_lsn))
+                next_lsn += 1
+                assert addr > last_addr_this_epoch
+                assert addr not in stable_addrs
+                last_addr_this_epoch = addr
+            elif action[0] == "force":
+                log.force()
+                stable_addrs.update(addr for addr, _ in log.scan())
+            else:
+                log.crash()
+                last_addr_this_epoch = log.end_of_log_addr - 1
+        # Every stable record is still present at its original address.
+        surviving = {addr for addr, _ in log.scan()}
+        assert stable_addrs <= surviving
+
+    @given(st.integers(1, 20), st.integers(0, 19))
+    def test_backward_scan_is_reverse_of_forward(self, count, start):
+        log = StableLog()
+        for lsn in range(1, count + 1):
+            log.append(rec(lsn))
+        forward = [r.lsn for _, r in log.scan()]
+        backward = [r.lsn for _, r in log.scan_backward()]
+        assert backward == list(reversed(forward))

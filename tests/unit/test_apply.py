@@ -1,0 +1,195 @@
+"""Unit tests for redo/undo application."""
+
+import pytest
+
+from repro.core import codec
+from repro.core.apply import (
+    apply_clr_redo,
+    apply_redo,
+    apply_undo_effect,
+    physical_undo_effect,
+    redo_needed,
+)
+from repro.core.log_records import CompensationRecord, UpdateOp, UpdateRecord
+from repro.errors import RecoveryInvariantError
+from repro.storage import space_map as sm
+from repro.storage.page import Page, PageKind
+
+
+def upd(lsn, op, slot=0, before=None, after=None, page_id=1, **kw):
+    return UpdateRecord(lsn=lsn, client_id="C1", txn_id="T1", prev_lsn=0,
+                        page_id=page_id, op=op, slot=slot, before=before,
+                        after=after, **kw)
+
+
+@pytest.fixture
+def page():
+    p = Page(1, PageKind.DATA)
+    p.format(PageKind.DATA)
+    return p
+
+
+class TestRedoTest:
+    def test_redo_needed_iff_lsn_newer(self, page):
+        page.page_lsn = 10
+        assert redo_needed(page, 11)
+        assert not redo_needed(page, 10)
+        assert not redo_needed(page, 9)
+
+
+class TestRedo:
+    def test_insert_redo(self, page):
+        apply_redo(page, upd(5, UpdateOp.RECORD_INSERT, slot=2, after=b"v"))
+        assert page.read_record(2) == b"v"
+        assert page.page_lsn == 5
+
+    def test_modify_redo(self, page):
+        page.insert_record(b"old", slot=0)
+        apply_redo(page, upd(5, UpdateOp.RECORD_MODIFY, slot=0,
+                             before=b"old", after=b"new"))
+        assert page.read_record(0) == b"new"
+
+    def test_delete_redo(self, page):
+        page.insert_record(b"x", slot=0)
+        apply_redo(page, upd(5, UpdateOp.RECORD_DELETE, slot=0, before=b"x"))
+        assert not page.has_record(0)
+
+    def test_format_redo(self):
+        page = Page(9, PageKind.FREE)
+        apply_redo(page, upd(7, UpdateOp.PAGE_FORMAT, page_id=9,
+                             redo_only=True, page_kind="data"))
+        assert page.kind is PageKind.DATA
+        assert page.page_lsn == 7
+
+    def test_format_redo_smp(self):
+        page = Page(0, PageKind.FREE)
+        apply_redo(page, upd(3, UpdateOp.PAGE_FORMAT, page_id=0,
+                             redo_only=True, page_kind="space-map",
+                             after=bytes(8)))
+        assert page.kind is PageKind.SPACE_MAP
+        assert sm.find_free_bit(page) == 0
+
+    def test_format_redo_with_meta(self):
+        page = Page(9, PageKind.FREE)
+        meta = codec.encode((("level", 2), ("next", -1)))
+        apply_redo(page, upd(3, UpdateOp.PAGE_FORMAT, page_id=9,
+                             redo_only=True, page_kind="index-leaf",
+                             after=meta))
+        assert page.get_meta("level") == 2
+        assert page.get_meta("next") == -1
+
+    def test_smp_redo(self):
+        page = Page(0)
+        sm.format_smp(page, 8)
+        apply_redo(page, upd(2, UpdateOp.SMP_ALLOCATE, slot=3, page_id=0,
+                             before=b"\x00", after=b"\x01"))
+        assert sm.bit_state(page, 3) == sm.ALLOCATED
+
+    def test_meta_set_redo(self, page):
+        apply_redo(page, upd(2, UpdateOp.META_SET, key=b"next",
+                             before=codec.encode(None),
+                             after=codec.encode(42)))
+        assert page.get_meta("next") == 42
+
+
+class TestUndoEffects:
+    def test_insert_undo_is_delete(self, page):
+        record = upd(5, UpdateOp.RECORD_INSERT, slot=2, after=b"v")
+        apply_redo(page, record)
+        effect = physical_undo_effect(record)
+        assert effect.op is UpdateOp.RECORD_DELETE
+        apply_undo_effect(page, effect, clr_lsn=9)
+        assert not page.has_record(2)
+        assert page.page_lsn == 9
+
+    def test_modify_undo_restores_before(self, page):
+        page.insert_record(b"old", slot=0)
+        record = upd(5, UpdateOp.RECORD_MODIFY, slot=0, before=b"old",
+                     after=b"new")
+        apply_redo(page, record)
+        apply_undo_effect(page, physical_undo_effect(record), clr_lsn=9)
+        assert page.read_record(0) == b"old"
+
+    def test_delete_undo_reinserts_at_slot(self, page):
+        page.insert_record(b"x", slot=3)
+        record = upd(5, UpdateOp.RECORD_DELETE, slot=3, before=b"x")
+        apply_redo(page, record)
+        effect = physical_undo_effect(record)
+        assert effect.slot == 3
+        apply_undo_effect(page, effect, clr_lsn=9)
+        assert page.read_record(3) == b"x"
+
+    def test_smp_undo_flips_bit(self):
+        page = Page(0)
+        sm.format_smp(page, 8)
+        record = upd(2, UpdateOp.SMP_ALLOCATE, slot=1, page_id=0,
+                     before=b"\x00", after=b"\x01")
+        apply_redo(page, record)
+        apply_undo_effect(page, physical_undo_effect(record), clr_lsn=4)
+        assert sm.bit_state(page, 1) == sm.FREE
+
+    def test_redo_only_refuses_undo(self):
+        record = upd(5, UpdateOp.RECORD_INSERT, slot=0, after=b"v",
+                     redo_only=True)
+        with pytest.raises(RecoveryInvariantError):
+            physical_undo_effect(record)
+
+    def test_format_refuses_undo(self):
+        record = upd(5, UpdateOp.PAGE_FORMAT, page_kind="data")
+        with pytest.raises(RecoveryInvariantError):
+            physical_undo_effect(record)
+
+
+class TestClrRedo:
+    def test_clr_redo_applies_compensation(self, page):
+        page.insert_record(b"v", slot=0)
+        clr = CompensationRecord(
+            lsn=8, client_id="C1", txn_id="T1", prev_lsn=5, undo_next_lsn=0,
+            page_id=1, op=UpdateOp.RECORD_DELETE, slot=0,
+        )
+        apply_clr_redo(page, clr)
+        assert not page.has_record(0)
+        assert page.page_lsn == 8
+
+    def test_dummy_clr_has_no_page_effect(self, page):
+        dummy = CompensationRecord(
+            lsn=8, client_id="C1", txn_id="T1", prev_lsn=5, undo_next_lsn=0,
+            page_id=-1, op=None,
+        )
+        with pytest.raises(RecoveryInvariantError):
+            apply_clr_redo(page, dummy)
+
+
+class TestRepeatingHistory:
+    def test_redo_reproduces_forward_image(self, page):
+        """Redo after crash must equal the normal-processing image —
+        the repeating-history invariant."""
+        records = [
+            upd(1, UpdateOp.RECORD_INSERT, slot=0, after=b"a"),
+            upd(2, UpdateOp.RECORD_INSERT, slot=1, after=b"b"),
+            upd(3, UpdateOp.RECORD_MODIFY, slot=0, before=b"a", after=b"a2"),
+            upd(4, UpdateOp.RECORD_DELETE, slot=1, before=b"b"),
+        ]
+        for record in records:
+            apply_redo(page, record)
+        forward = page.snapshot()
+        replayed = Page(1, PageKind.DATA)
+        replayed.format(PageKind.DATA)
+        for record in records:
+            if redo_needed(replayed, record.lsn):
+                apply_redo(replayed, record)
+        assert replayed.content_equal(forward)
+        assert replayed.page_lsn == forward.page_lsn
+
+    def test_partial_image_catches_up(self, page):
+        records = [
+            upd(1, UpdateOp.RECORD_INSERT, slot=0, after=b"a"),
+            upd(2, UpdateOp.RECORD_MODIFY, slot=0, before=b"a", after=b"b"),
+        ]
+        apply_redo(page, records[0])
+        stale = page.snapshot()          # as-of lsn 1
+        apply_redo(page, records[1])     # current image
+        for record in records:
+            if redo_needed(stale, record.lsn):
+                apply_redo(stale, record)
+        assert stale.content_equal(page)

@@ -1,0 +1,64 @@
+"""Unit tests for the archive (media recovery support)."""
+
+import pytest
+
+from repro.errors import ArchiveError
+from repro.storage.archive import Archive
+from repro.storage.disk import Disk
+from repro.storage.page import Page, PageKind
+
+
+def page_with(page_id, value, lsn=0):
+    page = Page(page_id, PageKind.DATA)
+    page.insert_record(value)
+    page.page_lsn = lsn
+    return page
+
+
+class TestBackups:
+    def test_backup_and_restore(self):
+        archive = Archive()
+        disk = Disk()
+        disk.write_page(page_with(1, b"a", lsn=5))
+        disk.write_page(page_with(2, b"b", lsn=7))
+        count = archive.backup_from_disk(disk, redo_start_addr=120)
+        assert count == 2
+        restored, addr = archive.restore_page(1)
+        assert restored.read_record(0) == b"a"
+        assert addr == 120
+
+    def test_backup_skips_failed_pages(self):
+        archive = Archive()
+        disk = Disk()
+        disk.write_page(page_with(1, b"a"))
+        disk.write_page(page_with(2, b"b"))
+        disk.inject_media_failure(2)
+        assert archive.backup_from_disk(disk, 0) == 1
+        assert archive.has_backup(1)
+        assert not archive.has_backup(2)
+
+    def test_backup_is_a_snapshot(self):
+        archive = Archive()
+        page = page_with(1, b"v1", lsn=3)
+        archive.backup_page(page, 50)
+        page.modify_record(0, b"v2")
+        restored, _ = archive.restore_page(1)
+        assert restored.read_record(0) == b"v1"
+
+    def test_newer_backup_replaces(self):
+        archive = Archive()
+        archive.backup_page(page_with(1, b"v1", lsn=3), 50)
+        archive.backup_page(page_with(1, b"v2", lsn=9), 90)
+        restored, addr = archive.restore_page(1)
+        assert restored.read_record(0) == b"v2"
+        assert addr == 90
+
+    def test_missing_backup_raises(self):
+        with pytest.raises(ArchiveError):
+            Archive().restore_page(9)
+
+    def test_backup_lsn(self):
+        archive = Archive()
+        archive.backup_page(page_with(1, b"v", lsn=11), 0)
+        assert archive.backup_lsn(1) == 11
+        assert archive.backup_lsn(2) is None

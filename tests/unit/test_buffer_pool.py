@@ -1,0 +1,164 @@
+"""Unit tests for the buffer manager: LRU, steal, recovery bookkeeping."""
+
+import pytest
+
+from repro.core.lsn import NULL_ADDR, NULL_LSN
+from repro.errors import BufferPoolFullError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import Page, PageKind
+
+
+def page(page_id):
+    return Page(page_id, PageKind.DATA)
+
+
+class TestBasics:
+    def test_admit_and_get(self):
+        pool = BufferPool(4)
+        pool.admit(page(1))
+        assert pool.get(1) is not None
+        assert pool.get(2) is None
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_peek_does_not_count(self):
+        pool = BufferPool(4)
+        pool.admit(page(1))
+        pool.peek(1)
+        pool.peek(2)
+        assert pool.hits == 0 and pool.misses == 0
+
+    def test_contains(self):
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        assert 1 in pool and 2 not in pool
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        pool.admit(page(2))
+        pool.get(1)            # 2 becomes LRU
+        pool.admit(page(3))
+        assert 1 in pool and 3 in pool and 2 not in pool
+        assert pool.evictions == 1
+
+    def test_dirty_eviction_calls_writeback(self):
+        written = []
+        pool = BufferPool(1, on_evict=lambda bcb: written.append(bcb.page_id))
+        pool.admit(page(1), dirty=True, rec_lsn=5)
+        pool.admit(page(2))
+        assert written == [1]
+        assert pool.dirty_evictions == 1
+
+    def test_clean_eviction_skips_writeback(self):
+        written = []
+        pool = BufferPool(1, on_evict=lambda bcb: written.append(bcb.page_id))
+        pool.admit(page(1))
+        pool.admit(page(2))
+        assert written == []
+
+    def test_fixed_pages_not_evicted(self):
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        pool.admit(page(2))
+        pool.fix(1)
+        pool.admit(page(3))
+        assert 1 in pool and 2 not in pool
+
+    def test_all_fixed_raises(self):
+        pool = BufferPool(1)
+        pool.admit(page(1))
+        pool.fix(1)
+        with pytest.raises(BufferPoolFullError):
+            pool.admit(page(2))
+
+    def test_unfix_below_zero_rejected(self):
+        pool = BufferPool(1)
+        pool.admit(page(1))
+        with pytest.raises(ValueError):
+            pool.unfix(1)
+
+
+class TestDirtyBookkeeping:
+    def test_clean_to_dirty_sets_bounds(self):
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        bcb = pool.mark_dirty(1, rec_lsn=7, rec_addr=70, force_addr=100)
+        assert bcb.dirty and bcb.rec_lsn == 7 and bcb.rec_addr == 70
+        assert bcb.force_addr == 100
+
+    def test_already_dirty_keeps_older_bounds(self):
+        """The clean->dirty RecLSN is the recovery bound; later updates
+        must not advance it (section 1.1.1)."""
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        pool.mark_dirty(1, rec_lsn=7, rec_addr=70)
+        bcb = pool.mark_dirty(1, rec_lsn=50, rec_addr=500, force_addr=600)
+        assert bcb.rec_lsn == 7 and bcb.rec_addr == 70
+        assert bcb.force_addr == 600  # WAL bound does advance
+
+    def test_admit_dirty_over_dirty_merges_minima(self):
+        """Server receiving a newer dirty version keeps the old RecAddr
+        (section 2.5.2)."""
+        pool = BufferPool(2)
+        pool.admit(page(1), dirty=True, rec_lsn=5, rec_addr=50, force_addr=60)
+        bcb = pool.admit(page(1), dirty=True, rec_lsn=9, rec_addr=90,
+                         force_addr=120)
+        assert bcb.rec_lsn == 5 and bcb.rec_addr == 50
+        assert bcb.force_addr == 120
+
+    def test_admit_dirty_over_clean_takes_new_bounds(self):
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        bcb = pool.admit(page(1), dirty=True, rec_lsn=9, rec_addr=90)
+        assert bcb.rec_lsn == 9 and bcb.rec_addr == 90
+
+    def test_mark_clean_resets(self):
+        pool = BufferPool(2)
+        pool.admit(page(1), dirty=True, rec_lsn=5, rec_addr=50, force_addr=60)
+        pool.mark_clean(1)
+        bcb = pool.bcb(1)
+        assert not bcb.dirty
+        assert bcb.rec_lsn == NULL_LSN and bcb.rec_addr == NULL_ADDR
+        assert bcb.force_addr == NULL_ADDR
+
+    def test_dirty_bcbs_sorted(self):
+        pool = BufferPool(4)
+        for pid in (3, 1, 2):
+            pool.admit(page(pid), dirty=(pid != 2))
+        assert [b.page_id for b in pool.dirty_bcbs()] == [1, 3]
+
+    def test_covered_addr_advances_only(self):
+        pool = BufferPool(2)
+        pool.admit(page(1), covered_addr=10)
+        bcb = pool.admit(page(1), covered_addr=5)
+        assert bcb.covered_addr == 10
+        bcb = pool.admit(page(1), covered_addr=20)
+        assert bcb.covered_addr == 20
+
+
+class TestDropAndClear:
+    def test_drop_skips_writeback(self):
+        written = []
+        pool = BufferPool(2, on_evict=lambda bcb: written.append(bcb.page_id))
+        pool.admit(page(1), dirty=True)
+        pool.drop(1)
+        assert written == [] and 1 not in pool
+
+    def test_clear_models_crash(self):
+        pool = BufferPool(2)
+        pool.admit(page(1), dirty=True)
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_hit_rate(self):
+        pool = BufferPool(2)
+        pool.admit(page(1))
+        pool.get(1)
+        pool.get(2)
+        assert pool.hit_rate == 0.5

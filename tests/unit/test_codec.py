@@ -1,0 +1,104 @@
+"""Unit tests for the binary codec."""
+
+import pytest
+
+from repro.core import codec
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("value", [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2 ** 40,
+        -(2 ** 40),
+        2 ** 63 - 1,
+        -(2 ** 63),
+        2 ** 100,            # exercises the bigint path
+        -(2 ** 100),
+        "",
+        "hello",
+        "uniçøde ☃",
+        b"",
+        b"\x00\xff raw bytes",
+        (),
+        (1, "two", b"three", None),
+        ((1, 2), (3, (4, 5))),
+    ])
+    def test_round_trip(self, value):
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_list_becomes_tuple(self):
+        assert codec.decode(codec.encode([1, [2, 3]])) == (1, (2, 3))
+
+    def test_bytearray_becomes_bytes(self):
+        assert codec.decode(codec.encode(bytearray(b"xyz"))) == b"xyz"
+
+    def test_bool_is_not_confused_with_int(self):
+        assert codec.decode(codec.encode(True)) is True
+        assert codec.decode(codec.encode(1)) == 1
+        assert codec.decode(codec.encode(1)) is not True or True  # type kept
+
+    def test_nested_depth(self):
+        value = (1,)
+        for _ in range(50):
+            value = (value,)
+        assert codec.decode(codec.encode(value)) == value
+
+
+class TestErrors:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode(object())
+
+    def test_unsupported_nested_type_raises(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode((1, {1: 2}))  # dicts are not supported
+
+    def test_trailing_bytes_rejected(self):
+        data = codec.encode(42) + b"junk"
+        with pytest.raises(codec.CodecError):
+            codec.decode(data)
+
+    def test_truncated_int_rejected(self):
+        data = codec.encode(42)[:-2]
+        with pytest.raises(codec.CodecError):
+            codec.decode(data)
+
+    def test_truncated_string_rejected(self):
+        data = codec.encode("hello world")[:-3]
+        with pytest.raises(codec.CodecError):
+            codec.decode(data)
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"Z")
+
+    def test_invalid_utf8_rejected(self):
+        bad = bytearray(codec.encode("ab"))
+        bad[-1] = 0xFF
+        with pytest.raises(codec.CodecError):
+            codec.decode(bytes(bad))
+
+    def test_length_prefix_exceeding_buffer_rejected(self):
+        # Tag 'S' + length 1000 but only a few bytes of payload.
+        data = b"S" + (1000).to_bytes(4, "big") + b"abc"
+        with pytest.raises(codec.CodecError):
+            codec.decode(data)
+
+
+class TestEncodingProperties:
+    def test_encoding_is_deterministic(self):
+        value = (1, "a", b"b", (2, None))
+        assert codec.encode(value) == codec.encode(value)
+
+    def test_distinct_values_encode_distinctly(self):
+        values = [None, True, False, 0, 1, "", "0", b"", b"0", (), (0,)]
+        images = [codec.encode(v) for v in values]
+        assert len(set(images)) == len(values)

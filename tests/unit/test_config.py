@@ -1,0 +1,67 @@
+"""Unit tests for the policy configuration."""
+
+from repro.config import (
+    ClientRecoveryInfo,
+    CommitCachePolicy,
+    CommitPagePolicy,
+    LockGranularity,
+    RollbackSite,
+    SystemConfig,
+)
+
+
+class TestDefaults:
+    def test_defaults_are_aries_csa(self):
+        config = SystemConfig()
+        assert config.commit_page_policy is CommitPagePolicy.NO_FORCE
+        assert config.commit_cache_policy is CommitCachePolicy.RETAIN
+        assert config.rollback_site is RollbackSite.CLIENT
+        assert config.lock_granularity is LockGranularity.RECORD
+        assert config.client_recovery_info is ClientRecoveryInfo.CLIENT_CHECKPOINTS
+        assert config.commit_lsn_enabled
+        assert config.label == "ARIES/CSA"
+
+    def test_aries_csa_alias(self):
+        assert SystemConfig.aries_csa() == SystemConfig()
+
+
+class TestNamedSystems:
+    def test_esm_cs(self):
+        config = SystemConfig.esm_cs()
+        assert config.commit_page_policy is CommitPagePolicy.FORCE_TO_SERVER
+        assert config.commit_cache_policy is CommitCachePolicy.PURGE
+        assert config.rollback_site is RollbackSite.SERVER
+        assert config.lock_granularity is LockGranularity.PAGE
+        assert config.log_cdpl_at_commit
+        assert config.client_checkpoint_interval == 0
+        assert not config.commit_lsn_enabled
+
+    def test_objectstore(self):
+        config = SystemConfig.objectstore()
+        assert config.commit_page_policy is CommitPagePolicy.FORCE_TO_DISK
+        assert config.commit_cache_policy is CommitCachePolicy.RETAIN
+        assert config.lock_granularity is LockGranularity.PAGE
+
+    def test_no_client_checkpoints(self):
+        config = SystemConfig.no_client_checkpoints()
+        assert config.client_recovery_info is ClientRecoveryInfo.GLM_LOCK_TABLE
+        assert config.client_checkpoint_interval == 0
+
+    def test_named_systems_accept_overrides(self):
+        config = SystemConfig.esm_cs(server_buffer_frames=7)
+        assert config.server_buffer_frames == 7
+        assert config.label == "ESM-CS"
+
+
+class TestOverrides:
+    def test_with_overrides_returns_copy(self):
+        base = SystemConfig()
+        derived = base.with_overrides(page_size=8192)
+        assert derived.page_size == 8192
+        assert base.page_size == 4096
+
+    def test_frozen(self):
+        import pytest
+        config = SystemConfig()
+        with pytest.raises(Exception):
+            config.page_size = 1  # type: ignore[misc]

@@ -1,0 +1,72 @@
+"""Unit tests for waits-for deadlock detection."""
+
+from repro.locking.deadlock import WaitsForGraph
+
+
+class TestCycles:
+    def test_no_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["B"])
+        graph.add_wait("B", ["C"])
+        assert graph.find_cycle() is None
+
+    def test_two_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["B"])
+        graph.add_wait("B", ["A"])
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"A", "B"}
+
+    def test_three_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["B"])
+        graph.add_wait("B", ["C"])
+        graph.add_wait("C", ["A"])
+        assert set(graph.find_cycle()) == {"A", "B", "C"}
+
+    def test_self_edges_ignored(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["A"])
+        assert graph.find_cycle() is None
+
+    def test_cycle_in_larger_graph(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["B"])
+        graph.add_wait("X", ["Y"])
+        graph.add_wait("B", ["A"])
+        assert set(graph.find_cycle()) == {"A", "B"}
+
+
+class TestMaintenance:
+    def test_clear_waiter_breaks_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["B"])
+        graph.add_wait("B", ["A"])
+        graph.clear_waiter("A")
+        assert graph.find_cycle() is None
+
+    def test_remove_node(self):
+        graph = WaitsForGraph()
+        graph.add_wait("A", ["B"])
+        graph.add_wait("B", ["A", "C"])
+        graph.remove_node("A")
+        assert graph.find_cycle() is None
+        assert "A" not in graph.waiters()
+
+    def test_waiters_listed(self):
+        graph = WaitsForGraph()
+        graph.add_wait("B", ["C"])
+        graph.add_wait("A", ["C"])
+        assert graph.waiters() == ("A", "B")
+
+
+class TestVictimSelection:
+    def test_cheapest_chosen(self):
+        graph = WaitsForGraph()
+        cost = {"A": 10, "B": 2, "C": 5}
+        assert graph.choose_victim(["A", "B", "C"], cost.__getitem__) == "B"
+
+    def test_ties_break_by_name(self):
+        graph = WaitsForGraph()
+        assert graph.choose_victim(["B", "A"], lambda n: 1) == "A"

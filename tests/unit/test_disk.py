@@ -1,0 +1,91 @@
+"""Unit tests for the simulated stable disk."""
+
+import pytest
+
+from repro.errors import MediaFailureError, PageNotFoundError
+from repro.storage.disk import Disk
+from repro.storage.page import Page, PageKind
+
+
+def make_page(page_id=1, value=b"v"):
+    page = Page(page_id, PageKind.DATA)
+    page.insert_record(value)
+    return page
+
+
+class TestReadWrite:
+    def test_round_trip(self):
+        disk = Disk()
+        disk.write_page(make_page(3, b"hello"))
+        assert disk.read_page(3).read_record(0) == b"hello"
+
+    def test_write_is_replacement(self):
+        disk = Disk()
+        disk.write_page(make_page(1, b"old"))
+        disk.write_page(make_page(1, b"new"))
+        assert disk.read_page(1).read_record(0) == b"new"
+
+    def test_missing_page(self):
+        with pytest.raises(PageNotFoundError):
+            Disk().read_page(9)
+
+    def test_read_returns_independent_copy(self):
+        disk = Disk()
+        disk.write_page(make_page(1, b"x"))
+        first = disk.read_page(1)
+        first.insert_record(b"extra")
+        assert disk.read_page(1).record_count == 1
+
+    def test_counters(self):
+        disk = Disk()
+        disk.write_page(make_page(1))
+        disk.read_page(1)
+        disk.read_page(1)
+        assert disk.writes == 1
+        assert disk.reads == 2
+        assert disk.bytes_written > 0
+        assert disk.bytes_read > 0
+
+    def test_page_ids_sorted(self):
+        disk = Disk()
+        for pid in (5, 1, 3):
+            disk.write_page(make_page(pid))
+        assert list(disk.page_ids()) == [1, 3, 5]
+
+    def test_stored_lsn(self):
+        disk = Disk()
+        page = make_page(1)
+        page.page_lsn = 44
+        disk.write_page(page)
+        reads = disk.reads
+        assert disk.stored_lsn(1) == 44
+        assert disk.stored_lsn(2) is None
+        assert disk.reads == reads  # oracle read is free
+
+
+class TestMediaFailure:
+    def test_injected_failure_blocks_reads(self):
+        disk = Disk()
+        disk.write_page(make_page(2))
+        disk.inject_media_failure(2)
+        assert disk.has_media_failure(2)
+        with pytest.raises(MediaFailureError):
+            disk.read_page(2)
+
+    def test_rewrite_heals_failure(self):
+        disk = Disk()
+        disk.write_page(make_page(2, b"v1"))
+        disk.inject_media_failure(2)
+        disk.write_page(make_page(2, b"v2"))
+        assert not disk.has_media_failure(2)
+        assert disk.read_page(2).read_record(0) == b"v2"
+
+    def test_cannot_fail_missing_page(self):
+        with pytest.raises(PageNotFoundError):
+            Disk().inject_media_failure(1)
+
+    def test_stored_lsn_of_failed_page_is_none(self):
+        disk = Disk()
+        disk.write_page(make_page(2))
+        disk.inject_media_failure(2)
+        assert disk.stored_lsn(2) is None

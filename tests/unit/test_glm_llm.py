@@ -1,0 +1,179 @@
+"""Unit tests for the global and local lock managers."""
+
+import pytest
+
+from repro.core.lsn import NULL_ADDR
+from repro.errors import LockConflictError
+from repro.locking.glm import GlobalLockManager, p_lock_resource
+from repro.locking.llm import LocalLockManager
+from repro.locking.lock_modes import LockMode
+
+M = LockMode
+
+
+class TestGlmLogical:
+    def test_acquire_release(self):
+        glm = GlobalLockManager()
+        glm.acquire("C1", ("rec", 1, 0), M.X)
+        with pytest.raises(LockConflictError):
+            glm.acquire("C2", ("rec", 1, 0), M.S)
+        glm.release("C1", ("rec", 1, 0))
+        glm.acquire("C2", ("rec", 1, 0), M.S)
+
+    def test_release_all(self):
+        glm = GlobalLockManager()
+        glm.acquire("C1", ("rec", 1, 0), M.X)
+        glm.acquire("C1", ("rec", 2, 0), M.S)
+        assert len(glm.release_all("C1")) == 2
+
+
+class TestGlmPLocks:
+    def test_update_privilege_exclusive(self):
+        glm = GlobalLockManager()
+        glm.acquire_p_lock("C1", 5, M.X)
+        assert glm.update_privilege_owner(5) == "C1"
+        with pytest.raises(LockConflictError):
+            glm.acquire_p_lock("C2", 5, M.X)
+
+    def test_privilege_transfer(self):
+        glm = GlobalLockManager()
+        glm.acquire_p_lock("C1", 5, M.X)
+        glm.release_p_lock("C1", 5)
+        glm.acquire_p_lock("C2", 5, M.X)
+        assert glm.update_privilege_owner(5) == "C2"
+
+    def test_pages_with_update_privilege(self):
+        glm = GlobalLockManager()
+        glm.acquire_p_lock("C1", 5, M.X)
+        glm.acquire_p_lock("C1", 3, M.X)
+        glm.acquire_p_lock("C2", 9, M.X)
+        assert glm.pages_with_update_privilege("C1") == [3, 5]
+
+    def test_release_all_p_locks(self):
+        glm = GlobalLockManager()
+        glm.acquire_p_lock("C1", 5, M.X)
+        glm.acquire_p_lock("C1", 7, M.X)
+        assert glm.release_all_p_locks("C1") == [5, 7]
+        assert glm.update_privilege_owner(5) is None
+
+
+class TestGlmRecAddr:
+    """The section 2.6.2 lock-table-resident recovery bounds."""
+
+    def test_first_grant_pins_rec_addr(self):
+        glm = GlobalLockManager()
+        glm.note_update_grant(5, 100)
+        glm.note_update_grant(5, 999)  # later grant does not move it
+        assert glm.lock_table_rec_addr(5) == 100
+
+    def test_advance_only_forward(self):
+        glm = GlobalLockManager()
+        glm.note_update_grant(5, 100)
+        glm.advance_rec_addr(5, 50)
+        assert glm.lock_table_rec_addr(5) == 100
+        glm.advance_rec_addr(5, 300)
+        assert glm.lock_table_rec_addr(5) == 300
+
+    def test_unknown_page(self):
+        glm = GlobalLockManager()
+        assert glm.lock_table_rec_addr(7) == NULL_ADDR
+
+    def test_clear_rec_addr(self):
+        glm = GlobalLockManager()
+        glm.note_update_grant(5, 100)
+        glm.clear_rec_addr(5)
+        assert glm.lock_table_rec_addr(5) == NULL_ADDR
+
+
+class TestGlmCrash:
+    def test_clear_and_reinstall(self):
+        glm = GlobalLockManager()
+        glm.acquire("C1", ("rec", 1, 0), M.X)
+        glm.acquire_p_lock("C1", 5, M.X)
+        glm.clear()
+        assert glm.update_privilege_owner(5) is None
+        glm.reinstall_client_locks(
+            "C1", {("rec", 1, 0): M.X}, {5: M.X}
+        )
+        assert glm.update_privilege_owner(5) == "C1"
+        assert glm.holders(("rec", 1, 0)) == {"C1": M.X}
+
+
+def make_llm(glm, client_id="C1", cache=True):
+    messages = {"requests": 0, "releases": 0}
+
+    def request(resource, mode):
+        messages["requests"] += 1
+        return glm.acquire(client_id, resource, mode)
+
+    def release(resource):
+        messages["releases"] += 1
+        glm.release(client_id, resource)
+
+    return LocalLockManager(client_id, request, release, cache_locks=cache), messages
+
+
+class TestLlm:
+    def test_local_grant_after_global(self):
+        glm = GlobalLockManager()
+        llm, messages = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.S)
+        assert messages["requests"] == 1
+        assert llm.is_held("T1", ("rec", 1, 0), M.S)
+
+    def test_second_txn_reuses_cached_global(self):
+        """Locks are acquired in LLM names precisely so a second local
+        transaction costs no message (section 2.1)."""
+        glm = GlobalLockManager()
+        llm, messages = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.S)
+        llm.release_transaction("T1")
+        llm.acquire("T2", ("rec", 1, 0), M.S)
+        assert messages["requests"] == 1
+        assert llm.local_only_grants == 1
+
+    def test_upgrade_goes_global(self):
+        glm = GlobalLockManager()
+        llm, messages = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.S)
+        llm.acquire("T1", ("rec", 1, 0), M.X)
+        assert messages["requests"] == 2
+        assert glm.holders(("rec", 1, 0)) == {"C1": M.X}
+
+    def test_local_conflict_between_local_txns(self):
+        glm = GlobalLockManager()
+        llm, _ = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.X)
+        with pytest.raises(LockConflictError) as info:
+            llm.acquire("T2", ("rec", 1, 0), M.X)
+        assert info.value.holders == ("T1",)
+
+    def test_no_cache_releases_globals(self):
+        glm = GlobalLockManager()
+        llm, messages = make_llm(glm, cache=False)
+        llm.acquire("T1", ("rec", 1, 0), M.S)
+        llm.release_transaction("T1")
+        assert messages["releases"] == 1
+        assert glm.holders(("rec", 1, 0)) == {}
+
+    def test_relinquish_callback_when_idle(self):
+        glm = GlobalLockManager()
+        llm, _ = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.S)
+        llm.release_transaction("T1")            # cached globally
+        assert llm.try_relinquish(("rec", 1, 0)) is True
+        assert llm.callbacks_honored == 1
+
+    def test_relinquish_refused_when_held_locally(self):
+        glm = GlobalLockManager()
+        llm, _ = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.S)
+        assert llm.try_relinquish(("rec", 1, 0)) is False
+
+    def test_crash_clears_state(self):
+        glm = GlobalLockManager()
+        llm, _ = make_llm(glm)
+        llm.acquire("T1", ("rec", 1, 0), M.X)
+        llm.crash()
+        assert llm.global_locks_snapshot() == {}
+        assert not llm.is_held("T1", ("rec", 1, 0), M.X)

@@ -1,0 +1,122 @@
+"""Unit tests for index logical-undo helpers and error paths."""
+
+import pytest
+
+from repro.core.apply import UndoEffect
+from repro.core.log_records import UpdateOp, UpdateRecord
+from repro.errors import RecoveryInvariantError
+from repro.index import node
+from repro.index.undo import (
+    ROOT_META,
+    decode_index_key,
+    encode_index_key,
+    find_leaf,
+    logical_undo_effect,
+)
+from repro.storage.page import Page, PageKind
+
+
+def build_tiny_tree():
+    """anchor(0) -> root internal(1) -> leaves 2 (low) and 3 (>= b'm')."""
+    pages = {}
+    anchor = Page(0, PageKind.DATA)
+    anchor.set_meta(ROOT_META, 1)
+    root = Page(1, PageKind.INDEX_INTERNAL)
+    root.set_meta(node.LEVEL_KEY, 1)
+    root.insert_record(node.encode_branch_entry(node.LOW_KEY, 2))
+    root.insert_record(node.encode_branch_entry(b"m", 3))
+    left = Page(2, PageKind.INDEX_LEAF)
+    left.set_meta(node.LEVEL_KEY, 0)
+    left.set_meta(node.NEXT_KEY, 3)
+    left.insert_record(node.encode_leaf_entry(b"a", b"1"))
+    right = Page(3, PageKind.INDEX_LEAF)
+    right.set_meta(node.LEVEL_KEY, 0)
+    right.set_meta(node.NEXT_KEY, node.NO_SIBLING)
+    right.insert_record(node.encode_leaf_entry(b"z", b"26"))
+    for page in (anchor, root, left, right):
+        pages[page.page_id] = page
+    return pages
+
+
+def idx_record(op, key, before=None, page_id=2, slot=0):
+    return UpdateRecord(
+        lsn=5, client_id="C1", txn_id="T1", prev_lsn=4, page_id=page_id,
+        op=op, slot=slot, before=before,
+        key=encode_index_key(0, key),
+    )
+
+
+class TestKeyPayload:
+    def test_round_trip(self):
+        payload = encode_index_key(42, b"key-bytes")
+        assert decode_index_key(payload) == (42, b"key-bytes")
+
+
+class TestFindLeaf:
+    def test_routes_by_separator(self):
+        pages = build_tiny_tree()
+        assert find_leaf(0, b"a", pages.__getitem__).page_id == 2
+        assert find_leaf(0, b"m", pages.__getitem__).page_id == 3
+        assert find_leaf(0, b"zz", pages.__getitem__).page_id == 3
+
+    def test_non_anchor_rejected(self):
+        pages = build_tiny_tree()
+        with pytest.raises(RecoveryInvariantError):
+            find_leaf(2, b"a", pages.__getitem__)  # a leaf, not an anchor
+
+
+class TestLogicalUndoEffect:
+    def test_undo_insert_targets_current_home(self):
+        """The record says the key was inserted into page 2, but it has
+        since migrated to page 3 — undo must find it there."""
+        pages = build_tiny_tree()
+        pages[3].insert_record(node.encode_leaf_entry(b"q", b"17"))
+        record = idx_record(UpdateOp.INDEX_INSERT, b"q", page_id=2)
+        effect = logical_undo_effect(record, pages.__getitem__)
+        assert effect.page_id == 3
+        assert effect.op is UpdateOp.INDEX_DELETE
+
+    def test_undo_insert_missing_key_is_invariant_error(self):
+        pages = build_tiny_tree()
+        record = idx_record(UpdateOp.INDEX_INSERT, b"ghost")
+        with pytest.raises(RecoveryInvariantError):
+            logical_undo_effect(record, pages.__getitem__)
+
+    def test_undo_delete_reinserts_before_image(self):
+        pages = build_tiny_tree()
+        image = node.encode_leaf_entry(b"b", b"2")
+        record = idx_record(UpdateOp.INDEX_DELETE, b"b", before=image)
+        effect = logical_undo_effect(record, pages.__getitem__)
+        assert effect.op is UpdateOp.INDEX_INSERT
+        assert effect.page_id == 2           # covering leaf for b"b"
+        assert effect.after == image
+
+    def test_undo_delete_without_before_image_rejected(self):
+        pages = build_tiny_tree()
+        record = idx_record(UpdateOp.INDEX_DELETE, b"b", before=None)
+        with pytest.raises(RecoveryInvariantError):
+            logical_undo_effect(record, pages.__getitem__)
+
+    def test_non_index_op_rejected(self):
+        pages = build_tiny_tree()
+        record = idx_record(UpdateOp.RECORD_MODIFY, b"b", before=b"x")
+        with pytest.raises(RecoveryInvariantError):
+            logical_undo_effect(record, pages.__getitem__)
+
+    def test_missing_key_payload_rejected(self):
+        pages = build_tiny_tree()
+        record = UpdateRecord(lsn=5, client_id="C1", txn_id="T1", prev_lsn=4,
+                              page_id=2, op=UpdateOp.INDEX_INSERT, slot=0)
+        with pytest.raises(RecoveryInvariantError):
+            logical_undo_effect(record, pages.__getitem__)
+
+    def test_full_leaf_on_reinsert_rejected(self):
+        pages = build_tiny_tree()
+        big = b"x" * 900
+        leaf = pages[2]
+        while leaf.has_room_for(node.encode_leaf_entry(b"fill", big)):
+            leaf.insert_record(node.encode_leaf_entry(b"fill", big))
+        image = node.encode_leaf_entry(b"b", b"y" * 600)
+        record = idx_record(UpdateOp.INDEX_DELETE, b"b", before=image)
+        with pytest.raises(RecoveryInvariantError, match="no room"):
+            logical_undo_effect(record, pages.__getitem__)

@@ -1,0 +1,87 @@
+"""Unit tests for the lock-mode lattice."""
+
+import itertools
+
+import pytest
+
+from repro.locking.lock_modes import (
+    LockMode,
+    compatible,
+    covers,
+    is_update_mode,
+    supremum,
+)
+
+M = LockMode
+
+
+class TestCompatibility:
+    def test_x_conflicts_with_everything(self):
+        for mode in M:
+            assert not compatible(M.X, mode)
+            assert not compatible(mode, M.X)
+
+    def test_shared_modes(self):
+        assert compatible(M.S, M.S)
+        assert compatible(M.IS, M.S)
+        assert compatible(M.S, M.IS)
+
+    def test_intents(self):
+        assert compatible(M.IX, M.IX)
+        assert compatible(M.IS, M.IX)
+        assert not compatible(M.IX, M.S)
+        assert not compatible(M.SIX, M.IX)
+        assert compatible(M.SIX, M.IS)
+
+    def test_update_mode_asymmetry(self):
+        """U is the classic asymmetric mode: U permits existing S readers,
+        but a new S request against a held U is allowed in our matrix only
+        one way (S holders admit U; U holders admit S)."""
+        assert compatible(M.S, M.U)
+        assert compatible(M.U, M.S)
+        assert not compatible(M.U, M.U)
+
+
+class TestSupremum:
+    def test_symmetry(self):
+        for a, b in itertools.product(M, M):
+            assert supremum(a, b) is supremum(b, a)
+
+    def test_idempotent(self):
+        for mode in M:
+            assert supremum(mode, mode) is mode
+
+    def test_known_conversions(self):
+        assert supremum(M.IX, M.S) is M.SIX
+        assert supremum(M.IS, M.X) is M.X
+        assert supremum(M.S, M.U) is M.U
+        assert supremum(M.U, M.IX) is M.X
+
+    def test_supremum_covers_both(self):
+        for a, b in itertools.product(M, M):
+            lub = supremum(a, b)
+            assert covers(lub, a)
+            assert covers(lub, b)
+
+
+class TestCovers:
+    def test_x_covers_all(self):
+        for mode in M:
+            assert covers(M.X, mode)
+
+    def test_s_does_not_cover_x(self):
+        assert not covers(M.S, M.X)
+
+    def test_six_covers_s_and_ix(self):
+        assert covers(M.SIX, M.S)
+        assert covers(M.SIX, M.IX)
+
+
+class TestUpdateModes:
+    def test_update_modes(self):
+        assert is_update_mode(M.X)
+        assert is_update_mode(M.IX)
+        assert is_update_mode(M.SIX)
+        assert not is_update_mode(M.S)
+        assert not is_update_mode(M.IS)
+        assert not is_update_mode(M.U)

@@ -1,0 +1,132 @@
+"""Unit tests for the lock table (shared by GLM and LLMs)."""
+
+import pytest
+
+from repro.core.lsn import NULL_ADDR
+from repro.errors import LockConflictError, LockNotHeldError
+from repro.locking.lock_modes import LockMode
+from repro.locking.lock_table import LockTable
+
+M = LockMode
+R = ("rec", 1, 0)
+
+
+@pytest.fixture
+def table():
+    return LockTable("test")
+
+
+class TestAcquire:
+    def test_grant(self, table):
+        assert table.acquire("A", R, M.S) is M.S
+        assert table.held_mode("A", R) is M.S
+
+    def test_shared_grant(self, table):
+        table.acquire("A", R, M.S)
+        table.acquire("B", R, M.S)
+        assert set(table.holders(R)) == {"A", "B"}
+
+    def test_conflict_raises_with_holders(self, table):
+        table.acquire("A", R, M.S)
+        with pytest.raises(LockConflictError) as info:
+            table.acquire("B", R, M.X)
+        assert info.value.holders == ("A",)
+        assert table.held_mode("B", R) is None  # nothing granted
+
+    def test_conversion_upgrade(self, table):
+        table.acquire("A", R, M.S)
+        assert table.acquire("A", R, M.X) is M.X
+
+    def test_conversion_blocked_by_others(self, table):
+        table.acquire("A", R, M.S)
+        table.acquire("B", R, M.S)
+        with pytest.raises(LockConflictError):
+            table.acquire("A", R, M.X)
+        # The held S lock is untouched by the failed conversion.
+        assert table.held_mode("A", R) is M.S
+
+    def test_conversion_to_supremum(self, table):
+        table.acquire("A", R, M.IX)
+        assert table.acquire("A", R, M.S) is M.SIX
+
+    def test_reacquire_weaker_is_noop(self, table):
+        table.acquire("A", R, M.X)
+        assert table.acquire("A", R, M.S) is M.X
+
+    def test_try_acquire(self, table):
+        table.acquire("A", R, M.X)
+        assert table.try_acquire("B", R, M.S) is None
+        assert table.try_acquire("A", R, M.X) is M.X
+
+    def test_counters(self, table):
+        table.acquire("A", R, M.S)
+        table.try_acquire("B", R, M.X)
+        assert table.requests == 2
+        assert table.grants == 1
+        assert table.conflicts == 1
+
+
+class TestRelease:
+    def test_release(self, table):
+        table.acquire("A", R, M.X)
+        table.release("A", R)
+        assert table.held_mode("A", R) is None
+        table.acquire("B", R, M.X)  # now grantable
+
+    def test_release_not_held(self, table):
+        with pytest.raises(LockNotHeldError):
+            table.release("A", R)
+
+    def test_release_all(self, table):
+        table.acquire("A", R, M.S)
+        table.acquire("A", ("rec", 2, 0), M.X)
+        table.acquire("B", R, M.S)
+        released = table.release_all("A")
+        assert len(released) == 2
+        assert table.holders(R) == {"B": M.S}
+
+    def test_downgrade(self, table):
+        table.acquire("A", R, M.X)
+        table.downgrade("A", R, M.S)
+        table.acquire("B", R, M.S)
+
+    def test_entry_removed_when_empty(self, table):
+        table.acquire("A", R, M.S)
+        table.release("A", R)
+        assert table.entry(R) is None
+
+    def test_entry_with_rec_addr_retained(self, table):
+        """Section 2.6.2: the RecAddr kept in a lock entry must survive
+        the lock itself being released."""
+        table.acquire("A", R, M.X)
+        table.entry(R).rec_addr = 123
+        table.release("A", R)
+        assert table.entry(R) is not None
+        assert table.entry(R).rec_addr == 123
+
+
+class TestInspection:
+    def test_is_held_uses_covers(self, table):
+        table.acquire("A", R, M.X)
+        assert table.is_held("A", R, M.S)
+        assert table.is_held("A", R, M.X)
+
+    def test_resources_held_by(self, table):
+        table.acquire("A", R, M.S)
+        table.acquire("A", ("tab", "t"), M.IS)
+        assert len(table.resources_held_by("A")) == 2
+
+    def test_lock_count(self, table):
+        table.acquire("A", R, M.S)
+        table.acquire("B", R, M.S)
+        assert table.lock_count() == 2
+
+    def test_max_mode(self, table):
+        table.acquire("A", R, M.IS)
+        table.acquire("B", R, M.IX)
+        assert table.entry(R).max_mode() is M.IX
+
+    def test_clear(self, table):
+        table.acquire("A", R, M.X)
+        table.clear()
+        assert table.held_mode("A", R) is None

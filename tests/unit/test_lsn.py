@@ -1,0 +1,78 @@
+"""Unit tests for LSN assignment (the section 2.2 rule)."""
+
+from repro.core.lsn import LsnClock, NULL_LSN
+
+
+class TestNextLsn:
+    def test_first_lsn_is_positive(self):
+        clock = LsnClock()
+        assert clock.next_lsn() == 1
+
+    def test_monotonic_within_system(self):
+        clock = LsnClock()
+        lsns = [clock.next_lsn() for _ in range(100)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 100
+
+    def test_monotonic_across_pages(self):
+        """Section 2.2: monotonic even across records for different pages
+        (the contrast with Lomet's per-page proposal)."""
+        clock = LsnClock()
+        a = clock.next_lsn(page_lsn=0)
+        b = clock.next_lsn(page_lsn=0)   # different page, lower page_LSN
+        assert b > a
+
+    def test_exceeds_page_lsn(self):
+        """The new LSN must exceed the updated page's current page_LSN,
+        even when another system wrote that page with a higher LSN."""
+        clock = LsnClock()
+        clock.next_lsn()  # local max = 1
+        lsn = clock.next_lsn(page_lsn=500)  # page last written elsewhere
+        assert lsn == 501
+        assert clock.next_lsn() == 502
+
+    def test_exceeds_local_max(self):
+        clock = LsnClock()
+        clock.next_lsn(page_lsn=100)
+        assert clock.next_lsn(page_lsn=0) == 102
+
+
+class TestLamportMerge:
+    def test_observe_max_lsn_advances(self):
+        clock = LsnClock()
+        assert clock.observe_max_lsn(50) is True
+        assert clock.local_max_lsn == 50
+        assert clock.next_lsn() == 51
+
+    def test_observe_smaller_is_noop(self):
+        clock = LsnClock()
+        clock.next_lsn(page_lsn=99)
+        assert clock.observe_max_lsn(10) is False
+        assert clock.local_max_lsn == 100
+
+    def test_advances_counted(self):
+        clock = LsnClock()
+        clock.observe_max_lsn(5)
+        clock.observe_max_lsn(3)
+        clock.observe_max_lsn(9)
+        assert clock.advances_from_peer == 2
+
+    def test_observe_lsn_folds_in(self):
+        clock = LsnClock()
+        clock.observe_lsn(7)
+        clock.observe_lsn(4)
+        assert clock.local_max_lsn == 7
+        assert clock.next_lsn() == 8
+
+
+class TestTwoClocksScenario:
+    def test_independent_clients_stay_page_monotonic(self):
+        """Two clients alternately updating one page: the page_LSN chain
+        must strictly increase despite independent clocks."""
+        c1, c2 = LsnClock(), LsnClock()
+        page_lsn = NULL_LSN
+        for i in range(20):
+            clock = c1 if i % 2 == 0 else c2
+            new = clock.next_lsn(page_lsn)
+            assert new > page_lsn
+            page_lsn = new

@@ -1,0 +1,112 @@
+"""Unit tests for the simulated network and traffic accounting."""
+
+import pytest
+
+from repro.core.log_records import CommitRecord
+from repro.errors import NodeUnavailableError
+from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
+from repro.net.network import Network
+from repro.storage.page import Page, PageKind
+
+
+class TestAvailability:
+    def test_send_between_up_nodes(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.send("A", "B", MsgType.ACK)
+        assert net.stats.messages == 1
+
+    def test_send_to_down_node_fails(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.crash("B")
+        with pytest.raises(NodeUnavailableError):
+            net.send("A", "B", MsgType.ACK)
+
+    def test_send_from_down_node_fails(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.crash("A")
+        with pytest.raises(NodeUnavailableError):
+            net.send("A", "B", MsgType.ACK)
+
+    def test_restore(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.crash("B")
+        net.restore("B")
+        net.send("A", "B", MsgType.ACK)
+
+    def test_crash_unknown_node(self):
+        net = Network()
+        with pytest.raises(NodeUnavailableError):
+            net.crash("ghost")
+
+    def test_up_nodes(self):
+        net = Network()
+        for node in ("C", "A", "B"):
+            net.register(node)
+        net.crash("B")
+        assert net.up_nodes() == ("A", "C")
+
+
+class TestAccounting:
+    def test_by_type_counts(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.send("A", "B", MsgType.PAGE_SHIP)
+        net.send("A", "B", MsgType.PAGE_SHIP)
+        net.send("B", "A", MsgType.ACK)
+        assert net.stats.count(MsgType.PAGE_SHIP) == 2
+        assert net.stats.count(MsgType.ACK) == 1
+        assert net.stats.by_pair[("A", "B")] == 2
+
+    def test_bytes_include_overhead(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.send("A", "B", MsgType.LOG_SHIP, b"12345")
+        assert net.stats.bytes == MESSAGE_OVERHEAD + 5
+
+    def test_reset(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.send("A", "B", MsgType.ACK)
+        net.reset_stats()
+        assert net.stats.messages == 0
+
+    def test_snapshot_keys(self):
+        net = Network()
+        net.register("A")
+        net.register("B")
+        net.send("A", "B", MsgType.LOCK_REQUEST)
+        snap = net.stats.snapshot()
+        assert snap["messages"] == 1
+        assert snap["lock-request"] == 1
+
+
+class TestPayloadSize:
+    def test_page_charged_at_full_block_size(self):
+        """A page transfer ships the fixed-size block, not the compacted
+        image — however empty the page is."""
+        page = Page(1, PageKind.DATA, page_size=4096)
+        page.insert_record(b"x" * 100)
+        assert payload_size(page) == 4096
+        small = Page(2, PageKind.DATA, page_size=1024)
+        assert payload_size(small) == 1024
+
+    def test_log_record_sized_by_encoding(self):
+        record = CommitRecord(lsn=1, client_id="C", txn_id="T", prev_lsn=0)
+        assert payload_size(record) > 0
+
+    def test_collections_sum(self):
+        assert payload_size([b"ab", b"cd"]) == 4
+        assert payload_size(None) == 0
+        assert payload_size(7) == 8
+        assert payload_size("abc") == 3

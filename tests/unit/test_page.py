@@ -1,0 +1,170 @@
+"""Unit tests for slotted pages."""
+
+import pytest
+
+from repro.errors import (
+    PageCorruptedError,
+    PageFullError,
+    RecordExistsError,
+    RecordNotFoundError,
+)
+from repro.storage.page import Page, PageKind
+
+
+@pytest.fixture
+def page() -> Page:
+    p = Page(7, PageKind.DATA, page_size=1024)
+    p.format(PageKind.DATA)
+    return p
+
+
+class TestRecords:
+    def test_insert_read(self, page):
+        slot = page.insert_record(b"hello")
+        assert page.read_record(slot) == b"hello"
+        assert page.record_count == 1
+
+    def test_auto_slots_increase(self, page):
+        slots = [page.insert_record(b"x") for _ in range(5)]
+        assert slots == [0, 1, 2, 3, 4]
+
+    def test_explicit_slot(self, page):
+        page.insert_record(b"a", slot=10)
+        assert page.read_record(10) == b"a"
+        # Auto-placement continues after the highest used slot.
+        assert page.insert_record(b"b") == 11
+
+    def test_insert_into_occupied_slot_rejected(self, page):
+        page.insert_record(b"a", slot=0)
+        with pytest.raises(RecordExistsError):
+            page.insert_record(b"b", slot=0)
+
+    def test_modify_returns_before_image(self, page):
+        slot = page.insert_record(b"v1")
+        assert page.modify_record(slot, b"v2") == b"v1"
+        assert page.read_record(slot) == b"v2"
+
+    def test_delete_returns_before_image(self, page):
+        slot = page.insert_record(b"gone")
+        assert page.delete_record(slot) == b"gone"
+        assert not page.has_record(slot)
+
+    def test_deleted_slot_not_auto_reused(self, page):
+        """Slot identity stays stable so physical redo replays exactly."""
+        slot = page.insert_record(b"a")
+        page.delete_record(slot)
+        assert page.insert_record(b"b") == slot + 1
+
+    def test_missing_slot_raises(self, page):
+        with pytest.raises(RecordNotFoundError):
+            page.read_record(3)
+        with pytest.raises(RecordNotFoundError):
+            page.modify_record(3, b"")
+        with pytest.raises(RecordNotFoundError):
+            page.delete_record(3)
+
+    def test_records_iterates_in_slot_order(self, page):
+        page.insert_record(b"b", slot=2)
+        page.insert_record(b"a", slot=1)
+        assert [slot for slot, _ in page.records()] == [1, 2]
+
+
+class TestSpaceAccounting:
+    def test_page_full(self, page):
+        big = b"x" * 400
+        page.insert_record(big)
+        page.insert_record(big)
+        with pytest.raises(PageFullError):
+            page.insert_record(big)
+
+    def test_grow_beyond_capacity_rejected(self, page):
+        slot = page.insert_record(b"small")
+        with pytest.raises(PageFullError):
+            page.modify_record(slot, b"y" * 2000)
+
+    def test_free_bytes_recovers_after_delete(self, page):
+        before = page.free_bytes
+        slot = page.insert_record(b"payload")
+        assert page.free_bytes < before
+        page.delete_record(slot)
+        assert page.free_bytes == before
+
+    def test_has_room_for(self, page):
+        assert page.has_room_for(b"x" * 100)
+        assert not page.has_room_for(b"x" * 5000)
+
+
+class TestMeta:
+    def test_set_get(self, page):
+        assert page.set_meta("level", 2) is None
+        assert page.get_meta("level") == 2
+        assert page.set_meta("level", 3) == 2
+
+    def test_meta_types(self, page):
+        page.set_meta("s", "str")
+        page.set_meta("b", b"bytes")
+        page.set_meta("n", None)
+        assert page.get_meta("s") == "str"
+        assert page.get_meta("b") == b"bytes"
+        assert page.get_meta("n") is None
+
+
+class TestSerialization:
+    def test_round_trip(self, page):
+        page.insert_record(b"one")
+        page.insert_record(b"two", slot=5)
+        page.set_meta("next", 42)
+        page.page_lsn = 99
+        clone = Page.from_bytes(page.to_bytes())
+        assert clone.page_id == page.page_id
+        assert clone.kind is page.kind
+        assert clone.page_lsn == 99
+        assert clone.read_record(0) == b"one"
+        assert clone.read_record(5) == b"two"
+        assert clone.get_meta("next") == 42
+        assert clone.next_free_slot() == page.next_free_slot()
+
+    def test_crc_detects_corruption(self, page):
+        image = bytearray(page.to_bytes())
+        image[10] ^= 0xFF
+        with pytest.raises(PageCorruptedError):
+            Page.from_bytes(bytes(image))
+
+    def test_snapshot_is_deep(self, page):
+        slot = page.insert_record(b"v1")
+        snap = page.snapshot()
+        page.modify_record(slot, b"v2")
+        assert snap.read_record(slot) == b"v1"
+
+    def test_content_equal_ignores_lsn(self, page):
+        snap = page.snapshot()
+        snap.page_lsn = 123
+        assert page.content_equal(snap)
+
+
+class TestCorruption:
+    def test_corrupt_blocks_access(self, page):
+        page.insert_record(b"x")
+        page.corrupt()
+        with pytest.raises(PageCorruptedError):
+            page.read_record(0)
+        with pytest.raises(PageCorruptedError):
+            page.to_bytes()
+
+    def test_format_clears_corruption(self, page):
+        page.corrupt()
+        page.format(PageKind.DATA)
+        assert not page.corrupted
+        page.insert_record(b"fresh")
+
+
+class TestFormat:
+    def test_format_resets_content_keeps_lsn(self, page):
+        page.insert_record(b"old")
+        page.set_meta("k", 1)
+        page.format(PageKind.INDEX_LEAF, page_lsn=77)
+        assert page.kind is PageKind.INDEX_LEAF
+        assert page.page_lsn == 77
+        assert page.record_count == 0
+        assert page.get_meta("k") is None
+        assert page.next_free_slot() == 0

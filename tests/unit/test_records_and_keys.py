@@ -1,0 +1,103 @@
+"""Unit tests for record ids, value encoding, key encoding, node layout."""
+
+import pytest
+
+from repro.index import keys as K
+from repro.index import node
+from repro.records.heap import RecordId, decode_value, encode_value, scan_page
+from repro.storage.page import Page, PageKind
+
+
+class TestRecordId:
+    def test_ordering(self):
+        assert RecordId(1, 2) < RecordId(1, 3) < RecordId(2, 0)
+
+    def test_str(self):
+        assert str(RecordId(3, 7)) == "3.7"
+
+    def test_hashable(self):
+        assert len({RecordId(1, 1), RecordId(1, 1), RecordId(1, 2)}) == 2
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        "text", 42, b"raw", ("a", 1), None, (1, (2, "x")),
+    ])
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestScanPage:
+    def test_scan_data_page(self):
+        page = Page(4, PageKind.DATA)
+        page.insert_record(encode_value("one"))
+        page.insert_record(encode_value("two"))
+        results = list(scan_page(page))
+        assert results == [
+            (RecordId(4, 0), "one"), (RecordId(4, 1), "two"),
+        ]
+
+    def test_scan_non_data_page_empty(self):
+        page = Page(0, PageKind.SPACE_MAP)
+        assert list(scan_page(page)) == []
+
+
+class TestKeyEncoding:
+    def test_int_order_preserved(self):
+        values = [-1000, -1, 0, 1, 7, 1000, 2 ** 40]
+        encoded = [K.encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_int_round_trip(self):
+        for value in (-5, 0, 123456):
+            assert K.decode_int_key(K.encode_key(value)) == value
+
+    def test_string_and_bytes(self):
+        assert K.encode_key("abc") == b"abc"
+        assert K.encode_key(b"\x01") == b"\x01"
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            K.encode_key(True)
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(TypeError):
+            K.encode_key(3.14)
+
+
+class TestNodeLayout:
+    def test_leaf_entries_sorted(self):
+        page = Page(5, PageKind.INDEX_LEAF)
+        page.set_meta(node.LEVEL_KEY, 0)
+        page.insert_record(node.encode_leaf_entry(b"b", b"2"))
+        page.insert_record(node.encode_leaf_entry(b"a", b"1"))
+        entries = node.leaf_entries(page)
+        assert [e.key for e in entries] == [b"a", b"b"]
+
+    def test_find_leaf_entry(self):
+        page = Page(5, PageKind.INDEX_LEAF)
+        slot = page.insert_record(node.encode_leaf_entry(b"k", b"v"))
+        entry = node.find_leaf_entry(page, b"k")
+        assert entry is not None and entry.slot == slot and entry.value == b"v"
+        assert node.find_leaf_entry(page, b"zz") is None
+
+    def test_child_for_routing(self):
+        page = Page(6, PageKind.INDEX_INTERNAL)
+        page.insert_record(node.encode_branch_entry(node.LOW_KEY, 10))
+        page.insert_record(node.encode_branch_entry(b"m", 20))
+        assert node.child_for(page, b"a") == 10
+        assert node.child_for(page, b"m") == 20
+        assert node.child_for(page, b"z") == 20
+
+    def test_child_for_empty_raises(self):
+        page = Page(6, PageKind.INDEX_INTERNAL)
+        with pytest.raises(ValueError):
+            node.child_for(page, b"a")
+
+    def test_meta_helpers(self):
+        page = Page(5, PageKind.INDEX_LEAF)
+        assert node.is_leaf(page)
+        assert node.level_of(page) == 0
+        assert node.next_sibling(page) == node.NO_SIBLING
+        page.set_meta(node.NEXT_KEY, 9)
+        assert node.next_sibling(page) == 9

@@ -1,0 +1,120 @@
+"""Unit-level tests for the cooperative scheduler."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.harness.scheduler import Scheduler, TxnOutcomeKind
+from repro.workloads.generator import seed_table
+
+
+@pytest.fixture
+def sys_rids():
+    config = SystemConfig(client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=4, free_pages=4)
+    rids = seed_table(system, "C1", "t", 4, 4)
+    return system, rids
+
+
+class TestSchedulerMechanics:
+    def test_empty_schedule(self, sys_rids):
+        system, _ = sys_rids
+        result = Scheduler(system).run([])
+        assert result.committed == 0 and result.rounds == 0
+
+    def test_single_program(self, sys_rids):
+        system, rids = sys_rids
+        result = Scheduler(system).run([
+            ("C1", [("update", rids[0], "v"), ("commit",)]),
+        ])
+        assert result.committed == 1
+        assert result.outcomes["S0"] is TxnOutcomeKind.COMMITTED
+
+    def test_all_op_kinds_supported(self, sys_rids):
+        system, rids = sys_rids
+        page_id = rids[0].page_id
+        program = [
+            ("insert", page_id, "new-record"),
+            ("read", rids[0]),
+            ("update", rids[0], "updated"),
+            ("savepoint", "sp"),
+            ("update", rids[1], "doomed"),
+            ("rollback_to", "sp"),
+            ("delete", rids[2]),
+            ("commit",),
+        ]
+        result = Scheduler(system).run([("C1", program)])
+        assert result.committed == 1
+        assert system.current_value(rids[0]) == "updated"
+        assert system.current_value(rids[1]) == ("init", 1)
+        from repro.errors import RecordNotFoundError
+        with pytest.raises(RecordNotFoundError):
+            system.current_value(rids[2])
+
+    def test_unknown_op_raises(self, sys_rids):
+        system, rids = sys_rids
+        with pytest.raises(ValueError):
+            Scheduler(system).run([("C1", [("frobnicate",), ("commit",)])])
+
+    def test_max_rounds_guard(self, sys_rids):
+        system, rids = sys_rids
+        # A single enormous program cannot exceed a tiny round budget.
+        program = [("read", rids[0])] * 10 + [("commit",)]
+        with pytest.raises(RuntimeError):
+            Scheduler(system).run([("C1", program)], max_rounds=3)
+
+    def test_rounds_counted(self, sys_rids):
+        system, rids = sys_rids
+        result = Scheduler(system).run([
+            ("C1", [("read", rids[0]), ("read", rids[1]), ("commit",)]),
+        ])
+        assert result.rounds == 3
+
+    def test_interleaving_is_round_robin(self, sys_rids):
+        """Two 1-op programs finish in the same number of rounds as one:
+        steps interleave rather than serialize."""
+        system, rids = sys_rids
+        result = Scheduler(system).run([
+            ("C1", [("update", rids[0], "a"), ("commit",)]),
+            ("C2", [("update", rids[4], "b"), ("commit",)]),
+        ])
+        assert result.rounds == 2
+
+
+class TestDeadlockPolicy:
+    def test_victim_is_cheapest(self, sys_rids):
+        """The transaction with fewer logged updates dies."""
+        system, rids = sys_rids
+        a, b = rids[0], rids[4]
+        heavy = [("update", a, "h1"), ("update", rids[1], "h2"),
+                 ("update", rids[2], "h3"), ("update", b, "h4"), ("commit",)]
+        light = [("update", b, "l1"), ("update", a, "l2"), ("commit",)]
+        result = Scheduler(system).run([("C1", heavy), ("C2", light)])
+        assert result.outcomes["S0"] is TxnOutcomeKind.COMMITTED
+        assert result.outcomes["S1"] is TxnOutcomeKind.DEADLOCK_VICTIM
+
+    def test_three_way_deadlock(self, sys_rids):
+        system, rids = sys_rids
+        a, b, c = rids[0], rids[4], rids[8]
+        result = Scheduler(system).run([
+            ("C1", [("update", a, 1), ("update", b, 1), ("commit",)]),
+            ("C2", [("update", b, 2), ("update", c, 2), ("commit",)]),
+            ("C1", [("update", c, 3), ("update", a, 3), ("commit",)]),
+        ])
+        assert result.committed + result.deadlock_victims == 3
+        assert result.committed >= 2
+
+    def test_no_progress_without_cycle_raises(self, sys_rids):
+        """A lock held by a node outside the schedule is a configuration
+        error, not a deadlock."""
+        system, rids = sys_rids
+        outside = system.client("C2")
+        txn = outside.begin()
+        outside.update(txn, rids[0], "held-outside")
+        with pytest.raises(RuntimeError):
+            Scheduler(system).run([
+                ("C1", [("update", rids[0], "blocked"), ("commit",)]),
+            ], max_rounds=50)
+        outside.commit(txn)

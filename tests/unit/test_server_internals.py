@@ -1,0 +1,146 @@
+"""Unit-level tests for server internals: mapping fallbacks, WAL flush,
+backups, auto-checkpoints, materialize error paths."""
+
+import pytest
+
+from repro.core.lsn import NULL_ADDR
+from repro.errors import RecoveryError
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+class TestRecLsnMappingFallbacks:
+    def test_known_stream_maps_exactly(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client.commit(txn)
+        addr = system.server._map_rec_lsn("C1", rids[0].page_id, 0)
+        assert addr >= 0
+
+    def test_unknown_client_uses_page_floor(self, seeded):
+        system, rids = seeded
+        system.server._rec_addr_floor[rids[0].page_id] = 123
+        assert system.server._map_rec_lsn("ghost", rids[0].page_id, 5) == 123
+
+    def test_unknown_client_unknown_page_maps_to_zero(self, seeded):
+        system, rids = seeded
+        assert system.server._map_rec_lsn("ghost", 999, 5) == 0
+
+    def test_forwarded_bound_caps_the_mapping(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client.commit(txn)
+        page_id = rids[0].page_id
+        system.server._forwarded_dirty[page_id] = (7, "C2", 99)
+        assert system.server._map_rec_lsn("C1", page_id, 0) <= 7
+        del system.server._forwarded_dirty[page_id]
+
+
+class TestWalFlush:
+    def test_flush_forces_log_first(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client._ship_log_records()      # appended, unforced
+        client._ship_page(rids[0].page_id)
+        bcb = system.server.pool.bcb(rids[0].page_id)
+        assert bcb.force_addr != NULL_ADDR
+        flushed_before = system.server.log.flushed_addr
+        system.server.flush_page(rids[0].page_id)
+        assert system.server.log.flushed_addr > flushed_before
+        assert system.server.disk.stored_lsn(rids[0].page_id) is not None
+        client.commit(txn)
+
+    def test_flush_clean_page_is_noop(self, seeded):
+        system, rids = seeded
+        writes = system.server.disk.writes
+        assert system.server.flush_page(rids[0].page_id) is False
+        assert system.server.disk.writes == writes
+
+    def test_flush_all_counts(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        for rid in rids[:3]:
+            txn = client.begin()
+            client.update(txn, rid, "x")
+            client.commit(txn)
+            client._ship_page(rid.page_id)
+        flushed = system.server.flush_all()
+        assert flushed >= 1
+        assert system.server.pool.dirty_count() == 0
+
+
+class TestAutoCheckpoints:
+    def test_server_auto_checkpoint_fires(self):
+        system = make_system(client_ids=("C1",), data_pages=4,
+                             server_checkpoint_interval=8)
+        rids = seed_table(system, "C1", "t", 4, 2)
+        client = system.client("C1")
+        for i in range(6):
+            txn = client.begin()
+            client.update(txn, rids[i % len(rids)], i)
+            client.commit(txn)
+        assert system.server._master["server_ckpt_begin_addr"] != NULL_ADDR
+
+    def test_disabled_interval_never_fires(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        for i in range(10):
+            txn = client.begin()
+            client.update(txn, rids[0], i)
+            client.commit(txn)
+        assert system.server._master["server_ckpt_begin_addr"] == NULL_ADDR
+
+
+class TestMaterializeErrors:
+    def test_materialize_with_missing_records_rejected(self, seeded):
+        """If the client claims a version the log cannot reach, the
+        transport is broken and must fail loudly."""
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "x")
+        client.commit(txn)
+        with pytest.raises(RecoveryError):
+            system.server.materialize_page("C1", rids[0].page_id,
+                                           rec_lsn=0, version_lsn=10_000)
+
+
+class TestBackupBound:
+    def test_backup_records_min_dirty_bound(self, seeded):
+        system, rids = seeded
+        client = system.client("C1")
+        txn = client.begin()
+        client.update(txn, rids[0], "dirty-at-backup")
+        client.commit(txn)
+        count = system.server.take_backup()
+        assert count > 0
+        page, redo_start = system.server.archive.restore_page(rids[0].page_id)
+        # The recorded bound covers the client-dirty page's RecAddr.
+        mapped = system.server._map_rec_lsn(
+            "C1", rids[0].page_id,
+            client.pool.bcb(rids[0].page_id).rec_lsn,
+        )
+        assert redo_start <= mapped
+
+    def test_backup_on_clean_system_uses_end_of_log(self, system):
+        system.server.take_backup()
+        for page_id in system.server.disk.page_ids():
+            __, redo_start = system.server.archive.restore_page(page_id)
+            assert redo_start == system.server.log.end_of_log_addr
+            break
+
+
+class TestLsnRpc:
+    def test_assign_lsn_rpc_monotonic(self, seeded):
+        system, rids = seeded
+        a = system.server.assign_lsn_rpc("C1", 0)
+        b = system.server.assign_lsn_rpc("C2", 0)
+        c = system.server.assign_lsn_rpc("C1", b + 10)
+        assert a < b < c
+        assert c == b + 11

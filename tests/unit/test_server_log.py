@@ -1,0 +1,97 @@
+"""Unit tests for the server log manager: pairs, mapping, ForceAddr."""
+
+import pytest
+
+from repro.core.log_records import CommitRecord, UpdateOp, UpdateRecord
+from repro.core.lsn import NULL_ADDR
+from repro.core.server_log import ServerLogManager
+
+
+def update(lsn, client="C1", page=1):
+    return UpdateRecord(lsn=lsn, client_id=client, txn_id="T", prev_lsn=0,
+                        page_id=page, op=UpdateOp.RECORD_MODIFY, slot=0,
+                        before=b"a", after=b"b")
+
+
+@pytest.fixture
+def slm():
+    return ServerLogManager()
+
+
+class TestAppend:
+    def test_append_from_client_returns_pairs(self, slm):
+        pairs = slm.append_from_client("C1", [update(1), update(2)])
+        assert [lsn for lsn, _ in pairs] == [1, 2]
+        addrs = [addr for _, addr in pairs]
+        assert addrs == sorted(addrs)
+
+    def test_clock_observes_client_lsns(self, slm):
+        slm.append_from_client("C1", [update(50)])
+        assert slm.max_lsn_seen == 50
+        assert slm.clock.next_lsn() == 51
+
+    def test_force_addr_for_client(self, slm):
+        assert slm.force_addr_for_client("C1") == NULL_ADDR
+        pairs = slm.append_from_client("C1", [update(1)])
+        assert slm.force_addr_for_client("C1") == pairs[0][1]
+        slm.append_from_client("C2", [update(5, client="C2")])
+        # C1's ForceAddr unaffected by C2's records.
+        assert slm.force_addr_for_client("C1") == pairs[0][1]
+
+
+class TestRecLsnMapping:
+    def test_exact_mapping(self, slm):
+        pairs = slm.append_from_client("C1", [update(1), update(2), update(3)])
+        # RecLSN=1 -> first record with LSN > 1 is lsn 2.
+        assert slm.addr_for_rec_lsn("C1", 1) == pairs[1][1]
+
+    def test_rec_lsn_zero_maps_to_first(self, slm):
+        pairs = slm.append_from_client("C1", [update(4), update(5)])
+        assert slm.addr_for_rec_lsn("C1", 0) == pairs[0][1]
+
+    def test_rec_lsn_beyond_all_maps_to_end(self, slm):
+        slm.append_from_client("C1", [update(1)])
+        assert slm.addr_for_rec_lsn("C1", 99) == slm.end_of_log_addr
+
+    def test_unknown_client_maps_to_none(self, slm):
+        assert slm.addr_for_rec_lsn("ghost", 5) is None
+
+    def test_mapping_is_per_client(self, slm):
+        slm.append_from_client("C2", [update(10, client="C2")])
+        pairs = slm.append_from_client("C1", [update(1)])
+        assert slm.addr_for_rec_lsn("C1", 0) == pairs[0][1]
+
+
+class TestCrashRebuild:
+    def test_crash_clears_bookkeeping(self, slm):
+        slm.append_from_client("C1", [update(1)])
+        slm.force()
+        slm.crash()
+        assert slm.addr_for_rec_lsn("C1", 0) is None
+        assert slm.force_addr_for_client("C1") == NULL_ADDR
+
+    def test_observe_during_restart_rebuilds(self, slm):
+        pairs = slm.append_from_client("C1", [update(1), update(2)])
+        slm.force()
+        slm.crash()
+        for (lsn, addr) in pairs:
+            slm.observe_during_restart("C1", lsn, addr)
+        assert slm.addr_for_rec_lsn("C1", 1) == pairs[1][1]
+        assert slm.force_addr_for_client("C1") == pairs[1][1]
+
+    def test_duplicate_observation_tolerated(self, slm):
+        pairs = slm.append_from_client("C1", [update(1)])
+        slm.observe_during_restart("C1", 1, pairs[0][1])
+        assert slm.addr_for_rec_lsn("C1", 0) == pairs[0][1]
+
+
+class TestLocalAppend:
+    def test_append_local_observes_lsn(self, slm):
+        record = CommitRecord(lsn=7, client_id="SERVER", txn_id="T", prev_lsn=0)
+        slm.append_local(record)
+        assert slm.max_lsn_seen == 7
+
+    def test_scan_passthrough(self, slm):
+        slm.append_from_client("C1", [update(1), update(2)])
+        assert [r.lsn for _, r in slm.scan()] == [1, 2]
+        assert [r.lsn for _, r in slm.scan_backward()] == [2, 1]

@@ -1,0 +1,87 @@
+"""Unit tests for space map pages and the segmented layout."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.storage import space_map as sm
+from repro.storage.page import Page, PageKind
+
+
+class TestLayout:
+    def test_segment_arithmetic(self):
+        layout = sm.SpaceMapLayout(coverage=4)
+        assert layout.is_smp(0) and layout.is_smp(5) and layout.is_smp(10)
+        assert not layout.is_smp(1) and not layout.is_smp(4)
+        assert layout.smp_for(3) == 0
+        assert layout.smp_for(6) == 5
+        assert layout.bit_for(1) == 0
+        assert layout.bit_for(4) == 3
+        assert layout.page_for(5, 2) == 8
+
+    def test_round_trip(self):
+        layout = sm.SpaceMapLayout(coverage=7)
+        for page_id in range(1, 40):
+            if layout.is_smp(page_id):
+                continue
+            smp = layout.smp_for(page_id)
+            bit = layout.bit_for(page_id)
+            assert layout.page_for(smp, bit) == page_id
+
+    def test_smp_for_smp_rejected(self):
+        layout = sm.SpaceMapLayout(4)
+        with pytest.raises(AllocationError):
+            layout.smp_for(0)
+
+    def test_page_for_validation(self):
+        layout = sm.SpaceMapLayout(4)
+        with pytest.raises(AllocationError):
+            layout.page_for(1, 0)      # not an SMP
+        with pytest.raises(AllocationError):
+            layout.page_for(0, 4)      # bit out of range
+
+    def test_smp_ids(self):
+        layout = sm.SpaceMapLayout(4)
+        assert list(layout.smp_ids(12)) == [0, 5, 10]
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            sm.SpaceMapLayout(0)
+
+
+class TestBitmap:
+    @pytest.fixture
+    def smp(self):
+        page = Page(0, page_size=1024)
+        sm.format_smp(page, coverage=8)
+        return page
+
+    def test_fresh_smp_all_free(self, smp):
+        assert smp.kind is PageKind.SPACE_MAP
+        assert sm.find_free_bit(smp) == 0
+        assert list(sm.allocated_bits(smp)) == []
+
+    def test_set_and_find(self, smp):
+        assert sm.set_bit(smp, 0, sm.ALLOCATED) == sm.FREE
+        assert sm.find_free_bit(smp) == 1
+        assert list(sm.allocated_bits(smp)) == [0]
+        assert sm.bit_state(smp, 0) == sm.ALLOCATED
+
+    def test_set_returns_previous(self, smp):
+        sm.set_bit(smp, 3, sm.ALLOCATED)
+        assert sm.set_bit(smp, 3, sm.FREE) == sm.ALLOCATED
+
+    def test_full_smp(self, smp):
+        for bit in range(8):
+            sm.set_bit(smp, bit, sm.ALLOCATED)
+        assert sm.find_free_bit(smp) is None
+
+    def test_bit_bounds(self, smp):
+        with pytest.raises(AllocationError):
+            sm.set_bit(smp, 8, sm.ALLOCATED)
+        with pytest.raises(AllocationError):
+            sm.bit_state(smp, -1)
+
+    def test_non_smp_page_rejected(self):
+        page = Page(1, PageKind.DATA)
+        with pytest.raises(AllocationError):
+            sm.bitmap(page)

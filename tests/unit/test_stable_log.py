@@ -1,0 +1,139 @@
+"""Unit tests for the stable log: addresses, force, crash truncation."""
+
+import pytest
+
+from repro.core.log_records import CommitRecord, UpdateRecord, UpdateOp
+from repro.errors import LogRecordNotFoundError
+from repro.storage.stable_log import StableLog
+
+
+def rec(lsn, txn="T1"):
+    return UpdateRecord(lsn=lsn, client_id="C1", txn_id=txn, prev_lsn=lsn - 1,
+                        page_id=1, op=UpdateOp.RECORD_MODIFY, slot=0,
+                        before=b"a", after=b"b")
+
+
+@pytest.fixture
+def log():
+    return StableLog()
+
+
+class TestAppendRead:
+    def test_addresses_increase(self, log):
+        addrs = [log.append(rec(i)) for i in range(1, 6)]
+        assert addrs == sorted(addrs)
+        assert len(set(addrs)) == 5
+        assert addrs[0] == 0
+
+    def test_read_at(self, log):
+        addr = log.append(rec(1))
+        log.append(rec(2))
+        assert log.read_at(addr).lsn == 1
+
+    def test_read_at_bad_addr(self, log):
+        log.append(rec(1))
+        with pytest.raises(LogRecordNotFoundError):
+            log.read_at(3)
+
+    def test_end_of_log_advances(self, log):
+        start = log.end_of_log_addr
+        log.append(rec(1))
+        assert log.end_of_log_addr > start
+
+
+class TestScan:
+    def test_scan_all(self, log):
+        for i in range(1, 4):
+            log.append(rec(i))
+        lsns = [record.lsn for _, record in log.scan()]
+        assert lsns == [1, 2, 3]
+
+    def test_scan_from_addr(self, log):
+        log.append(rec(1))
+        addr2 = log.append(rec(2))
+        log.append(rec(3))
+        assert [r.lsn for _, r in log.scan(addr2)] == [2, 3]
+
+    def test_scan_from_between_frames_is_conservative(self, log):
+        log.append(rec(1))
+        addr2 = log.append(rec(2))
+        # An address just before a frame start begins at that frame.
+        assert [r.lsn for _, r in log.scan(addr2 - 1)] == [2]
+
+    def test_scan_with_upper_bound(self, log):
+        log.append(rec(1))
+        addr2 = log.append(rec(2))
+        log.append(rec(3))
+        assert [r.lsn for _, r in log.scan(0, addr2)] == [1]
+
+    def test_scan_backward(self, log):
+        for i in range(1, 5):
+            log.append(rec(i))
+        assert [r.lsn for _, r in log.scan_backward()] == [4, 3, 2, 1]
+
+    def test_scan_backward_bounded(self, log):
+        log.append(rec(1))
+        addr2 = log.append(rec(2))
+        log.append(rec(3))
+        assert [r.lsn for _, r in log.scan_backward(down_to_addr=addr2)] == [3, 2]
+
+    def test_records_between(self, log):
+        a1 = log.append(rec(1))
+        a2 = log.append(rec(2))
+        log.append(rec(3))
+        assert log.records_between(a1) == 3
+        assert log.records_between(a2) == 2
+
+
+class TestForceAndCrash:
+    def test_unforced_tail_lost(self, log):
+        a1 = log.append(rec(1))
+        log.append(rec(2))
+        log.force(a1)
+        log.crash()
+        assert log.record_count() == 1
+        assert log.records_lost_last_crash == 1
+
+    def test_force_all(self, log):
+        for i in range(1, 4):
+            log.append(rec(i))
+        log.force()
+        log.crash()
+        assert log.record_count() == 3
+        assert log.records_lost_last_crash == 0
+
+    def test_crash_with_nothing_forced_loses_all(self, log):
+        log.append(rec(1))
+        log.append(rec(2))
+        log.crash()
+        assert log.record_count() == 0
+
+    def test_is_stable(self, log):
+        a1 = log.append(rec(1))
+        a2 = log.append(rec(2))
+        log.force(a1)
+        assert log.is_stable(a1)
+        assert not log.is_stable(a2)
+
+    def test_force_is_idempotent(self, log):
+        a1 = log.append(rec(1))
+        log.force(a1)
+        forces = log.forces
+        log.force(a1)
+        assert log.forces == forces  # no-op not charged
+
+    def test_appends_after_crash_continue_addresses(self, log):
+        a1 = log.append(rec(1))
+        log.force()
+        log.append(rec(2))
+        log.crash()
+        a3 = log.append(rec(3))
+        assert a3 > a1
+        assert [r.lsn for _, r in log.scan()] == [1, 3]
+
+    def test_flushed_addr_after_crash_matches_end(self, log):
+        log.append(rec(1))
+        log.force()
+        log.append(rec(2))
+        log.crash()
+        assert log.flushed_addr == log.end_of_log_addr

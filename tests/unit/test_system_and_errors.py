@@ -1,0 +1,137 @@
+"""Unit tests: the system facade, catalog, and error hierarchy."""
+
+import pytest
+
+import repro.errors as E
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+
+
+@pytest.fixture
+def bare_system():
+    return ClientServerSystem(SystemConfig(), client_ids=["C1"])
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        roots = [
+            E.StorageError, E.LogError, E.LockError, E.TransactionError,
+            E.NetworkError, E.RecoveryError, E.RecordError,
+        ]
+        for cls in roots:
+            assert issubclass(cls, E.ReproError)
+
+    def test_specific_errors_carry_context(self):
+        err = E.PageNotFoundError(7)
+        assert err.page_id == 7
+        err = E.RecordNotFoundError(3, 2)
+        assert (err.page_id, err.slot) == (3, 2)
+        err = E.LockConflictError(("rec", 1, 0), "X", ("C2",))
+        assert err.holders == ("C2",)
+        err = E.DeadlockError("T1", ("T1", "T2"))
+        assert err.victim == "T1"
+        err = E.NodeUnavailableError("C1")
+        assert err.node_id == "C1"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(E.ReproError):
+            raise E.WALViolationError("x")
+        with pytest.raises(E.StorageError):
+            raise E.MediaFailureError(1)
+        with pytest.raises(E.RecoveryError):
+            raise E.CheckpointError("x")
+
+
+class TestCatalog:
+    def test_create_table_assigns_pages(self, bare_system):
+        pages = bare_system.bootstrap(data_pages=6)
+        t1 = bare_system.create_table("t1", 2)
+        t2 = bare_system.create_table("t2", 2)
+        assert set(t1).isdisjoint(t2)
+        assert bare_system.table_pages("t1") == t1
+
+    def test_duplicate_table_rejected(self, bare_system):
+        bare_system.bootstrap(data_pages=4)
+        bare_system.create_table("t", 2)
+        with pytest.raises(E.ReproError):
+            bare_system.create_table("t", 2)
+
+    def test_table_exhaustion_rejected(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        with pytest.raises(E.ReproError):
+            bare_system.create_table("huge", 99)
+
+    def test_page_to_table_mapping_visible_to_clients(self, bare_system):
+        bare_system.bootstrap(data_pages=4)
+        pages = bare_system.create_table("accts", 2)
+        client = bare_system.client("C1")
+        assert client.table_of(pages[0]) == "accts"
+        assert client.table_of(999) is None
+
+    def test_duplicate_client_rejected(self, bare_system):
+        with pytest.raises(E.ReproError):
+            bare_system.add_client("C1")
+
+    def test_add_client_later(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        late = bare_system.add_client("latecomer")
+        txn = late.begin()
+        rid = late.insert(txn, 1, "from-latecomer")
+        late.commit(txn)
+        assert bare_system.current_value(rid) == "from-latecomer"
+
+
+class TestClientApiErrors:
+    def test_ops_on_terminated_txn_rejected(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        client = bare_system.client("C1")
+        txn = client.begin()
+        rid = client.insert(txn, 1, "x")
+        client.commit(txn)
+        with pytest.raises(E.TransactionStateError):
+            client.update(txn, rid, "too-late")
+        with pytest.raises(E.TransactionStateError):
+            client.commit(txn)
+
+    def test_rollback_of_committed_rejected(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        client = bare_system.client("C1")
+        txn = client.begin()
+        client.insert(txn, 1, "x")
+        client.commit(txn)
+        with pytest.raises(E.TransactionStateError):
+            client.rollback(txn)
+
+    def test_unknown_savepoint_rejected(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        client = bare_system.client("C1")
+        txn = client.begin()
+        with pytest.raises(E.SavepointError):
+            client.rollback(txn, savepoint="never-set")
+        client.rollback(txn)
+
+    def test_read_missing_record(self, bare_system):
+        from repro.records.heap import RecordId
+        bare_system.bootstrap(data_pages=2)
+        client = bare_system.client("C1")
+        txn = client.begin()
+        with pytest.raises(E.RecordNotFoundError):
+            client.read(txn, RecordId(1, 99))
+        client.rollback(txn)
+
+    def test_commit_prepared_requires_prepare(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        client = bare_system.client("C1")
+        txn = client.begin()
+        with pytest.raises(E.TransactionStateError):
+            client.commit_prepared(txn)
+        client.rollback(txn)
+
+    def test_crashed_client_rejects_operations(self, bare_system):
+        bare_system.bootstrap(data_pages=2)
+        client = bare_system.client("C1")
+        bare_system.crash_client("C1")
+        with pytest.raises(E.NodeUnavailableError):
+            client.begin()
+        bare_system.reconnect_client("C1")
+        client.begin()

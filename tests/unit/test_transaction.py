@@ -1,0 +1,142 @@
+"""Unit tests for transactions and the transaction table."""
+
+import pytest
+
+from repro.core.lsn import NULL_LSN
+from repro.core.transaction import Transaction, TransactionTable, TxnState
+from repro.errors import (
+    SavepointError,
+    TransactionStateError,
+    UnknownTransactionError,
+)
+
+
+class TestChains:
+    def test_note_logged_advances_chains(self):
+        txn = Transaction("T1", "C1")
+        txn.note_logged(5, page_id=1)
+        txn.note_logged(8, page_id=2)
+        assert txn.first_lsn == 5
+        assert txn.last_lsn == 8
+        assert txn.undo_next_lsn == 8
+        assert txn.pages_modified == {1, 2}
+        assert txn.updates_logged == 2
+
+    def test_redo_only_does_not_advance_undo_next(self):
+        txn = Transaction("T1", "C1")
+        txn.note_logged(5)
+        txn.note_logged(6, redo_only=True)
+        assert txn.last_lsn == 6
+        assert txn.undo_next_lsn == 5
+
+    def test_note_clr_jumps_back(self):
+        txn = Transaction("T1", "C1")
+        txn.note_logged(5)
+        txn.note_logged(6)
+        txn.note_clr(7, undo_next=5)
+        assert txn.last_lsn == 7
+        assert txn.undo_next_lsn == 5
+
+    def test_require_active(self):
+        txn = Transaction("T1", "C1")
+        txn.state = TxnState.COMMITTED
+        with pytest.raises(TransactionStateError):
+            txn.require_active()
+
+
+class TestSavepoints:
+    def test_set_and_find(self):
+        txn = Transaction("T1", "C1")
+        txn.note_logged(3)
+        txn.set_savepoint("a")
+        txn.note_logged(5)
+        assert txn.find_savepoint("a").lsn == 3
+
+    def test_same_name_finds_latest(self):
+        txn = Transaction("T1", "C1")
+        txn.note_logged(1)
+        txn.set_savepoint("a")
+        txn.note_logged(2)
+        txn.set_savepoint("a")
+        assert txn.find_savepoint("a").lsn == 2
+
+    def test_unknown_savepoint(self):
+        txn = Transaction("T1", "C1")
+        with pytest.raises(SavepointError):
+            txn.find_savepoint("nope")
+
+    def test_discard_after(self):
+        txn = Transaction("T1", "C1")
+        sp1 = txn.set_savepoint("a")
+        txn.note_logged(2)
+        txn.set_savepoint("b")
+        txn.discard_savepoints_after(sp1)
+        with pytest.raises(SavepointError):
+            txn.find_savepoint("b")
+        assert txn.find_savepoint("a") is sp1
+
+
+class TestTable:
+    def test_begin_assigns_unique_ids(self):
+        table = TransactionTable("C1")
+        ids = {table.begin().txn_id for _ in range(5)}
+        assert len(ids) == 5
+        assert all(txn_id.startswith("C1.") for txn_id in ids)
+
+    def test_explicit_id(self):
+        table = TransactionTable("C1")
+        txn = table.begin("custom")
+        assert table.get("custom") is txn
+
+    def test_duplicate_id_rejected(self):
+        table = TransactionTable("C1")
+        table.begin("dup")
+        with pytest.raises(TransactionStateError):
+            table.begin("dup")
+
+    def test_get_unknown(self):
+        with pytest.raises(UnknownTransactionError):
+            TransactionTable("C1").get("nope")
+
+    def test_active_and_prepared(self):
+        table = TransactionTable("C1")
+        t1 = table.begin()
+        t2 = table.begin()
+        t2.state = TxnState.PREPARED
+        t3 = table.begin()
+        t3.state = TxnState.COMMITTED
+        assert table.active() == [t1]
+        assert table.prepared() == [t2]
+
+    def test_to_table_entries_skips_terminated(self):
+        table = TransactionTable("C1")
+        t1 = table.begin()
+        t1.note_logged(4)
+        t2 = table.begin()
+        t2.state = TxnState.ABORTED
+        entries = table.to_table_entries()
+        assert len(entries) == 1
+        assert entries[0].txn_id == t1.txn_id
+        assert entries[0].last_lsn == 4
+
+    def test_oldest_active_first_lsn(self):
+        table = TransactionTable("C1")
+        t1 = table.begin()
+        t1.note_logged(9)
+        t2 = table.begin()
+        t2.note_logged(4)
+        read_only = table.begin()  # first_lsn stays NULL
+        assert table.oldest_active_first_lsn() == 4
+        assert read_only.first_lsn == NULL_LSN
+
+    def test_oldest_with_no_updates_is_null(self):
+        table = TransactionTable("C1")
+        table.begin()
+        assert table.oldest_active_first_lsn() == NULL_LSN
+
+    def test_remove_and_len(self):
+        table = TransactionTable("C1")
+        txn = table.begin()
+        assert len(table) == 1
+        table.remove(txn.txn_id)
+        assert len(table) == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.workloads.generator import (
+    WorkloadSpec,
+    cad_session_programs,
+    debit_credit_programs,
+    generate_programs,
+    _pick_index,
+)
+from repro.records.heap import RecordId
+
+
+RIDS = [RecordId(page, slot) for page in range(1, 9) for slot in range(4)]
+
+
+class TestGeneratePrograms:
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(num_txns=10, seed=42)
+        assert generate_programs(spec, RIDS) == generate_programs(spec, RIDS)
+
+    def test_different_seeds_differ(self):
+        a = generate_programs(WorkloadSpec(num_txns=10, seed=1), RIDS)
+        b = generate_programs(WorkloadSpec(num_txns=10, seed=2), RIDS)
+        assert a != b
+
+    def test_every_program_terminates_once(self):
+        spec = WorkloadSpec(num_txns=20, abort_fraction=0.3, seed=5)
+        for program in generate_programs(spec, RIDS):
+            terminators = [op for op in program if op[0] in ("commit", "abort")]
+            assert len(terminators) == 1
+            assert program[-1] is terminators[0]
+
+    def test_read_fraction_extremes(self):
+        all_reads = generate_programs(
+            WorkloadSpec(num_txns=5, read_fraction=1.0), RIDS)
+        assert all(op[0] in ("read", "commit", "abort")
+                   for program in all_reads for op in program)
+        all_writes = generate_programs(
+            WorkloadSpec(num_txns=5, read_fraction=0.0), RIDS)
+        assert all(op[0] in ("update", "commit", "abort")
+                   for program in all_writes for op in program)
+
+    def test_abort_fraction_zero_means_all_commit(self):
+        programs = generate_programs(
+            WorkloadSpec(num_txns=30, abort_fraction=0.0), RIDS)
+        assert all(program[-1] == ("commit",) for program in programs)
+
+    def test_ops_reference_known_rids(self):
+        spec = WorkloadSpec(num_txns=10, seed=3)
+        known = set(RIDS)
+        for program in generate_programs(spec, RIDS):
+            for op in program:
+                if op[0] in ("read", "update"):
+                    assert op[1] in known
+
+
+class TestSkew:
+    def test_zero_skew_is_roughly_uniform(self):
+        import random
+        rng = random.Random(1)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[_pick_index(rng, 10, 0.0)] += 1
+        assert min(counts) > 300  # ~500 each
+
+    def test_high_skew_biases_low_indexes(self):
+        import random
+        rng = random.Random(1)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[_pick_index(rng, 10, 3.0)] += 1
+        assert counts[0] > counts[9] * 3
+
+    def test_index_always_in_range(self):
+        import random
+        rng = random.Random(7)
+        for skew in (0.0, 0.5, 5.0):
+            for _ in range(200):
+                assert 0 <= _pick_index(rng, 7, skew) < 7
+
+
+class TestSpecializedWorkloads:
+    def test_debit_credit_touches_distinct_pages(self):
+        programs = debit_credit_programs(10, RIDS, write_set_size=3)
+        for program in programs:
+            pages = [op[1].page_id for op in program if op[0] == "update"]
+            assert len(pages) == 3
+            assert len(set(pages)) == 3
+            assert program[-1] == ("commit",)
+
+    def test_debit_credit_write_set_capped_by_pages(self):
+        programs = debit_credit_programs(2, RIDS, write_set_size=100)
+        for program in programs:
+            updates = [op for op in program if op[0] == "update"]
+            assert len(updates) == 8  # only 8 distinct pages exist
+
+    def test_cad_session_reads_working_set_repeatedly(self):
+        working_set = RIDS[:6]
+        programs = cad_session_programs(4, working_set, revisits=2)
+        for program in programs:
+            reads = [op for op in program if op[0] == "read"]
+            assert len(reads) == len(working_set) * 2
+            updates = [op for op in program if op[0] == "update"]
+            assert updates  # a few edits per txn
+            assert program[-1] == ("commit",)
