@@ -1,0 +1,111 @@
+"""Transport overhead — the cost of the typed RPC layer.
+
+The RPC refactor routed every client<->server interaction through
+envelopes, a dispatch table, and a transport policy instead of direct
+method calls.  This benchmark quantifies what that indirection costs:
+
+* a micro comparison of one exchange through ``RpcStub.call`` /
+  ``Network.call`` / ``RpcDispatcher.dispatch`` against invoking the
+  same handler directly (the pre-refactor path);
+* an end-to-end commit workload under the reliable transport, and the
+  same workload under a 5% lossy transport, showing what fault
+  injection and retries add on top.
+"""
+
+import time
+
+from repro.config import SystemConfig, TransportPolicy
+from repro.core.system import ClientServerSystem
+from repro.harness.report import format_table
+from repro.net.messages import MsgType
+from repro.net.network import Network
+from repro.net.rpc import RpcDispatcher
+from repro.workloads.generator import seed_table
+
+CALLS = 20_000
+
+
+def _timed(fn, number: int) -> float:
+    start = time.perf_counter()
+    for _ in range(number):
+        fn()
+    return time.perf_counter() - start
+
+
+def rpc_vs_direct() -> list:
+    """Per-call cost of the full RPC path vs a direct handler call."""
+    net = Network()
+    for node in ("A", "B"):
+        net.register(node)
+        net.attach(node, RpcDispatcher(node))
+    handler = lambda sender, value: value + 1
+    net.dispatcher("B").register("bump", handler)
+    stub = net.stub("A", "B")
+
+    direct = _timed(lambda: handler("A", 41), CALLS)
+    rpc = _timed(
+        lambda: stub.call("bump", MsgType.ACK, payload=41, args=(41,)),
+        CALLS,
+    )
+    return [
+        {"path": "direct handler call", "us_per_call": direct / CALLS * 1e6},
+        {"path": "typed RPC exchange", "us_per_call": rpc / CALLS * 1e6},
+        {"path": "(overhead ratio)", "us_per_call": rpc / direct},
+    ]
+
+
+def _commit_workload(config: SystemConfig, num_txns: int = 40) -> dict:
+    system = ClientServerSystem(config, client_ids=["C1"])
+    system.bootstrap(data_pages=4, free_pages=4)
+    rids = seed_table(system, "C1", "t", 4, 3)
+    client = system.client("C1")
+    start = time.perf_counter()
+    for i in range(num_txns):
+        txn = client.begin()
+        client.update(txn, rids[i % len(rids)], ("bench", i))
+        client.commit(txn)
+    elapsed = time.perf_counter() - start
+    stats = system.network.stats
+    return {
+        "transport": system.network.transport.name,
+        "commits": num_txns,
+        "messages": stats.messages,
+        "drops": stats.drops,
+        "retries": stats.retries,
+        "ms_total": elapsed * 1e3,
+    }
+
+
+def run_transport_overhead() -> list:
+    reliable = _commit_workload(SystemConfig())
+    faulty = _commit_workload(SystemConfig(
+        transport_policy=TransportPolicy.FAULTY,
+        transport_drop_rate=0.05,
+        transport_seed=1,
+    ))
+    return [reliable, faulty]
+
+
+def test_rpc_dispatch_overhead(benchmark):
+    rows = benchmark.pedantic(rpc_vs_direct, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="RPC layer micro-overhead"))
+    direct, rpc, ratio = rows
+    # The envelope/dispatch path costs more than a bare call, but must
+    # stay within the same order of magnitude as other per-message work
+    # (payload sizing, counter updates) the simulation already does.
+    assert rpc["us_per_call"] > direct["us_per_call"]
+    assert rpc["us_per_call"] < 100.0, "an RPC exchange should stay in the microseconds"
+
+
+def test_workload_under_transports(benchmark):
+    rows = benchmark.pedantic(run_transport_overhead, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="commit workload: reliable vs 5% lossy transport"))
+    reliable, faulty = rows
+    assert reliable["drops"] == 0 and reliable["retries"] == 0
+    assert faulty["drops"] > 0 and faulty["retries"] > 0
+    # Retries re-send request legs: the lossy run pays more messages
+    # for the same committed work.
+    assert faulty["messages"] > reliable["messages"]
+    assert faulty["commits"] == reliable["commits"]

@@ -17,6 +17,10 @@ The paper's characterization, reproduced as policies over our substrate:
   analysis;
 * **no client checkpoints** — failed-client recovery information lives
   in the GLM lock table.
+
+These are policy flags over the shared substrate, so all baseline
+traffic travels the same typed RPC layer (:mod:`repro.net.rpc`) as
+ARIES/CSA — including fault injection under a faulty transport.
 """
 
 from __future__ import annotations

@@ -11,6 +11,9 @@ paper prefers client checkpoints because:
 
 Experiment E5 measures exactly this staleness: recovery work for a
 failed client under this variant versus checkpointing clients.
+
+As with the other baselines this is a pure policy switch; the variant's
+traffic rides the typed RPC layer (:mod:`repro.net.rpc`) unchanged.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ acknowledged; pages stay cached at the client afterwards; page is the
 smallest locking granularity.  (Beyond the use of WAL, the original
 paper says nothing more about recovery, so this baseline is exactly the
 published policy surface and nothing else.)
+
+Like every baseline, this is a policy configuration over the shared
+substrate: its commit-time page ships travel the typed RPC layer
+(:mod:`repro.net.rpc`) and are therefore subject to the same transport
+policies (retries, fault injection) as ARIES/CSA traffic.
 """
 
 from __future__ import annotations

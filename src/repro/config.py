@@ -81,6 +81,19 @@ class PageTransport(enum.Enum):
     LOG_REPLAY = "log-replay"
 
 
+class TransportPolicy(enum.Enum):
+    """Delivery behavior of the simulated network's transport layer."""
+
+    #: Every message is delivered synchronously and in order — the
+    #: deterministic default, with traffic counters identical to the
+    #: pre-RPC direct-call implementation.
+    RELIABLE = "reliable"
+    #: Seeded drop/delay injection; client stubs retry with backoff and
+    #: server dispatchers deduplicate, so recovery invariants must hold
+    #: over a lossy channel.
+    FAULTY = "faulty"
+
+
 class LsnAssignment(enum.Enum):
     """How clients obtain LSNs for the log records they write."""
 
@@ -152,6 +165,30 @@ class SystemConfig:
     #: construction of section 2.7 used by experiment E6).  Never enable
     #: outside that experiment.
     unsafe_server_checkpoint_excludes_clients: bool = False
+
+    # -- transport & RPC ----------------------------------------------
+
+    transport_policy: TransportPolicy = TransportPolicy.RELIABLE
+    #: FAULTY only: probability each delivery attempt loses one leg of
+    #: the exchange (split evenly between request and response).
+    transport_drop_rate: float = 0.05
+    #: FAULTY only: probability a delivered message is delayed.
+    transport_delay_rate: float = 0.0
+    #: FAULTY only: maximum simulated delay units per delayed message.
+    transport_max_delay: float = 5.0
+    #: FAULTY only: RNG seed for fault injection; ``None`` reuses ``seed``.
+    transport_seed: "int | None" = None
+
+    #: Retries a client stub attempts after a timed-out exchange before
+    #: declaring the destination unavailable.
+    rpc_max_retries: int = 8
+    #: First retry backoff in simulated units; doubles per attempt.
+    rpc_backoff_base: float = 1.0
+    #: Simulated units a stub waits before treating an exchange as lost.
+    rpc_timeout: float = 10.0
+    #: Keep the last N delivery attempts in a ring-buffer trace
+    #: (rendered by ``tools.logdump.message_trace``; 0 disables).
+    message_trace_depth: int = 0
 
     #: Deterministic seed for any randomized tie-breaking inside the
     #: complex (victim selection etc.).

@@ -11,6 +11,13 @@ take periodic checkpoints (section 2.6.1), and honor the server's
 coherency callbacks (push current version / release privilege /
 invalidate) and Max_LSN–Commit_LSN piggybacks (section 3).
 
+All client->server interactions travel as typed RPC envelopes through
+``self.rpc`` (a :class:`~repro.net.rpc.RpcStub`); the server reaches
+this client through the dispatch table registered in
+:meth:`Client._register_handlers`.  The only remaining direct use of
+the server object is session establishment (``connect_client``) and the
+static page layout — simulation scaffolding outside the message model.
+
 The policy knobs of :class:`repro.config.SystemConfig` turn the same
 class into the paper's comparison systems: ESM-CS's force-to-server +
 purge at commit with server-side rollback, and the ObjectStore-style
@@ -61,6 +68,7 @@ from repro.locking.llm import LocalLockManager
 from repro.locking.lock_modes import LockMode
 from repro.net.messages import MsgType
 from repro.net.network import Network
+from repro.net.rpc import RpcDispatcher
 from repro.records.heap import RecordId, decode_value, encode_value
 from repro.storage.buffer_pool import BufferControlBlock, BufferPool
 from repro.storage.page import Page, PageKind
@@ -78,8 +86,16 @@ class Client:
         self.client_id = client_id
         self.config = config
         self.network = network
+        #: Kept only for session establishment (``connect_client``); all
+        #: protocol interactions go through ``self.rpc``.
         self.server = server
+        self.layout = server.layout
         network.register(client_id)
+        #: Caller-side endpoint for every client->server exchange.
+        self.rpc = network.stub(client_id, Server.node_id)
+        self.dispatcher = RpcDispatcher(client_id)
+        self._register_handlers()
+        network.attach(client_id, self.dispatcher)
 
         self.pool = BufferPool(
             config.client_buffer_frames, f"{client_id}-pool",
@@ -123,18 +139,77 @@ class Client:
         server.connect_client(self)
 
     # ------------------------------------------------------------------
+    # RPC dispatch table (what the server may invoke on this client)
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        """Register the callbacks the server (and peers) may dispatch.
+
+        Handlers receive the sender's node id first; these wrappers drop
+        it because the callbacks are sender-agnostic.
+        """
+        d = self.dispatcher
+        d.register("push_page",
+                   lambda sender, page_id: self.push_page_callback(page_id))
+        d.register("release_privilege",
+                   lambda sender, page_id: self.release_privilege_callback(page_id))
+        d.register("downgrade_privilege",
+                   lambda sender, page_id: self.downgrade_privilege_callback(page_id))
+        d.register("forward_page",
+                   lambda sender, page_id, requester_id:
+                   self.forward_page_callback(page_id, requester_id))
+        d.register("invalidate_page",
+                   lambda sender, page_id: self.invalidate_page(page_id))
+        d.register("relinquish_lock",
+                   lambda sender, resource: self.relinquish_lock_callback(resource))
+        d.register("reduce_lock",
+                   lambda sender, resource: self.reduce_lock_callback(resource))
+        d.register("receive_forwarded_page",
+                   lambda sender, page: self.receive_forwarded_page(page))
+        d.register("report_dirty_pages",
+                   lambda sender: self.report_dirty_pages())
+        d.register("lsn_sync",
+                   lambda sender, *args: self.receive_lsn_sync(*args))
+        d.register("prepare_branch", self._prepare_branch)
+        d.register("commit_branch", self._commit_branch)
+        d.register("abort_branch", self._abort_branch)
+
+    # -- 2PC participant handlers (coordinator -> client) ---------------
+
+    def _prepare_branch(self, sender: str, txn_id: str) -> None:
+        txn = self.txns.maybe_get(txn_id)
+        if txn is None:
+            raise TransactionStateError(
+                f"no branch transaction {txn_id} at {self.client_id}"
+            )
+        self.prepare(txn)
+
+    def _commit_branch(self, sender: str, txn_id: str) -> None:
+        txn = self.txns.maybe_get(txn_id)
+        if txn is None:
+            return  # already terminated (e.g. resolved at reconnect)
+        self.commit_prepared(txn)
+
+    def _abort_branch(self, sender: str, txn_id: str) -> None:
+        txn = self.txns.maybe_get(txn_id)
+        if txn is None:
+            return  # never started here, or client recovery rolled it back
+        if txn.state is TxnState.PREPARED:
+            txn.state = TxnState.ACTIVE  # leave in-doubt to abort
+        if txn.state is TxnState.ACTIVE:
+            self.rollback(txn)
+
+    # ------------------------------------------------------------------
     # GLM plumbing (through the counted network)
     # ------------------------------------------------------------------
 
     def _glm_request(self, resource: Any, mode: LockMode) -> LockMode:
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.LOCK_REQUEST, str(resource))
-        return self.server.acquire_lock(self.client_id, resource, mode)
+        return self.rpc.call("acquire_lock", MsgType.LOCK_REQUEST,
+                             payload=str(resource), args=(resource, mode))
 
     def _glm_release(self, resource: Any) -> None:
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.LOCK_RELEASE, str(resource))
-        self.server.release_lock(self.client_id, resource)
+        self.rpc.call("release_lock", MsgType.LOCK_RELEASE,
+                      payload=str(resource), args=(resource,))
 
     # ------------------------------------------------------------------
     # Page access
@@ -152,9 +227,8 @@ class Client:
         if cached is not None and page_id in self._p_locks:
             return cached
         cached_lsn = cached.page_lsn if cached is not None else None
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.PAGE_REQUEST, page_id)
-        page = self.server.get_page(self.client_id, page_id, cached_lsn)
+        page = self.rpc.call("get_page", MsgType.PAGE_REQUEST,
+                             payload=page_id, args=(page_id, cached_lsn))
         self._p_locks.setdefault(page_id, LockMode.S)
         if page is None:
             assert cached is not None  # server confirmed our copy current
@@ -171,20 +245,17 @@ class Client:
         cached = self.pool.peek(page_id)
         if cached is not None:
             cached_lsn = cached.page_lsn
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.P_LOCK_REQUEST, page_id)
-        latest = self.server.acquire_update_privilege(
-            self.client_id, page_id, cached_lsn
-        )
+        latest = self.rpc.call("acquire_update_privilege",
+                               MsgType.P_LOCK_REQUEST,
+                               payload=page_id, args=(page_id, cached_lsn))
         self._p_locks[page_id] = LockMode.X
         if latest is not None:
             return self.pool.admit(latest).page
         page = self.pool.get(page_id)
         if page is None:
             # Privilege held but no copy cached (evicted earlier).
-            self.network.send(self.client_id, Server.node_id,
-                              MsgType.PAGE_REQUEST, page_id)
-            shipped = self.server.get_page(self.client_id, page_id)
+            shipped = self.rpc.call("get_page", MsgType.PAGE_REQUEST,
+                                    payload=page_id, args=(page_id,))
             assert shipped is not None
             page = self.pool.admit(shipped).page
         return page
@@ -198,9 +269,9 @@ class Client:
         batch = self.log.unshipped()
         if not batch:
             return
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.LOG_SHIP, batch)
-        assigned, flushed = self.server.receive_log_records(self.client_id, batch)
+        assigned, flushed = self.rpc.call("receive_log_records",
+                                          MsgType.LOG_SHIP,
+                                          payload=batch, args=(batch,))
         self.log.note_shipped(assigned)
         self.log.prune_stable(flushed)
 
@@ -221,17 +292,13 @@ class Client:
     def _push_dirty_state(self, bcb: BufferControlBlock) -> None:
         self._ship_log_records()
         if self.config.page_transport is PageTransport.LOG_REPLAY:
-            self.network.send(self.client_id, Server.node_id,
-                              MsgType.MATERIALIZE, bcb.page_id)
-            self.server.materialize_page(
-                self.client_id, bcb.page_id, bcb.rec_lsn, bcb.page.page_lsn
-            )
+            self.rpc.call("materialize_page", MsgType.MATERIALIZE,
+                          payload=bcb.page_id,
+                          args=(bcb.page_id, bcb.rec_lsn, bcb.page.page_lsn))
         else:
-            self.network.send(self.client_id, Server.node_id,
-                              MsgType.PAGE_SHIP, bcb.page)
-            self.server.receive_dirty_page(
-                self.client_id, bcb.page.snapshot(), bcb.rec_lsn
-            )
+            self.rpc.call("receive_dirty_page", MsgType.PAGE_SHIP,
+                          payload=bcb.page,
+                          args=(bcb.page.snapshot(), bcb.rec_lsn))
 
     # ------------------------------------------------------------------
     # LSN assignment (section 2.2 / experiment E10)
@@ -240,9 +307,8 @@ class Client:
     def _assign_lsn(self, page_lsn: LSN) -> LSN:
         if self.config.lsn_assignment is LsnAssignment.LOCAL:
             return self.log.next_lsn(page_lsn)
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.LSN_REQUEST, page_lsn)
-        lsn = self.server.assign_lsn_rpc(self.client_id, page_lsn)
+        lsn = self.rpc.call("assign_lsn_rpc", MsgType.LSN_REQUEST,
+                            payload=page_lsn, args=(page_lsn,))
         self.log.clock.observe_lsn(lsn)
         return lsn
 
@@ -447,12 +513,16 @@ class Client:
         from repro.storage import space_map as sm
         self._require_up()
         txn.require_active()
-        for smp_id in self.server.layout.smp_ids(self.server.max_known_page_id()):
+        # Catalog lookup: rides an already-counted exchange in a real
+        # deployment, so the envelope is uncharged.
+        max_page_id = self.rpc.call("max_known_page_id", MsgType.PAGE_REQUEST,
+                                    charge=False)
+        for smp_id in self.layout.smp_ids(max_page_id):
             smp = self._ensure_update_privilege(smp_id)
             bit = sm.find_free_bit(smp)
             if bit is None:
                 continue
-            page_id = self.server.layout.page_for(smp_id, bit)
+            page_id = self.layout.page_for(smp_id, bit)
             self.apply_logged_update(
                 txn, smp, UpdateOp.SMP_ALLOCATE, slot=bit,
                 before=bytes([sm.FREE]), after=bytes([sm.ALLOCATED]),
@@ -481,8 +551,8 @@ class Client:
         self._require_up()
         txn.require_active()
         page = self._ensure_update_privilege(page_id)
-        smp_id = self.server.layout.smp_for(page_id)
-        bit = self.server.layout.bit_for(page_id)
+        smp_id = self.layout.smp_for(page_id)
+        bit = self.layout.bit_for(page_id)
         smp = self._ensure_update_privilege(smp_id)
         self.apply_logged_update(
             txn, smp, UpdateOp.SMP_DEALLOCATE, slot=bit,
@@ -513,13 +583,17 @@ class Client:
                         entries.append((page_id, bcb.rec_lsn))
                 if entries:
                     self._ship_log_records()
-                    self.server.log_cdpl(self.client_id, txn.txn_id, entries)
+                    # The CDPL rides the commit's log traffic (uncharged).
+                    self.rpc.call("log_cdpl", MsgType.COMMIT_REQUEST,
+                                  args=(txn.txn_id, entries), charge=False)
             for page_id in sorted(txn.pages_modified):
                 if self._is_dirty(page_id):
                     self._ship_page(page_id)
                     self.pages_shipped_at_commit += 1
                 if self.config.commit_page_policy is CommitPagePolicy.FORCE_TO_DISK:
-                    self.server.flush_page(page_id)
+                    # Piggybacks on the page ship just sent (uncharged).
+                    self.rpc.call("flush_page", MsgType.COMMIT_REQUEST,
+                                  args=(page_id,), charge=False)
         commit_lsn = self._assign_lsn(NULL_LSN)
         self.log.append(CommitRecord(
             lsn=commit_lsn, client_id=self.client_id, txn_id=txn.txn_id,
@@ -527,9 +601,8 @@ class Client:
         ))
         txn.last_lsn = commit_lsn
         self._ship_log_records()
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.COMMIT_REQUEST, txn.txn_id)
-        flushed = self.server.force_log_for_commit(self.client_id, txn.txn_id)
+        flushed = self.rpc.call("force_log_for_commit", MsgType.COMMIT_REQUEST,
+                                payload=txn.txn_id, args=(txn.txn_id,))
         self.log.prune_stable(flushed)
         txn.state = TxnState.COMMITTED
         end_lsn = self._assign_lsn(NULL_LSN)
@@ -564,9 +637,8 @@ class Client:
         ))
         txn.last_lsn = lsn
         self._ship_log_records()
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.COMMIT_REQUEST, txn.txn_id)
-        flushed = self.server.force_log_for_commit(self.client_id, txn.txn_id)
+        flushed = self.rpc.call("force_log_for_commit", MsgType.COMMIT_REQUEST,
+                                payload=txn.txn_id, args=(txn.txn_id,))
         self.log.prune_stable(flushed)
         txn.state = TxnState.PREPARED
 
@@ -638,9 +710,8 @@ class Client:
         record = self.log.find_local(txn.txn_id, lsn)
         if record is not None:
             return record
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.LOG_FETCH, lsn)
-        fetched = self.server.fetch_log_records(self.client_id, txn.txn_id, [lsn])
+        fetched = self.rpc.call("fetch_log_records", MsgType.LOG_FETCH,
+                                payload=lsn, args=(txn.txn_id, [lsn]))
         self.rollback_records_fetched_remotely += 1
         return fetched[0]
 
@@ -668,11 +739,10 @@ class Client:
     def _rollback_at_server(self, txn: Transaction, stop_lsn: LSN) -> None:
         """ESM-CS style: the server undoes on its own page versions."""
         self._ship_log_records()
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.COMMIT_REQUEST, (txn.txn_id, stop_lsn))
-        last_lsn, undo_next = self.server.rollback_transaction_serverside(
-            self.client_id, txn.txn_id, stop_lsn, txn.last_lsn,
-            txn.undo_next_lsn,
+        last_lsn, undo_next = self.rpc.call(
+            "rollback_transaction_serverside", MsgType.COMMIT_REQUEST,
+            payload=(txn.txn_id, stop_lsn),
+            args=(txn.txn_id, stop_lsn, txn.last_lsn, txn.undo_next_lsn),
         )
         txn.last_lsn = last_lsn
         txn.undo_next_lsn = undo_next
@@ -693,9 +763,9 @@ class Client:
                     self._ship_page(page_id)
                 self.pool.drop(page_id)
             for page_id in sorted(self._p_locks):
-                self.network.send(self.client_id, Server.node_id,
-                                  MsgType.P_LOCK_RELEASE, page_id)
-                self.server.release_update_privilege(self.client_id, page_id)
+                self.rpc.call("release_update_privilege",
+                              MsgType.P_LOCK_RELEASE,
+                              payload=page_id, args=(page_id,))
             self._p_locks.clear()
 
     # ------------------------------------------------------------------
@@ -734,11 +804,9 @@ class Client:
             txn_id=None, prev_lsn=begin.lsn, owner=self.client_id,
             dirty_pages=entries, transactions=self.txns.to_table_entries(),
         )
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.CHECKPOINT, [begin, end])
-        _, flushed = self.server.receive_client_checkpoint(
-            self.client_id, begin, end
-        )
+        _, flushed = self.rpc.call("receive_client_checkpoint",
+                                   MsgType.CHECKPOINT,
+                                   payload=[begin, end], args=(begin, end))
         self.log.prune_stable(flushed)
 
     def report_dirty_pages(self) -> List[Tuple[int, LSN]]:
@@ -774,7 +842,7 @@ class Client:
         self._p_locks.pop(page_id, None)
 
     def forward_page_callback(self, page_id: int,
-                              requester: "Client") -> Optional[Tuple[LSN, LSN]]:
+                              requester_id: str) -> Optional[Tuple[LSN, LSN]]:
         """Forward the page directly to another client (section 4.1).
 
         The log records must be received and acknowledged by the server
@@ -795,9 +863,10 @@ class Client:
         rec_lsn = bcb.rec_lsn
         version_lsn = bcb.page.page_lsn
         snapshot = bcb.page.snapshot()
-        self.network.send(self.client_id, requester.client_id,
-                          MsgType.PAGE_SHIP, snapshot)
-        requester.receive_forwarded_page(snapshot)
+        self.network.stub(self.client_id, requester_id).call(
+            "receive_forwarded_page", MsgType.PAGE_SHIP,
+            payload=snapshot, args=(snapshot,),
+        )
         self.pool.drop(page_id)
         self._p_locks.pop(page_id, None)
         return rec_lsn, version_lsn
@@ -899,11 +968,9 @@ class Client:
         rec_lsn = bcb.rec_lsn if bcb is not None else NULL_LSN
         self.pool.drop(page_id)
         self._ship_log_records()
-        self.network.send(self.client_id, Server.node_id,
-                          MsgType.PAGE_REQUEST, page_id)
-        page, _ = self.server.rebuild_page_for_client(
-            self.client_id, page_id, rec_lsn
-        )
+        page, _ = self.rpc.call("rebuild_page_for_client",
+                                MsgType.PAGE_REQUEST,
+                                payload=page_id, args=(page_id, rec_lsn))
         # The server now holds the authoritative dirty version; the
         # client's copy is clean relative to it.
         return self.pool.admit(page).page
@@ -915,7 +982,7 @@ class Client:
     def _require_up(self) -> None:
         if self.crashed:
             raise NodeUnavailableError(self.client_id)
-        if self.server.crashed:
+        if not self.network.is_up(Server.node_id):
             raise NodeUnavailableError(Server.node_id)
 
     def crash(self) -> None:
@@ -944,7 +1011,10 @@ class Client:
         self.network.restore(self.client_id)
         self.crashed = False
         self.server.connect_client(self)
-        indoubt = self.server.indoubt_info_for(self.client_id)
+        # Session re-establishment hand-over (uncharged, like the
+        # connect itself: not part of the paper's message accounting).
+        indoubt = self.rpc.call("indoubt_info_for", MsgType.COMMIT_REQUEST,
+                                charge=False)
         for txn_id, locks, chain in indoubt:
             txn = self.txns.begin(txn_id)
             txn.state = TxnState.PREPARED

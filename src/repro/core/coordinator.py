@@ -39,6 +39,7 @@ from repro.core.lsn import NULL_LSN
 from repro.core.server import Server
 from repro.core.transaction import Transaction, TxnState
 from repro.errors import NodeUnavailableError, TransactionStateError
+from repro.net.messages import MsgType
 
 
 @dataclass
@@ -63,8 +64,22 @@ class TwoPhaseCoordinator:
 
     def __init__(self, server: Server) -> None:
         self.server = server
+        self.network = server.network
         #: Volatile decision cache; the truth is in the log.
         self._decisions: Dict[str, str] = {}
+        # Participants resolve in-doubt branches by asking the server's
+        # node; a fresh coordinator re-registers (last one wins — they
+        # all answer from the same stable log).
+        server.dispatcher.register(
+            "resolve_2pc", lambda sender, global_id: self.resolve(global_id)
+        )
+
+    def _call_branch(self, client: Client, method: str, txn: Transaction) -> None:
+        """One coordinator->participant exchange for one branch."""
+        self.network.stub(Server.node_id, client.client_id).call(
+            method, MsgType.COMMIT_REQUEST,
+            payload=txn.txn_id, args=(txn.txn_id,),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -107,7 +122,7 @@ class TwoPhaseCoordinator:
         prepared: List[Tuple[Client, Transaction]] = []
         for client, txn in gtxn.branches:
             try:
-                client.prepare(txn)
+                self._call_branch(client, "prepare_branch", txn)
                 prepared.append((client, txn))
             except (NodeUnavailableError, TransactionStateError):
                 self._abort_prepared(gtxn, prepared)
@@ -116,7 +131,7 @@ class TwoPhaseCoordinator:
         gtxn.state = "committed"
         for client, txn in gtxn.branches:
             try:
-                client.commit_prepared(txn)
+                self._call_branch(client, "commit_branch", txn)
             except NodeUnavailableError:
                 # The branch resolves via resolve() at reconnect.
                 pass
@@ -132,13 +147,10 @@ class TwoPhaseCoordinator:
         for client, txn in gtxn.branches:
             if client.crashed:
                 continue  # client recovery rolled it back (or will)
-            if txn.state is TxnState.PREPARED:
-                txn.state = TxnState.ACTIVE   # leave in-doubt to abort
-            if txn.state is TxnState.ACTIVE:
-                try:
-                    client.rollback(txn)
-                except (NodeUnavailableError, TransactionStateError):
-                    pass
+            try:
+                self._call_branch(client, "abort_branch", txn)
+            except (NodeUnavailableError, TransactionStateError):
+                pass
 
     def _log_decision(self, global_id: str) -> None:
         """The commit point: a forced server-local commit record."""
@@ -190,11 +202,15 @@ class TwoPhaseCoordinator:
         have the form ``<global>@<client>``, as created by enlist().
         """
         outcomes: List[Tuple[str, str]] = []
+        ask_coordinator = self.network.stub(client.client_id, Server.node_id)
         for txn in list(client.txns):
             if txn.state is not TxnState.PREPARED or "@" not in txn.txn_id:
                 continue
             global_id = txn.txn_id.split("@", 1)[0]
-            decision = self.resolve(global_id)
+            decision = ask_coordinator.call("resolve_2pc",
+                                            MsgType.COMMIT_REQUEST,
+                                            payload=global_id,
+                                            args=(global_id,))
             if decision == "committed":
                 client.commit_prepared(txn)
             else:

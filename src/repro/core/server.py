@@ -64,6 +64,7 @@ from repro.locking.glm import GlobalLockManager
 from repro.locking.lock_modes import LockMode
 from repro.net.messages import MsgType
 from repro.net.network import Network
+from repro.net.rpc import RpcDispatcher, RpcStub
 from repro.storage.archive import Archive
 from repro.storage.buffer_pool import BufferControlBlock, BufferPool
 from repro.storage.disk import Disk
@@ -137,6 +138,9 @@ class Server:
             config.server_buffer_frames, "server-pool", on_evict=self._write_back
         )
         network.register(self.node_id)
+        self.dispatcher = RpcDispatcher(self.node_id)
+        self._register_handlers()
+        network.attach(self.node_id, self.dispatcher)
 
         #: Connected clients, by id (duck-typed Client objects).
         self._clients: Dict[str, Any] = {}
@@ -192,6 +196,44 @@ class Server:
         self.serverside_undo_records = 0
         self.last_recovery: Optional[RecoveryReport] = None
         self.recovery_reports: List[RecoveryReport] = []
+
+    # ------------------------------------------------------------------
+    # RPC dispatch table (what clients may invoke on the server)
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        """Register every service a client envelope may name.
+
+        Service methods already take the calling client's id as their
+        first parameter, matching the dispatcher's ``handler(sender,
+        *args)`` convention, so most register as bound methods.
+        """
+        d = self.dispatcher
+        d.register("acquire_lock", self.acquire_lock)
+        d.register("release_lock", self.release_lock)
+        d.register("get_page", self.get_page)
+        d.register("acquire_update_privilege", self.acquire_update_privilege)
+        d.register("release_update_privilege", self.release_update_privilege)
+        d.register("receive_log_records", self.receive_log_records)
+        d.register("force_log_for_commit", self.force_log_for_commit)
+        d.register("log_cdpl", self.log_cdpl)
+        d.register("fetch_log_records", self.fetch_log_records)
+        d.register("rollback_transaction_serverside",
+                   self.rollback_transaction_serverside)
+        d.register("receive_dirty_page", self.receive_dirty_page)
+        d.register("materialize_page", self.materialize_page)
+        d.register("receive_client_checkpoint", self.receive_client_checkpoint)
+        d.register("rebuild_page_for_client", self.rebuild_page_for_client)
+        d.register("assign_lsn_rpc", self.assign_lsn_rpc)
+        d.register("indoubt_info_for",
+                   lambda sender: self.indoubt_info_for(sender))
+        d.register("flush_page",
+                   lambda sender, page_id: self.flush_page(page_id))
+        d.register("max_known_page_id",
+                   lambda sender: self.max_known_page_id())
+
+    def _client_stub(self, client_id: str) -> RpcStub:
+        return self.network.stub(self.node_id, client_id)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -274,20 +316,24 @@ class Server:
             self._push_sync(client_id)
 
     def _push_sync(self, client_id: str) -> None:
-        client = self._clients.get(client_id)
-        if client is None or not self.network.is_up(client_id):
+        if client_id not in self._clients or not self.network.is_up(client_id):
             return
         max_lsn = self.log.max_lsn_seen
         commit_lsn = self.tracker.commit_lsn()
-        self.piggybacks_sent += 1
         if self.config.commit_lsn_per_table:
-            client.receive_lsn_sync(
-                max_lsn, commit_lsn,
-                table_values=self.tracker.commit_lsn_by_table(),
-                floor_bound=self.tracker.floor_bound(),
-            )
+            args = (max_lsn, commit_lsn,
+                    self.tracker.commit_lsn_by_table(),
+                    self.tracker.floor_bound())
         else:
-            client.receive_lsn_sync(max_lsn, commit_lsn)
+            args = (max_lsn, commit_lsn)
+        try:
+            # Uncharged: the sync piggybacks on the interaction being
+            # served (section 3); best-effort under a lossy transport.
+            self._client_stub(client_id).call("lsn_sync", MsgType.LSN_SYNC,
+                                              args=args, charge=False)
+        except NodeUnavailableError:
+            return
+        self.piggybacks_sent += 1
         self.tracker.note_sync_acknowledged(client_id, max_lsn)
 
     def broadcast_sync(self) -> None:
@@ -353,22 +399,22 @@ class Server:
         owner = self.glm.update_privilege_owner(page_id)
         if owner is None or owner == requester or owner == self.node_id:
             return False
-        client = self._clients.get(owner)
-        if client is None or not self.network.is_up(owner):
+        if owner not in self._clients or not self.network.is_up(owner):
             self.recover_failed_client(owner)
             return False
-        self.network.send(self.node_id, owner, MsgType.CALLBACK, page_id)
+        owner_stub = self._client_stub(owner)
         self.callbacks_sent += 1
         if not release:
-            client.downgrade_privilege_callback(page_id)
+            owner_stub.call("downgrade_privilege", MsgType.CALLBACK,
+                            payload=page_id, args=(page_id,))
             self.glm.downgrade_p_lock(owner, page_id, LockMode.S)
             return False
         forwarded = False
         if forward_to is not None and forward_to in self._clients \
                 and self.network.is_up(forward_to):
-            result = client.forward_page_callback(
-                page_id, self._clients[forward_to]
-            )
+            result = owner_stub.call("forward_page", MsgType.CALLBACK,
+                                     payload=page_id,
+                                     args=(page_id, forward_to))
             if result is not None:
                 rec_lsn, version_lsn = result
                 rec_addr = self._map_rec_lsn(owner, page_id, rec_lsn)
@@ -384,7 +430,8 @@ class Server:
                 # server's version is current.
                 pass
         else:
-            client.release_privilege_callback(page_id)
+            owner_stub.call("release_privilege", MsgType.CALLBACK,
+                            payload=page_id, args=(page_id,))
         self.glm.release_p_lock(owner, page_id)
         # Force the log through the transfer's records (the conservative
         # option of the [MoNa91] fast-transfer family): the new owner's
@@ -441,11 +488,12 @@ class Server:
         for holder in self.glm.p_lock_s_holders(page_id):
             if holder == client_id:
                 continue
-            peer = self._clients.get(holder)
-            if peer is not None and self.network.is_up(holder):
-                self.network.send(self.node_id, holder, MsgType.CALLBACK, page_id)
+            if holder in self._clients and self.network.is_up(holder):
                 self.invalidations_sent += 1
-                peer.invalidate_page(page_id)
+                self._client_stub(holder).call("invalidate_page",
+                                               MsgType.CALLBACK,
+                                               payload=page_id,
+                                               args=(page_id,))
             self.glm.release_p_lock(holder, page_id)
             self._caching.setdefault(page_id, set()).discard(holder)
         self.glm.acquire_p_lock(client_id, page_id, LockMode.X)
@@ -485,17 +533,17 @@ class Server:
             return self.glm.acquire(client_id, resource, mode)
         except LockConflictError as conflict:
             for holder in conflict.holders:
-                peer = self._clients.get(holder)
-                if peer is None or not self.network.is_up(holder):
+                if holder not in self._clients or not self.network.is_up(holder):
                     # A failed client's locks are released by its
                     # recovery; until then the requester must wait.
                     raise
-                self.network.send(self.node_id, holder, MsgType.CALLBACK,
-                                  str(resource))
                 self.callbacks_sent += 1
                 # De-escalation: the holder shrinks its cached global
                 # lock to what its local transactions still need.
-                needed = peer.reduce_lock_callback(resource)
+                needed = self._client_stub(holder).call(
+                    "reduce_lock", MsgType.CALLBACK,
+                    payload=str(resource), args=(resource,),
+                )
                 if needed is None:
                     self.glm.release(holder, resource)
                 else:
@@ -838,9 +886,10 @@ class Server:
         if not self.config.unsafe_server_checkpoint_excludes_clients:
             # Clients first (the paper's ordering requirement).
             for client_id in self.operational_clients():
-                client = self._clients[client_id]
-                self.network.send(self.node_id, client_id, MsgType.CHECKPOINT)
-                dpl = client.report_dirty_pages()
+                dpl = self._client_stub(client_id).call(
+                    "report_dirty_pages", MsgType.CHECKPOINT
+                )
+                # The DPL reply carries real payload: charge it.
                 self.network.send(client_id, self.node_id, MsgType.CHECKPOINT, dpl)
                 for page_id, rec_lsn in dpl:
                     merge(page_id, self._map_rec_lsn(client_id, page_id, rec_lsn),
@@ -915,6 +964,9 @@ class Server:
                 if not self.network.is_up(client_id)
             }
 
+        # Restart orchestration deliberately bypasses the RPC layer:
+        # these are out-of-band recovery interactions (the paper never
+        # counts them), and modeling their transport is future work.
         # Phase 0: replay the lost log tail from the survivors' buffers.
         # Clients keep every record until it is stable (section 2.1), so
         # nothing appended-but-unforced is truly gone — but the re-append
@@ -1174,20 +1226,20 @@ class Server:
         if pull_current and not self.crashed:
             owner = self.glm.update_privilege_owner(page_id)
             if owner is not None and owner != self.node_id:
-                peer = self._clients.get(owner)
-                if peer is not None and self.network.is_up(owner):
-                    self.network.send(self.node_id, owner, MsgType.CALLBACK,
-                                      page_id)
+                if owner in self._clients and self.network.is_up(owner):
                     self.callbacks_sent += 1
-                    peer.release_privilege_callback(page_id)
+                    self._client_stub(owner).call("release_privilege",
+                                                  MsgType.CALLBACK,
+                                                  payload=page_id,
+                                                  args=(page_id,))
                     self.glm.release_p_lock(owner, page_id)
             for holder in self.glm.p_lock_s_holders(page_id):
-                peer = self._clients.get(holder)
-                if peer is not None and self.network.is_up(holder):
-                    self.network.send(self.node_id, holder, MsgType.CALLBACK,
-                                      page_id)
+                if holder in self._clients and self.network.is_up(holder):
                     self.invalidations_sent += 1
-                    peer.invalidate_page(page_id)
+                    self._client_stub(holder).call("invalidate_page",
+                                                   MsgType.CALLBACK,
+                                                   payload=page_id,
+                                                   args=(page_id,))
                 self.glm.release_p_lock(holder, page_id)
         bcb = self.pool.bcb(page_id)
         if bcb is not None and not bcb.page.corrupted:
@@ -1319,9 +1371,10 @@ class Server:
             if bcb.rec_addr != NULL_ADDR:
                 bounds.append(bcb.rec_addr)
         for client_id in self.operational_clients():
-            client = self._clients[client_id]
-            self.network.send(self.node_id, client_id, MsgType.CHECKPOINT)
-            for page_id, rec_lsn in client.report_dirty_pages():
+            dpl = self._client_stub(client_id).call(
+                "report_dirty_pages", MsgType.CHECKPOINT
+            )
+            for page_id, rec_lsn in dpl:
                 bounds.append(self._map_rec_lsn(client_id, page_id, rec_lsn))
         for rec_addr, _holder, _lsn in self._forwarded_dirty.values():
             bounds.append(rec_addr)
@@ -1357,9 +1410,10 @@ class Server:
         self._require_up()
         bounds: List[LogAddr] = []
         for client_id in self.operational_clients():
-            client = self._clients[client_id]
-            self.network.send(self.node_id, client_id, MsgType.CHECKPOINT)
-            for page_id, rec_lsn in client.report_dirty_pages():
+            dpl = self._client_stub(client_id).call(
+                "report_dirty_pages", MsgType.CHECKPOINT
+            )
+            for page_id, rec_lsn in dpl:
                 bounds.append(self._map_rec_lsn(client_id, page_id, rec_lsn))
         for bcb in self.pool.dirty_bcbs():
             if bcb.rec_addr != NULL_ADDR:

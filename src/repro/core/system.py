@@ -19,6 +19,7 @@ from repro.core.client import Client
 from repro.core.server import RecoveryReport, Server
 from repro.errors import ReproError
 from repro.net.network import Network
+from repro.net.rpc import retry_policy_from_config, transport_from_config
 from repro.records.heap import RecordId, decode_value
 from repro.storage.page import Page
 
@@ -29,7 +30,11 @@ class ClientServerSystem:
     def __init__(self, config: Optional[SystemConfig] = None,
                  client_ids: Iterable[str] = ("C1", "C2")) -> None:
         self.config = config if config is not None else SystemConfig()
-        self.network = Network()
+        self.network = Network(
+            transport=transport_from_config(self.config),
+            retry=retry_policy_from_config(self.config),
+            trace_depth=self.config.message_trace_depth,
+        )
         self.server = Server(self.config, self.network)
         self.clients: Dict[str, Client] = {}
         self._tables: Dict[str, List[int]] = {}

@@ -48,6 +48,11 @@ class MetricsSnapshot:
     aborts: int = 0
     pages_shipped_at_commit: int = 0
 
+    #: Transport-fault counters (all zero under ReliableTransport).
+    message_drops: int = 0
+    message_retries: int = 0
+    rpc_timeouts: int = 0
+
     def minus(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         """Per-field difference (this - other)."""
         values = {
@@ -96,6 +101,9 @@ def snapshot(system: ClientServerSystem) -> MetricsSnapshot:
         commits=sum(c.commits for c in clients),
         aborts=sum(c.aborts for c in clients),
         pages_shipped_at_commit=sum(c.pages_shipped_at_commit for c in clients),
+        message_drops=net.drops,
+        message_retries=net.retries,
+        rpc_timeouts=net.timeouts,
     )
 
 

@@ -1,12 +1,39 @@
-"""Simulated client-server network with traffic accounting."""
+"""Simulated client-server network: typed RPC, transports, accounting."""
 
 from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
-from repro.net.network import Network, TrafficStats
+from repro.net.network import Network, TraceEntry, TrafficStats
+from repro.net.rpc import (
+    DeliveryOutcome,
+    Envelope,
+    FaultyTransport,
+    MessageDroppedError,
+    ReliableTransport,
+    Response,
+    RetryPolicy,
+    RpcDispatcher,
+    RpcError,
+    RpcStub,
+    Transport,
+    UnknownRpcMethodError,
+)
 
 __all__ = [
     "MESSAGE_OVERHEAD",
     "MsgType",
     "Network",
+    "TraceEntry",
     "TrafficStats",
     "payload_size",
+    "DeliveryOutcome",
+    "Envelope",
+    "FaultyTransport",
+    "MessageDroppedError",
+    "ReliableTransport",
+    "Response",
+    "RetryPolicy",
+    "RpcDispatcher",
+    "RpcError",
+    "RpcStub",
+    "Transport",
+    "UnknownRpcMethodError",
 ]

@@ -1,31 +1,95 @@
-"""The simulated network: availability plus traffic accounting.
+"""The simulated network: availability, transport policy, traffic accounting.
 
-Interactions are synchronous method calls between node objects; the
-network's job is (a) to refuse delivery to crashed nodes, so failure
-paths behave like the real thing, and (b) to count every message and
-byte, per type and per direction, because the paper's comparative claims
-are fundamentally about traffic avoided.
+Interactions are synchronous request/response exchanges between node
+objects, carried as :class:`~repro.net.rpc.Envelope` objects through
+:meth:`Network.call`.  The network's jobs are (a) to refuse delivery to
+crashed nodes, so failure paths behave like the real thing, (b) to apply
+the configured :class:`~repro.net.rpc.Transport` policy — the reliable
+default delivers every message; the faulty policy drops and delays them
+— and (c) to count every message and byte, per type and per direction,
+because the paper's comparative claims are fundamentally about traffic
+avoided.
+
+Accounting convention: :meth:`call` charges the *request* leg of each
+charged envelope (one message, ``MESSAGE_OVERHEAD + payload_size``).
+Handlers charge their own response legs via :meth:`send` when the
+response carries a real payload (page ships, fetched log records) —
+exactly where the pre-RPC code charged them — so counters are identical
+to the direct-call era under the reliable transport.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Set, Tuple
+from typing import Any, Deque, Dict, Optional, Set, Tuple
 
 from repro.errors import NodeUnavailableError
 from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
+from repro.net.rpc import (
+    DeliveryOutcome,
+    Envelope,
+    MessageDroppedError,
+    ReliableTransport,
+    Response,
+    RetryPolicy,
+    RpcDispatcher,
+    RpcStub,
+    Transport,
+)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One delivery attempt in the ring-buffer message trace."""
+
+    seq: int
+    request_id: int
+    src: str
+    dst: str
+    msg_type: MsgType
+    method: str
+    size: int
+    attempt: int
+    outcome: str            # "deliver" / "drop-request" / "drop-response"
+    delay: float
+    charged: bool
 
 
 @dataclass
 class TrafficStats:
-    """Aggregate counters, sliceable by message type and node pair."""
+    """Aggregate counters, sliceable by message type and node pair.
+
+    Message/byte counters cover charged request and response legs (the
+    paper's traffic model).  The fault counters — drops, retries,
+    timeouts, delay — cover the transport's behavior underneath, and the
+    optional ring-buffer ``trace`` records the last N delivery attempts
+    for post-mortem rendering by ``tools.logdump.message_trace``.
+    """
 
     messages: int = 0
     bytes: int = 0
     by_type: Counter = field(default_factory=Counter)
     bytes_by_type: Counter = field(default_factory=Counter)
     by_pair: Counter = field(default_factory=Counter)
+
+    # -- transport-fault counters --------------------------------------
+    #: Messages lost by the transport (either leg of an exchange).
+    drops: int = 0
+    #: Exchanges re-attempted by a stub after a timeout.
+    retries: int = 0
+    #: Timeouts observed by stubs (every lost leg costs one timeout).
+    timeouts: int = 0
+    #: Exchanges abandoned after the retry budget (escalated to
+    #: NodeUnavailableError).
+    retries_exhausted: int = 0
+    #: Total simulated waiting: transport delays + timeout waits +
+    #: retry backoffs, in simulated time units.
+    delay_total: float = 0.0
+
+    #: Ring buffer of the last N delivery attempts (None = tracing off).
+    trace: Optional[Deque[TraceEntry]] = None
+    _trace_seq: int = 0
 
     def record(self, src: str, dst: str, msg_type: MsgType, size: int) -> None:
         self.messages += 1
@@ -37,20 +101,79 @@ class TrafficStats:
     def count(self, msg_type: MsgType) -> int:
         return self.by_type[msg_type]
 
-    def snapshot(self) -> Dict[str, int]:
-        out = {"messages": self.messages, "bytes": self.bytes}
+    # -- fault accounting ----------------------------------------------
+
+    def note_drop(self) -> None:
+        self.drops += 1
+
+    def note_delay(self, units: float) -> None:
+        self.delay_total += units
+
+    def note_timeout_wait(self, units: float) -> None:
+        self.timeouts += 1
+        self.delay_total += units
+
+    def note_retry(self, backoff: float) -> None:
+        self.retries += 1
+        self.delay_total += backoff
+
+    def note_retries_exhausted(self) -> None:
+        self.retries_exhausted += 1
+
+    def note_attempt(self, entry: TraceEntry) -> None:
+        if self.trace is not None:
+            self.trace.append(entry)
+
+    def next_trace_seq(self) -> int:
+        self._trace_seq += 1
+        return self._trace_seq
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flatten every counter family into one report dict.
+
+        Per-type byte totals appear as ``"<type>.bytes"`` and per-pair
+        message counts as ``"<src>-><dst>"`` alongside the existing
+        ``"messages"``/``"bytes"``/``"<type>"`` keys.  Fault counters
+        are included only when non-zero, so reliable-transport
+        snapshots look exactly like the pre-RPC ones.
+        """
+        out: Dict[str, Any] = {"messages": self.messages, "bytes": self.bytes}
         for msg_type, count in sorted(self.by_type.items(), key=lambda kv: kv[0].value):
             out[msg_type.value] = count
+        for msg_type, size in sorted(self.bytes_by_type.items(),
+                                     key=lambda kv: kv[0].value):
+            out[f"{msg_type.value}.bytes"] = size
+        for (src, dst), count in sorted(self.by_pair.items()):
+            out[f"{src}->{dst}"] = count
+        for key, value in (("drops", self.drops), ("retries", self.retries),
+                           ("timeouts", self.timeouts),
+                           ("retries_exhausted", self.retries_exhausted),
+                           ("delay_total", self.delay_total)):
+            if value:
+                out[key] = value
         return out
 
 
 class Network:
-    """Availability tracking and message accounting for the complex."""
+    """Availability, transport policy, and accounting for the complex."""
 
-    def __init__(self) -> None:
+    def __init__(self, transport: Optional[Transport] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 trace_depth: int = 0) -> None:
         self._nodes: Set[str] = set()
         self._down: Set[str] = set()
+        self.transport: Transport = transport or ReliableTransport()
+        self.retry: RetryPolicy = retry or RetryPolicy()
+        self.trace_depth = trace_depth
+        self._dispatchers: Dict[str, RpcDispatcher] = {}
+        self._stubs: Dict[Tuple[str, str], RpcStub] = {}
+        self._request_counter = 0
         self.stats = TrafficStats()
+        self._init_trace()
+
+    def _init_trace(self) -> None:
+        if self.trace_depth > 0:
+            self.stats.trace = deque(maxlen=self.trace_depth)
 
     # -- membership --------------------------------------------------------
 
@@ -71,14 +194,85 @@ class Network:
     def up_nodes(self) -> Tuple[str, ...]:
         return tuple(sorted(self._nodes - self._down))
 
+    # -- RPC endpoints -----------------------------------------------------
+
+    def attach(self, node_id: str, dispatcher: RpcDispatcher) -> None:
+        """Install (or replace, across restarts) a node's dispatch table."""
+        self._dispatchers[node_id] = dispatcher
+
+    def dispatcher(self, node_id: str) -> RpcDispatcher:
+        dispatcher = self._dispatchers.get(node_id)
+        if dispatcher is None:
+            raise NodeUnavailableError(node_id)
+        return dispatcher
+
+    def stub(self, src: str, dst: str) -> RpcStub:
+        """The (cached) caller-side endpoint for one direction."""
+        key = (src, dst)
+        stub = self._stubs.get(key)
+        if stub is None:
+            stub = self._stubs[key] = RpcStub(self, src, dst)
+        return stub
+
+    def next_request_id(self) -> int:
+        self._request_counter += 1
+        return self._request_counter
+
+    # -- delivery ----------------------------------------------------------
+
+    def call(self, envelope: Envelope, attempt: int = 0) -> Response:
+        """One delivery attempt of one envelope.
+
+        Availability is checked first (a crashed endpoint is a hard
+        :class:`NodeUnavailableError`, exactly like the old ``send``),
+        then the transport decides the attempt's fate.  The request leg
+        is charged per attempt for charged envelopes — a retried
+        message costs wire traffic each time it is sent, which is
+        precisely the overhead E1-style experiments should see when
+        run over a lossy channel.  Raises
+        :class:`~repro.net.rpc.MessageDroppedError` for the stub to
+        retry when either leg is lost.
+        """
+        if not self.is_up(envelope.src):
+            raise NodeUnavailableError(envelope.src)
+        if not self.is_up(envelope.dst):
+            raise NodeUnavailableError(envelope.dst)
+        outcome, delay = self.transport.plan(envelope, attempt)
+        size = MESSAGE_OVERHEAD + payload_size(envelope.payload)
+        if self.stats.trace is not None:
+            self.stats.note_attempt(TraceEntry(
+                seq=self.stats.next_trace_seq(),
+                request_id=envelope.request_id,
+                src=envelope.src, dst=envelope.dst,
+                msg_type=envelope.msg_type, method=envelope.method,
+                size=size, attempt=attempt, outcome=outcome.value,
+                delay=delay, charged=envelope.charge,
+            ))
+        if delay:
+            self.stats.note_delay(delay)
+        if outcome is DeliveryOutcome.DROP_REQUEST:
+            self.stats.note_drop()
+            raise MessageDroppedError(envelope, "request")
+        # The request reached the destination: charge its leg and run
+        # the handler (dedup inside the dispatcher keeps retried
+        # requests exactly-once).
+        if envelope.charge:
+            self.stats.record(envelope.src, envelope.dst,
+                              envelope.msg_type, size)
+        response = self.dispatcher(envelope.dst).dispatch(envelope)
+        if outcome is DeliveryOutcome.DROP_RESPONSE:
+            self.stats.note_drop()
+            raise MessageDroppedError(envelope, "response")
+        return response
+
     # -- accounting ------------------------------------------------------------
 
     def send(self, src: str, dst: str, msg_type: MsgType,
              payload: Any = None) -> None:
-        """Account for one message; raises if either endpoint is down.
+        """Account for one one-way message; raises if an endpoint is down.
 
-        Call this immediately before the corresponding direct method
-        call on the destination object.
+        Used by handlers to charge response legs that carry real
+        payloads (page ships, fetched log records, gathered DPLs).
         """
         if not self.is_up(src):
             raise NodeUnavailableError(src)
@@ -89,3 +283,4 @@ class Network:
 
     def reset_stats(self) -> None:
         self.stats = TrafficStats()
+        self._init_trace()

@@ -1,0 +1,333 @@
+"""Typed RPC over the simulated network: envelopes, dispatch, transports.
+
+Every client<->server and coordinator<->participant interaction is a
+*request/response exchange* in the paper (sections 2.1-2.7): a page
+request is answered by a page ship, a log ship by an ack carrying the
+assigned addresses, a commit request by the force acknowledgement.  This
+module gives those exchanges a real wire shape so the simulation can
+model what the byte-counting shim could not: lost and delayed messages,
+timeouts, retries, and the idempotency discipline retries require.
+
+The pieces:
+
+* :class:`Envelope` — one typed request: a request id, the sender and
+  destination node ids, the :class:`~repro.net.messages.MsgType` under
+  which the paper's accounting classifies it, the wire ``payload`` the
+  byte counters charge, and the dispatch ``method``/``args`` the
+  destination executes.
+* :class:`RpcDispatcher` — a per-node dispatch table mapping method
+  names to handlers, with request-id deduplication so a retried request
+  is executed **exactly once** even when only the response was lost.
+  Non-idempotent handlers (``receive_log_records``,
+  ``force_log_for_commit``, the 2PC branch votes) depend on this.
+* :class:`Transport` policies — :class:`ReliableTransport` delivers
+  every message synchronously (today's deterministic behavior,
+  bit-for-bit identical traffic counters); :class:`FaultyTransport`
+  drops and delays messages from a seeded RNG.
+* :class:`RpcStub` — the caller side: builds envelopes, retries lost
+  exchanges with exponential backoff, and escalates to
+  :class:`~repro.errors.NodeUnavailableError` when the retry budget is
+  exhausted (the destination is indistinguishable from a dead node).
+
+Accounting model: the *request* leg of an exchange is charged by
+:meth:`Network.call`; response legs that carry real payloads (page
+ships, fetched log records, gathered DPLs) are charged by the handler
+itself via :meth:`Network.send`, exactly where the pre-RPC code charged
+them — so the default transport reproduces the old counters exactly.
+Envelopes with ``charge=False`` model interactions that piggyback on an
+already-counted exchange (Max_LSN sync, the CDPL ride-along, catalog
+lookups): they travel through dispatch — and through fault injection —
+but add no messages or bytes.
+
+What stays *outside* the RPC layer, deliberately: object wiring at
+session establishment (``Server.connect_client``) and the restart-time
+recovery orchestration in :meth:`Server.restart` (phase-0 log salvage,
+lock-table reconstruction).  Those are simulation scaffolding for
+whole-complex crash scenarios, not normal-operation messages, and the
+paper's traffic comparisons never count them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import NodeUnavailableError, ReproError
+
+
+class RpcError(ReproError):
+    """Base class for RPC-layer failures."""
+
+
+class UnknownRpcMethodError(RpcError):
+    """An envelope named a method the destination never registered."""
+
+    def __init__(self, node_id: str, method: str) -> None:
+        super().__init__(f"node {node_id} has no RPC method {method!r}")
+        self.node_id = node_id
+        self.method = method
+
+
+class MessageDroppedError(RpcError):
+    """Internal signal: the transport lost one leg of an exchange.
+
+    Never escapes the stub — it either retries or escalates to
+    :class:`~repro.errors.NodeUnavailableError`.
+    """
+
+    def __init__(self, envelope: "Envelope", leg: str) -> None:
+        super().__init__(
+            f"{leg} lost: {envelope.method} "
+            f"{envelope.src}->{envelope.dst} (request {envelope.request_id})"
+        )
+        self.envelope = envelope
+        self.leg = leg
+
+
+class DeliveryOutcome(enum.Enum):
+    """What the transport did with one delivery attempt."""
+
+    DELIVER = "deliver"
+    DROP_REQUEST = "drop-request"
+    DROP_RESPONSE = "drop-response"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One request traveling ``src -> dst``.
+
+    ``payload`` is what the byte counters charge (the wire content);
+    ``args`` are the dispatch arguments, which may alias the payload or
+    carry simulation-side values (live objects, already-charged data).
+    """
+
+    request_id: int
+    src: str
+    dst: str
+    msg_type: Any               # MsgType; Any avoids an import cycle
+    method: str
+    payload: Any = None
+    args: Tuple[Any, ...] = ()
+    #: Charged exchanges count messages and bytes; uncharged ones are
+    #: piggybacks riding an already-counted exchange.
+    charge: bool = True
+
+
+@dataclass
+class Response:
+    """The destination's answer to one envelope."""
+
+    request_id: int
+    ok: bool
+    result: Any = None
+    error: Optional[BaseException] = None
+
+
+#: A handler receives the sender's node id first, then the envelope args.
+Handler = Callable[..., Any]
+
+
+class RpcDispatcher:
+    """One node's dispatch table, with exactly-once request execution.
+
+    Completed responses are cached by ``(sender, request_id)`` so a
+    retried request — sent again because the *response* was lost — is
+    answered from the cache instead of re-executing the handler.  The
+    cache is bounded; entries old enough to be evicted can no longer be
+    retried (the stub's retry budget is far smaller than the cache).
+    """
+
+    def __init__(self, node_id: str, cache_size: int = 4096) -> None:
+        self.node_id = node_id
+        self._handlers: Dict[str, Handler] = {}
+        self._completed: "OrderedDict[Tuple[str, int], Response]" = OrderedDict()
+        self._cache_size = cache_size
+        #: Handler executions by method name (the exactly-once witness:
+        #: compare against distinct request ids in tests).
+        self.invocations: Counter = Counter()
+        #: Retried requests answered from the completed-response cache.
+        self.duplicates_suppressed = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        self._handlers[method] = handler
+
+    def methods(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._handlers))
+
+    def dispatch(self, envelope: Envelope) -> Response:
+        key = (envelope.src, envelope.request_id)
+        cached = self._completed.get(key)
+        if cached is not None:
+            self.duplicates_suppressed += 1
+            return cached
+        handler = self._handlers.get(envelope.method)
+        if handler is None:
+            raise UnknownRpcMethodError(self.node_id, envelope.method)
+        self.invocations[envelope.method] += 1
+        try:
+            response = Response(envelope.request_id, True,
+                                handler(envelope.src, *envelope.args))
+        except ReproError as exc:
+            # Domain errors are part of the protocol (lock conflicts,
+            # state errors): they travel back as a failed response and
+            # are deduplicated like any other outcome.  Non-ReproError
+            # exceptions are bugs and propagate raw.
+            response = Response(envelope.request_id, False, error=exc)
+        self._completed[key] = response
+        while len(self._completed) > self._cache_size:
+            self._completed.popitem(last=False)
+        return response
+
+
+class Transport:
+    """Delivery policy: decides the fate of each attempt."""
+
+    name = "abstract"
+
+    def plan(self, envelope: Envelope, attempt: int
+             ) -> Tuple[DeliveryOutcome, float]:
+        """Return (outcome, simulated delay units) for one attempt."""
+        raise NotImplementedError
+
+
+class ReliableTransport(Transport):
+    """Synchronous, deterministic, loss-free: the pre-RPC behavior."""
+
+    name = "reliable"
+
+    def plan(self, envelope: Envelope, attempt: int
+             ) -> Tuple[DeliveryOutcome, float]:
+        return DeliveryOutcome.DELIVER, 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ReliableTransport()"
+
+
+class FaultyTransport(Transport):
+    """Seeded loss and delay injection.
+
+    Each attempt is independently lost with probability ``drop_rate``
+    (split evenly between losing the request and losing the response —
+    the two legs exercise different halves of the exactly-once
+    machinery) and delayed with probability ``delay_rate`` by up to
+    ``max_delay`` simulated units.  The RNG is seeded, so a given
+    configuration replays deterministically.
+    """
+
+    name = "faulty"
+
+    def __init__(self, seed: int = 0, drop_rate: float = 0.05,
+                 delay_rate: float = 0.0, max_delay: float = 5.0) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise RpcError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+
+    def plan(self, envelope: Envelope, attempt: int
+             ) -> Tuple[DeliveryOutcome, float]:
+        delay = 0.0
+        if self.delay_rate > 0 and self._rng.random() < self.delay_rate:
+            delay = self._rng.uniform(0.0, self.max_delay)
+        if self._rng.random() < self.drop_rate:
+            outcome = (DeliveryOutcome.DROP_REQUEST
+                       if self._rng.random() < 0.5
+                       else DeliveryOutcome.DROP_RESPONSE)
+            return outcome, delay
+        return DeliveryOutcome.DELIVER, delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultyTransport(seed={self.seed}, "
+                f"drop_rate={self.drop_rate}, delay_rate={self.delay_rate})")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-stub behavior when an exchange times out.
+
+    A lost message manifests to the caller as a timeout of
+    ``timeout`` simulated units; each retry backs off exponentially
+    from ``backoff_base``.  After ``max_retries`` retries the
+    destination is declared unavailable.
+    """
+
+    max_retries: int = 8
+    backoff_base: float = 1.0
+    timeout: float = 10.0
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base * (2.0 ** attempt)
+
+
+class RpcStub:
+    """Caller-side endpoint for one ``src -> dst`` direction."""
+
+    def __init__(self, network: Any, src: str, dst: str) -> None:
+        self._network = network
+        self.src = src
+        self.dst = dst
+
+    def call(self, method: str, msg_type: Any, payload: Any = None,
+             args: Optional[Tuple[Any, ...]] = None,
+             charge: bool = True) -> Any:
+        """One request/response exchange, retried until it completes.
+
+        Raises the handler's domain error on a failed response, and
+        :class:`~repro.errors.NodeUnavailableError` when the retry
+        budget is exhausted without a completed exchange.
+        """
+        network = self._network
+        policy: RetryPolicy = network.retry
+        envelope = Envelope(
+            request_id=network.next_request_id(),
+            src=self.src, dst=self.dst, msg_type=msg_type,
+            method=method, payload=payload,
+            args=args if args is not None else (), charge=charge,
+        )
+        attempt = 0
+        while True:
+            try:
+                response = network.call(envelope, attempt=attempt)
+            except MessageDroppedError:
+                # The caller cannot tell a lost request from a lost
+                # response: both look like ``timeout`` units of silence.
+                network.stats.note_timeout_wait(policy.timeout)
+                if attempt >= policy.max_retries:
+                    network.stats.note_retries_exhausted()
+                    raise NodeUnavailableError(self.dst) from None
+                network.stats.note_retry(policy.backoff(attempt))
+                attempt += 1
+                continue
+            if not response.ok:
+                assert response.error is not None
+                raise response.error
+            return response.result
+
+
+def transport_from_config(config: Any) -> Transport:
+    """Build the transport a :class:`~repro.config.SystemConfig` asks for."""
+    from repro.config import TransportPolicy
+    if config.transport_policy is TransportPolicy.FAULTY:
+        seed = config.transport_seed
+        if seed is None:
+            seed = config.seed
+        return FaultyTransport(
+            seed=seed,
+            drop_rate=config.transport_drop_rate,
+            delay_rate=config.transport_delay_rate,
+            max_delay=config.transport_max_delay,
+        )
+    return ReliableTransport()
+
+
+def retry_policy_from_config(config: Any) -> RetryPolicy:
+    return RetryPolicy(
+        max_retries=config.rpc_max_retries,
+        backoff_base=config.rpc_backoff_base,
+        timeout=config.rpc_timeout,
+    )

@@ -154,12 +154,46 @@ def summarize(server: Server) -> str:
     return "\n".join(lines)
 
 
+def message_trace(network, limit: Optional[int] = None) -> str:
+    """Render the network's ring-buffer message trace, newest last.
+
+    Requires tracing enabled (``SystemConfig.message_trace_depth > 0``
+    or ``Network(trace_depth=N)``).  One line per delivery attempt:
+    sequence number, request id, endpoints, message type and dispatch
+    method, wire size, the attempt number (>0 means a retry), and the
+    transport's verdict.  Uncharged piggyback envelopes are marked
+    ``~``.
+    """
+    trace = network.stats.trace
+    if trace is None:
+        return "message trace: disabled (set message_trace_depth > 0)"
+    entries = list(trace)
+    if limit is not None:
+        entries = entries[-limit:]
+    lines = [" seq      req     route            type          method"
+             "                     size try outcome",
+             " " + "-" * 95]
+    for e in entries:
+        charge_mark = " " if e.charged else "~"
+        route = f"{e.src}->{e.dst}"
+        delay = f" delay={e.delay:.1f}" if e.delay else ""
+        lines.append(
+            f"{charge_mark}{e.seq:>7} {e.request_id:>7}  {route:<16} "
+            f"{e.msg_type.value:<13} {e.method:<26} {e.size:>4} "
+            f"{e.attempt:>3} {e.outcome}{delay}"
+        )
+    if not entries:
+        lines.append(" (no attempts recorded)")
+    return "\n".join(lines)
+
+
 def _demo() -> None:  # pragma: no cover - illustrative CLI
     from repro.config import SystemConfig
     from repro.core.system import ClientServerSystem
     from repro.workloads.generator import seed_table
 
-    system = ClientServerSystem(SystemConfig(), client_ids=["C1"])
+    system = ClientServerSystem(SystemConfig(message_trace_depth=32),
+                                client_ids=["C1"])
     system.bootstrap(data_pages=2)
     rids = seed_table(system, "C1", "demo", 2, 2)
     client = system.client("C1")
@@ -176,6 +210,8 @@ def _demo() -> None:  # pragma: no cover - illustrative CLI
     print(page_history(system.server, rids[0].page_id))
     print()
     print(summarize(system.server))
+    print()
+    print(message_trace(system.network, limit=20))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,223 @@
+"""Crash-fuzz batteries over a lossy transport.
+
+The reliable-transport batteries (test_crash_fuzz.py) prove recovery
+correctness when every message arrives.  These runs prove it when they
+don't: a seeded FaultyTransport drops >= 5% of delivery attempts, client
+stubs retry with backoff, and the server's request-id dedup must keep
+every non-idempotent handler (log shipping, commit forces, 2PC votes)
+exactly-once despite the retries.
+
+Each run asserts three things after a final whole-complex crash and
+restart:
+
+* the DESIGN.md section 6 invariants hold (durability oracle + the
+  WAL/coherence/privilege invariant sweep);
+* the stable server log contains no duplicate ``(client_id, txn_id,
+  lsn)`` among UpdateRecords — a re-executed ``receive_log_records``
+  retry would append the same client record twice, so this is the
+  exactly-once witness.  (Plain ``(client_id, lsn)`` is not a valid
+  key: the client LSN clock legitimately reuses low LSNs after a
+  crash, while transaction ids are never reused);
+* the transport actually dropped messages (the run exercised faults,
+  not a quiet channel).
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.config import SystemConfig, TransportPolicy
+from repro.core.log_records import UpdateRecord
+from repro.core.system import ClientServerSystem
+from repro.errors import LockConflictError
+from repro.harness.invariants import assert_invariants
+from repro.harness.oracle import CommittedStateOracle, verify_durability
+from repro.workloads.generator import seed_table
+
+DROP_RATE = 0.05
+
+
+def build_faulty_system(seed: int, drop_rate: float = DROP_RATE) -> tuple:
+    config = SystemConfig(
+        client_buffer_frames=6,
+        client_checkpoint_interval=5,
+        server_checkpoint_interval=40,
+        max_lsn_sync_period=4,
+        transport_policy=TransportPolicy.FAULTY,
+        transport_drop_rate=drop_rate,
+        transport_seed=seed,
+    )
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=6, free_pages=8)
+    rids = seed_table(system, "C1", "t", 6, 3)
+    oracle = CommittedStateOracle()
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+    return system, rids, oracle
+
+
+def assert_no_duplicate_update_records(system: ClientServerSystem) -> None:
+    """No client update may be applied to the server log twice.
+
+    A retried ``receive_log_records`` whose first execution succeeded
+    (only the ack was lost) must be answered from the dedup cache; a
+    re-execution would append the same record — same client, same
+    transaction, same LSN — again.  The key includes ``txn_id`` because
+    a client's LSN clock legitimately restarts after a crash (LSNs only
+    need to be monotonic per page, section 2.2) while transaction ids
+    are never reused.
+    """
+    seen: Counter = Counter()
+    for addr, record in system.server.log.scan():
+        if isinstance(record, UpdateRecord):
+            seen[(record.client_id, record.txn_id, record.lsn)] += 1
+    duplicates = {key: count for key, count in seen.items() if count > 1}
+    assert not duplicates, (
+        f"duplicate UpdateRecords in the server log (retry applied "
+        f"twice): {duplicates}"
+    )
+
+
+def run_faulty_fuzz(seed: int, steps: int, crash_mix: str) -> None:
+    rng = random.Random(seed)
+    system, rids, oracle = build_faulty_system(seed)
+    live_txns = {}
+
+    for step in range(steps):
+        action = rng.random()
+        client = system.client(rng.choice(["C1", "C2"]))
+        if client.crashed:
+            system.reconnect_client(client.client_id)
+            continue
+        try:
+            if action < 0.6:
+                txn, writes = live_txns.get(client.client_id, (None, []))
+                if txn is None:
+                    txn = client.begin()
+                    writes = []
+                rid = rids[rng.randrange(len(rids))]
+                value = ("faultfuzz", seed, step)
+                client.update(txn, rid, value)
+                writes.append((rid, value))
+                live_txns[client.client_id] = (txn, writes)
+                if rng.random() < 0.4:
+                    client._ship_log_records()
+            elif action < 0.85:
+                txn, writes = live_txns.pop(client.client_id, (None, []))
+                if txn is None:
+                    continue
+                if rng.random() < 0.7:
+                    client.commit(txn)
+                    for rid, value in writes:
+                        oracle.note_committed_update(rid, value)
+                else:
+                    client.rollback(txn)
+                    for rid, value in writes:
+                        oracle.note_uncommitted_value(rid, value)
+            else:
+                kind = rng.choice(crash_mix.split("+"))
+                if kind == "client":
+                    victim = rng.choice(["C1", "C2"])
+                    if not system.clients[victim].crashed:
+                        txn_info = live_txns.pop(victim, (None, []))
+                        for rid, value in txn_info[1]:
+                            oracle.note_uncommitted_value(rid, value)
+                        system.crash_client(victim)
+                        system.reconnect_client(victim)
+                elif kind == "server":
+                    system.crash_server()
+                    system.restart_server()
+                elif kind == "all":
+                    for client_id, (txn, writes) in live_txns.items():
+                        for rid, value in writes:
+                            oracle.note_uncommitted_value(rid, value)
+                    live_txns.clear()
+                    system.crash_all()
+                    system.restart_all()
+        except LockConflictError:
+            continue  # contention noise: try something else next step
+
+    # Quiesce and run the total check from a cold restart.
+    for client_id, (txn, writes) in live_txns.items():
+        client = system.clients[client_id]
+        if client.crashed:
+            system.reconnect_client(client_id)
+            for rid, value in writes:
+                oracle.note_uncommitted_value(rid, value)
+            continue
+        try:
+            client.commit(txn)
+            for rid, value in writes:
+                oracle.note_committed_update(rid, value)
+        except Exception:
+            for rid, value in writes:
+                oracle.note_uncommitted_value(rid, value)
+    system.crash_all()
+    system.restart_all()
+
+    verify_durability(oracle, system, where="server")
+    assert_invariants(system)
+    assert_no_duplicate_update_records(system)
+    assert system.network.stats.drops > 0, \
+        "the faulty transport never dropped anything; the run proved nothing"
+
+
+class TestFaultyTransportFuzz:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_node_crashes_only_message_loss(self, seed):
+        run_faulty_fuzz(seed, steps=70, crash_mix="none")
+
+    @pytest.mark.parametrize("seed", range(4, 8))
+    def test_whole_complex_crashes(self, seed):
+        run_faulty_fuzz(seed, steps=60, crash_mix="all")
+
+    @pytest.mark.parametrize("seed", range(8, 12))
+    def test_client_crashes(self, seed):
+        run_faulty_fuzz(seed, steps=60, crash_mix="client")
+
+    @pytest.mark.parametrize("seed", range(12, 16))
+    def test_mixed_failures(self, seed):
+        run_faulty_fuzz(seed, steps=80, crash_mix="client+server+all")
+
+
+class TestFaultObservability:
+    def test_retries_show_up_in_stats_and_metrics(self):
+        """Under a 20% drop rate a short workload must record drops and
+        retries, and the metrics snapshot must expose them."""
+        from repro.harness.metrics import snapshot
+
+        system, rids, _ = build_faulty_system(seed=99, drop_rate=0.2)
+        client = system.client("C1")
+        for i in range(10):
+            txn = client.begin()
+            client.update(txn, rids[i % len(rids)], ("v", i))
+            client.commit(txn)
+        stats = system.network.stats
+        assert stats.drops > 0
+        assert stats.retries > 0
+        assert stats.timeouts >= stats.retries
+        assert stats.delay_total > 0
+        metrics = snapshot(system)
+        assert metrics.message_drops == stats.drops
+        assert metrics.message_retries == stats.retries
+        assert metrics.rpc_timeouts == stats.timeouts
+        snap = stats.snapshot()
+        assert snap["drops"] == stats.drops
+        assert snap["retries"] == stats.retries
+
+    def test_exactly_once_despite_heavy_loss(self):
+        """A hostile 30% drop rate: every commit still lands exactly once."""
+        system, rids, oracle = build_faulty_system(seed=7, drop_rate=0.3)
+        client = system.client("C1")
+        for i in range(15):
+            txn = client.begin()
+            value = ("heavy", i)
+            client.update(txn, rids[i % len(rids)], value)
+            client.commit(txn)
+            oracle.note_committed_update(rids[i % len(rids)], value)
+        system.crash_all()
+        system.restart_all()
+        verify_durability(oracle, system, where="server")
+        assert_no_duplicate_update_records(system)
+        assert system.network.stats.drops > 0

@@ -1,0 +1,71 @@
+"""The RPC refactor's bit-for-bit accounting guarantee.
+
+The typed RPC layer (repro.net.rpc) replaced direct method calls with
+envelope dispatch, but under the default ReliableTransport the paper's
+traffic counters must be *identical* to the pre-refactor shim: request
+legs are charged by Network.call exactly where a message used to be
+counted, payload-bearing response legs keep their in-handler charges,
+and piggyback interactions travel as uncharged envelopes.
+
+These tests pin the E1 and E10 experiment outputs to the values the
+direct-call implementation produced (captured before the refactor).
+If any accounting site moves — a charge added, dropped, or double
+counted — these numbers shift and the tests fail.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_e1_commit_traffic, run_e10_lsn_assignment
+
+# (system, write_set) -> (messages_per_commit, bytes_per_commit,
+#                         pages_shipped_at_commit, disk_writes)
+E1_BASELINE = {
+    ("ARIES/CSA", 1): (2.2, 439, 0, 0),
+    ("ARIES/CSA", 4): (2.2, 814, 0, 0),
+    ("ARIES/CSA", 16): (2.2, 2256, 0, 0),
+    ("ESM-CS", 1): (7.0, 8790, 10, 0),
+    ("ESM-CS", 4): (19.0, 34365, 40, 0),
+    ("ESM-CS", 16): (67.0, 136608, 160, 0),
+    ("ObjectStore-style", 1): (4.2, 4554, 10, 10),
+    ("ObjectStore-style", 4): (7.2, 17361, 40, 40),
+    ("ObjectStore-style", 16): (19.2, 68532, 160, 160),
+}
+
+# variant -> (lsn_round_trips, messages, messages_per_update)
+E10_BASELINE = {
+    "local (ARIES/CSA)": (0, 42, 0.2625),
+    "server round trip": (202, 244, 1.525),
+}
+
+
+class TestE1Parity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_e1_commit_traffic()
+
+    def test_covers_every_baseline_cell(self, rows):
+        assert {(r["system"], r["write_set"]) for r in rows} \
+            == set(E1_BASELINE)
+
+    def test_counters_identical_to_direct_call_era(self, rows):
+        for row in rows:
+            expected = E1_BASELINE[(row["system"], row["write_set"])]
+            observed = (row["messages_per_commit"], row["bytes_per_commit"],
+                        row["pages_shipped_at_commit"], row["disk_writes"])
+            assert observed == pytest.approx(expected), \
+                f"{row['system']} ws={row['write_set']}: {observed} != {expected}"
+
+
+class TestE10Parity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_e10_lsn_assignment()
+
+    def test_counters_identical_to_direct_call_era(self, rows):
+        assert len(rows) == len(E10_BASELINE)
+        for row in rows:
+            expected = E10_BASELINE[row["variant"]]
+            observed = (row["lsn_round_trips"], row["messages"],
+                        row["messages_per_update"])
+            assert observed == pytest.approx(expected), \
+                f"{row['variant']}: {observed} != {expected}"

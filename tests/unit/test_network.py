@@ -1,12 +1,50 @@
-"""Unit tests for the simulated network and traffic accounting."""
+"""Unit tests for the simulated network, RPC layer, and accounting."""
 
 import pytest
 
 from repro.core.log_records import CommitRecord
-from repro.errors import NodeUnavailableError
+from repro.errors import LockConflictError, NodeUnavailableError
 from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
 from repro.net.network import Network
+from repro.net.rpc import (
+    DeliveryOutcome,
+    Envelope,
+    FaultyTransport,
+    ReliableTransport,
+    RetryPolicy,
+    RpcDispatcher,
+    RpcError,
+    Transport,
+    UnknownRpcMethodError,
+)
 from repro.storage.page import Page, PageKind
+
+
+class ScriptedTransport(Transport):
+    """Plays back a fixed outcome sequence, then delivers forever."""
+
+    name = "scripted"
+
+    def __init__(self, *outcomes):
+        self.outcomes = list(outcomes)
+
+    def plan(self, envelope, attempt):
+        if self.outcomes:
+            return self.outcomes.pop(0), 0.0
+        return DeliveryOutcome.DELIVER, 0.0
+
+
+def rpc_pair(transport=None, retry=None, trace_depth=0):
+    """A two-node network with B serving ``echo`` and ``boom``."""
+    net = Network(transport=transport, retry=retry, trace_depth=trace_depth)
+    for node in ("A", "B"):
+        net.register(node)
+        net.attach(node, RpcDispatcher(node))
+    server = net.dispatcher("B")
+    server.register("echo", lambda sender, value: (sender, value))
+    server.register("boom", lambda sender: (_ for _ in ()).throw(
+        LockConflictError("R1", "X", ("other",))))
+    return net, server
 
 
 class TestAvailability:
@@ -110,3 +148,235 @@ class TestPayloadSize:
         assert payload_size(None) == 0
         assert payload_size(7) == 8
         assert payload_size("abc") == 3
+
+
+class TestRpcExchange:
+    def test_envelope_round_trip(self):
+        net, server = rpc_pair()
+        result = net.stub("A", "B").call("echo", MsgType.ACK,
+                                         payload="hi", args=("hi",))
+        assert result == ("A", "hi")
+        assert server.invocations["echo"] == 1
+
+    def test_request_leg_is_charged(self):
+        net, _ = rpc_pair()
+        net.stub("A", "B").call("echo", MsgType.LOG_SHIP,
+                                payload=b"12345", args=(b"12345",))
+        assert net.stats.messages == 1
+        assert net.stats.bytes == MESSAGE_OVERHEAD + 5
+        assert net.stats.count(MsgType.LOG_SHIP) == 1
+
+    def test_uncharged_envelope_counts_nothing(self):
+        net, server = rpc_pair()
+        net.stub("A", "B").call("echo", MsgType.LSN_SYNC,
+                                payload="x", args=("x",), charge=False)
+        assert net.stats.messages == 0
+        assert net.stats.bytes == 0
+        assert server.invocations["echo"] == 1  # still dispatched
+
+    def test_every_msg_type_dispatches(self):
+        net, server = rpc_pair()
+        for msg_type in MsgType:
+            server.register(f"m_{msg_type.value}", lambda sender: msg_type.value)
+        stub = net.stub("A", "B")
+        for msg_type in MsgType:
+            stub.call(f"m_{msg_type.value}", msg_type)
+            assert net.stats.count(msg_type) == 1
+        assert net.stats.messages == len(MsgType)
+        assert net.stats.by_pair[("A", "B")] == len(MsgType)
+
+    def test_unknown_method(self):
+        net, _ = rpc_pair()
+        with pytest.raises(UnknownRpcMethodError):
+            net.stub("A", "B").call("no_such_method", MsgType.ACK)
+
+    def test_domain_error_travels_back(self):
+        net, _ = rpc_pair()
+        with pytest.raises(LockConflictError):
+            net.stub("A", "B").call("boom", MsgType.LOCK_REQUEST)
+
+    def test_call_to_crashed_node(self):
+        net, _ = rpc_pair()
+        net.crash("B")
+        with pytest.raises(NodeUnavailableError):
+            net.stub("A", "B").call("echo", MsgType.ACK, args=("hi",))
+
+
+class TestExactlyOnce:
+    def test_retry_after_lost_response(self):
+        """The handler ran; only its answer was lost.  The retry must be
+        answered from the dedup cache, not re-executed."""
+        net, server = rpc_pair(
+            transport=ScriptedTransport(DeliveryOutcome.DROP_RESPONSE))
+        calls = []
+        server.register("append", lambda sender, v: calls.append(v) or len(calls))
+        result = net.stub("A", "B").call("append", MsgType.LOG_SHIP,
+                                         payload="r1", args=("r1",))
+        assert calls == ["r1"]                    # executed exactly once
+        assert result == 1
+        assert server.invocations["append"] == 1
+        assert server.duplicates_suppressed == 1
+        assert net.stats.drops == 1
+        assert net.stats.retries == 1
+        assert net.stats.timeouts == 1
+
+    def test_retry_after_lost_request(self):
+        """The request never arrived: the retry is a first execution."""
+        net, server = rpc_pair(
+            transport=ScriptedTransport(DeliveryOutcome.DROP_REQUEST))
+        result = net.stub("A", "B").call("echo", MsgType.ACK,
+                                         payload="v", args=("v",))
+        assert result == ("A", "v")
+        assert server.invocations["echo"] == 1
+        assert server.duplicates_suppressed == 0  # nothing cached to hit
+        assert net.stats.drops == 1
+
+    def test_retried_request_charged_per_attempt(self):
+        """Wire traffic is paid per attempt: a retry is a second message."""
+        net, _ = rpc_pair(
+            transport=ScriptedTransport(DeliveryOutcome.DROP_RESPONSE))
+        net.stub("A", "B").call("echo", MsgType.ACK, payload=b"abc",
+                                args=(b"abc",))
+        # Both attempts delivered a request (only the response was lost
+        # the first time), so both request legs are charged.
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 2 * (MESSAGE_OVERHEAD + 3)
+
+    def test_error_response_is_deduplicated_too(self):
+        net, server = rpc_pair(
+            transport=ScriptedTransport(DeliveryOutcome.DROP_RESPONSE))
+        with pytest.raises(LockConflictError):
+            net.stub("A", "B").call("boom", MsgType.LOCK_REQUEST)
+        assert server.invocations["boom"] == 1
+        assert server.duplicates_suppressed == 1
+
+    def test_timeout_escalates_to_unavailable(self):
+        net, server = rpc_pair(
+            transport=ScriptedTransport(*[DeliveryOutcome.DROP_REQUEST] * 100),
+            retry=RetryPolicy(max_retries=3, backoff_base=1.0, timeout=10.0))
+        with pytest.raises(NodeUnavailableError):
+            net.stub("A", "B").call("echo", MsgType.ACK, args=("v",))
+        assert server.invocations["echo"] == 0    # nothing ever arrived
+        assert net.stats.timeouts == 4            # initial try + 3 retries
+        assert net.stats.retries == 3
+        assert net.stats.retries_exhausted == 1
+        # Simulated waiting: 4 timeouts of 10 + backoffs 1 + 2 + 4.
+        assert net.stats.delay_total == pytest.approx(47.0)
+
+    def test_dedup_cache_is_bounded(self):
+        dispatcher = RpcDispatcher("B", cache_size=2)
+        dispatcher.register("f", lambda sender: "ok")
+        for request_id in range(1, 5):
+            dispatcher.dispatch(Envelope(request_id=request_id, src="A",
+                                         dst="B", msg_type=MsgType.ACK,
+                                         method="f"))
+        assert len(dispatcher._completed) == 2
+        # The evicted request would re-execute; the cached one would not.
+        dispatcher.dispatch(Envelope(request_id=4, src="A", dst="B",
+                                     msg_type=MsgType.ACK, method="f"))
+        assert dispatcher.duplicates_suppressed == 1
+
+
+class TestTransports:
+    def test_reliable_always_delivers(self):
+        transport = ReliableTransport()
+        envelope = Envelope(request_id=1, src="A", dst="B",
+                            msg_type=MsgType.ACK, method="f")
+        for attempt in range(5):
+            assert transport.plan(envelope, attempt) == \
+                (DeliveryOutcome.DELIVER, 0.0)
+
+    def test_faulty_is_seeded_deterministic(self):
+        envelope = Envelope(request_id=1, src="A", dst="B",
+                            msg_type=MsgType.ACK, method="f")
+        first = FaultyTransport(seed=7, drop_rate=0.3, delay_rate=0.2)
+        second = FaultyTransport(seed=7, drop_rate=0.3, delay_rate=0.2)
+        assert [first.plan(envelope, i) for i in range(200)] == \
+            [second.plan(envelope, i) for i in range(200)]
+
+    def test_faulty_drops_both_legs(self):
+        envelope = Envelope(request_id=1, src="A", dst="B",
+                            msg_type=MsgType.ACK, method="f")
+        transport = FaultyTransport(seed=1, drop_rate=0.5)
+        outcomes = {transport.plan(envelope, 0)[0] for _ in range(300)}
+        assert outcomes == {DeliveryOutcome.DELIVER,
+                            DeliveryOutcome.DROP_REQUEST,
+                            DeliveryOutcome.DROP_RESPONSE}
+
+    def test_faulty_rejects_certain_loss(self):
+        with pytest.raises(RpcError):
+            FaultyTransport(drop_rate=1.0)
+        with pytest.raises(RpcError):
+            FaultyTransport(drop_rate=-0.1)
+
+    def test_faulty_network_still_completes_exchanges(self):
+        net, server = rpc_pair(
+            transport=FaultyTransport(seed=42, drop_rate=0.3))
+        stub = net.stub("A", "B")
+        for i in range(50):
+            assert stub.call("echo", MsgType.ACK, payload=i, args=(i,)) \
+                == ("A", i)
+        assert server.invocations["echo"] == 50
+        assert net.stats.drops > 0                # faults actually fired
+
+
+class TestSnapshotAndTrace:
+    def test_snapshot_reports_bytes_by_type_and_pairs(self):
+        net, _ = rpc_pair()
+        net.stub("A", "B").call("echo", MsgType.LOG_SHIP,
+                                payload=b"1234", args=(b"1234",))
+        net.send("B", "A", MsgType.PAGE_SHIP, b"12")
+        snap = net.stats.snapshot()
+        assert snap["log-ship"] == 1
+        assert snap["log-ship.bytes"] == MESSAGE_OVERHEAD + 4
+        assert snap["page-ship.bytes"] == MESSAGE_OVERHEAD + 2
+        assert snap["A->B"] == 1
+        assert snap["B->A"] == 1
+        # Reliable transport: no fault keys polluting the report.
+        assert "drops" not in snap
+        assert "retries" not in snap
+
+    def test_snapshot_includes_fault_counters_when_nonzero(self):
+        net, _ = rpc_pair(
+            transport=ScriptedTransport(DeliveryOutcome.DROP_RESPONSE))
+        net.stub("A", "B").call("echo", MsgType.ACK, args=("v",))
+        snap = net.stats.snapshot()
+        assert snap["drops"] == 1
+        assert snap["retries"] == 1
+
+    def test_trace_ring_buffer(self):
+        net, _ = rpc_pair(
+            transport=ScriptedTransport(DeliveryOutcome.DROP_RESPONSE),
+            trace_depth=8)
+        net.stub("A", "B").call("echo", MsgType.ACK, payload="v", args=("v",))
+        trace = list(net.stats.trace)
+        assert len(trace) == 2
+        assert trace[0].outcome == "drop-response"
+        assert trace[0].attempt == 0
+        assert trace[1].outcome == "deliver"
+        assert trace[1].attempt == 1
+        assert trace[0].request_id == trace[1].request_id
+
+    def test_trace_depth_bounds_the_buffer(self):
+        net, _ = rpc_pair(trace_depth=3)
+        stub = net.stub("A", "B")
+        for i in range(10):
+            stub.call("echo", MsgType.ACK, args=(i,))
+        assert len(net.stats.trace) == 3
+        assert net.stats.trace[-1].seq == 10
+
+    def test_trace_disabled_by_default(self):
+        net, _ = rpc_pair()
+        net.stub("A", "B").call("echo", MsgType.ACK, args=("v",))
+        assert net.stats.trace is None
+
+    def test_message_trace_rendering(self):
+        from repro.tools.logdump import message_trace
+        net, _ = rpc_pair(trace_depth=8)
+        net.stub("A", "B").call("echo", MsgType.ACK, payload="v", args=("v",))
+        text = message_trace(net)
+        assert "A->B" in text
+        assert "echo" in text
+        assert "deliver" in text
+        plain = Network()
+        assert "disabled" in message_trace(plain)
