@@ -1,0 +1,52 @@
+"""Baseline suppression for the protocol linter.
+
+A baseline file holds one fingerprint per line (``rule:path:qualname``,
+see :class:`repro.analysis.findings.Finding`).  Findings whose
+fingerprint appears in the baseline are reported as *suppressed* and do
+not fail the run — the escape hatch for violations that are deliberate
+(e.g. offline database formatting writes unlogged pages by design).
+
+The format is deliberately trivial: blank lines and ``#`` comments are
+ignored, entries are kept sorted on save so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+_HEADER = (
+    "# Protocol-linter baseline: one fingerprint (rule:path:qualname) per line.\n"
+    "# Entries suppress known, deliberate findings; remove a line to re-arm it.\n"
+)
+
+
+def load_baseline(path: Path) -> Set[str]:
+    if not path.exists():
+        return set()
+    entries: Set[str] = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    entries = sorted({f.fingerprint for f in findings})
+    path.write_text(_HEADER + "".join(e + "\n" for e in entries),
+                    encoding="utf-8")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], baseline: Set[str],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, suppressed) against a baseline."""
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        (suppressed if finding.fingerprint in baseline else new).append(finding)
+    return new, suppressed

@@ -1,0 +1,46 @@
+"""Checker interface for the protocol linter.
+
+A checker owns one or more rule ids and is invoked once per function
+scope (after the project-wide facts have been collected).  Checkers are
+stateless between runs; they emit :class:`Finding` objects through the
+``found`` helper, which fills in the location boilerplate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionScope, Project
+
+
+class Checker:
+    """Base class; subclasses define RULES and implement check_function."""
+
+    #: rule id -> one-line description (for --list-rules and docs)
+    RULES: Dict[str, str] = {}
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def found(self, scope: FunctionScope, node: ast.AST, rule_id: str,
+              message: str, fix_hint: str = "") -> Finding:
+        assert rule_id in self.RULES, f"unknown rule {rule_id}"
+        return Finding(
+            path=scope.module.relpath,
+            line=getattr(node, "lineno", 0),
+            rule_id=rule_id,
+            qualname=scope.qualname,
+            message=message,
+            fix_hint=fix_hint,
+        )
+
+
+def run_checkers(checkers: List[Checker], project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope in project.functions():
+        for checker in checkers:
+            findings.extend(checker.check_function(scope, project))
+    return sorted(findings)

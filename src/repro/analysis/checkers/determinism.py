@@ -1,0 +1,113 @@
+"""Determinism lint for simulation code.
+
+The whole repo is a deterministic discrete simulation: identical
+configs must replay identical histories (that is what makes the crash
+tests meaningful).  Three ways nondeterminism leaks in are banned:
+
+DET001 — wall-clock reads (``time.time()``, ``datetime.now()``, ...).
+Simulated time comes from the log clock, never the host.
+
+DET002 — ambient randomness: module-level ``random.*`` calls share
+hidden global state, and ``random.Random()``/``random.Random(<literal>)``
+pin entropy outside the configuration.  Every RNG must be seeded from
+``SystemConfig.seed`` (or a value threaded from it) so one knob replays
+an entire run.
+
+DET003 — ``id()``-derived values: CPython object addresses vary across
+processes, so using them for ordering or keys breaks replayability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionScope, Project, call_receiver
+
+WALLCLOCK = {
+    "time.time", "time.monotonic", "time.perf_counter", "time.time_ns",
+    "time.monotonic_ns", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.now", "datetime.utcnow",
+}
+
+
+class DeterminismChecker(Checker):
+    RULES = {
+        "DET001": "wall-clock read in simulation code (time must come "
+                  "from the simulated clock)",
+        "DET002": "ambient or hard-seeded randomness (RNG must be seeded "
+                  "from SystemConfig.seed)",
+        "DET003": "id()-derived value (process-dependent; breaks replay)",
+    }
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        module = scope.module
+        for call in scope.calls():
+            resolved = self._resolve(call, module.module_aliases,
+                                     module.member_aliases)
+            if resolved in WALLCLOCK:
+                yield self.found(
+                    scope, call, "DET001",
+                    f"wall-clock call {resolved}()",
+                    "derive time from the simulation (LSN clock / logical "
+                    "ticks), not the host clock",
+                )
+            elif resolved is not None and resolved.startswith("random."):
+                yield from self._check_random(scope, call, resolved)
+            if isinstance(call.func, ast.Name) and call.func.id == "id" \
+                    and len(call.args) == 1 and not call.keywords:
+                yield self.found(
+                    scope, call, "DET003",
+                    "id() produces process-dependent values",
+                    "key/order by a stable identifier (page_id, txn_id, "
+                    "LSN) instead of object identity",
+                )
+
+    def _check_random(self, scope: FunctionScope, call: ast.Call,
+                      resolved: str) -> Iterator[Finding]:
+        if resolved != "random.Random":
+            # Any other random.* function mutates the hidden module-global
+            # RNG — unseeded by construction.
+            yield self.found(
+                scope, call, "DET002",
+                f"module-level {resolved}() uses the shared global RNG",
+                "construct random.Random(config.seed) and call methods on "
+                "that instance",
+            )
+            return
+        if not call.args and not call.keywords:
+            yield self.found(
+                scope, call, "DET002",
+                "random.Random() without a seed is entropy-seeded",
+                "pass a seed threaded from SystemConfig.seed",
+            )
+        elif call.args and isinstance(call.args[0], ast.Constant) and \
+                isinstance(call.args[0].value, (int, float)):
+            yield self.found(
+                scope, call, "DET002",
+                "random.Random(<literal>) hard-codes the seed outside the "
+                "configuration",
+                "put the seed in SystemConfig (config.seed) and pass it "
+                "through",
+            )
+
+    @staticmethod
+    def _resolve(call: ast.Call, module_aliases: dict,
+                 member_aliases: dict) -> Optional[str]:
+        """Map a call back to '<stdlib module>.<name>' via import aliases."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return member_aliases.get(func.id)
+        if isinstance(func, ast.Attribute):
+            receiver = call_receiver(call)
+            if receiver is None:
+                return None
+            head, _, rest = receiver.partition(".")
+            base = module_aliases.get(head) or member_aliases.get(head)
+            if base is not None:
+                middle = f"{rest}." if rest else ""
+                return f"{base}.{middle}{func.attr}"
+        return None

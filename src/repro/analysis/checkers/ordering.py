@@ -1,0 +1,114 @@
+"""Force-before-externalize ordering (paper sections 2.4, 2.6.1, 2.7
+and the presumed-abort commit point of section 1.1.2).
+
+A decision is *externalized* when it is shipped to another node or
+written into the master record; the log records establishing it must be
+on stable storage first.  Three shapes are enforced:
+
+REC020 — telling a 2PC branch to commit (any call carrying the literal
+``"commit_branch"``) must be preceded by forcing the decision record.
+
+REC021 — inside checkpoint handlers, updating the master record must be
+preceded by a force: a master pointer to an unforced (crash-truncatable
+and re-assignable) log address dangles after restart.
+
+REC022 — inside commit/prepare handlers, sending a commit-family
+message (``MsgType.COMMIT_REQUEST``/``ACK``) must be preceded by — or
+itself be — a call that forces the log (directly or transitively, per
+the project force set).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    FunctionScope, Project, call_name, calls_force, dotted_name, string_args,
+)
+
+COMMIT_FAMILY_METHODS = {"commit_branch"}
+COMMIT_FAMILY_MSGTYPES = {"COMMIT_REQUEST", "ACK"}
+SEND_NAMES = {"send", "call"}
+
+
+def _msgtype_arg(call: ast.Call) -> Optional[str]:
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        dotted = dotted_name(arg)
+        if dotted and dotted.startswith("MsgType."):
+            return dotted.split(".", 1)[1]
+    return None
+
+
+class OrderingChecker(Checker):
+    RULES = {
+        "REC020": "2PC commit_branch sent before the decision record is "
+                  "forced (presumed abort, section 1.1.2)",
+        "REC021": "master record updated in a checkpoint handler before "
+                  "the referenced log records are forced (section 2.7)",
+        "REC022": "commit-family message sent from a commit/prepare "
+                  "handler before the log is forced (section 2.4)",
+    }
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        force_lines: List[int] = [
+            call.lineno for call in scope.calls()
+            if calls_force(call, project.force_set)
+        ]
+
+        def forced_before(line: int) -> bool:
+            return any(f < line for f in force_lines)
+
+        # REC020: externalizing the 2PC commit decision.
+        for call in scope.calls():
+            if COMMIT_FAMILY_METHODS & set(string_args(call)) and \
+                    not forced_before(call.lineno):
+                yield self.found(
+                    scope, call, "REC020",
+                    "commit_branch dispatched before the commit decision "
+                    "record was forced",
+                    "force-log the decision (e.g. _log_decision) before "
+                    "telling any branch to commit",
+                )
+
+        # REC021: master-record updates inside checkpoint handlers.
+        if "checkpoint" in scope.name.lower():
+            for sub in ast.walk(scope.node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                for target in sub.targets:
+                    base: ast.AST = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    dotted = dotted_name(base)
+                    if dotted and "_master" in dotted and \
+                            not forced_before(sub.lineno):
+                        yield self.found(
+                            scope, sub, "REC021",
+                            "master record updated before the checkpoint "
+                            "records it points at were forced",
+                            "call stable_log.force(end_addr) before "
+                            "installing the checkpoint address in _master",
+                        )
+
+        # REC022: commit-family sends from commit/prepare handlers.
+        fname = scope.name.lower()
+        if "commit" in fname or "prepare" in fname:
+            for call in scope.calls():
+                if call_name(call) not in SEND_NAMES:
+                    continue
+                if _msgtype_arg(call) not in COMMIT_FAMILY_MSGTYPES:
+                    continue
+                if calls_force(call, project.force_set):
+                    continue  # the send itself forces (server-side force RPC)
+                if not forced_before(call.lineno):
+                    yield self.found(
+                        scope, call, "REC022",
+                        "commit-family message sent before the log was "
+                        "forced in this handler",
+                        "force the relevant log records (stable_log.force "
+                        "or a force-set helper) before sending",
+                    )

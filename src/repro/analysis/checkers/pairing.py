@@ -1,0 +1,114 @@
+"""Fix/unfix and latch pairing (paper section 2.2 buffer manager rules).
+
+REC010 — every ``buffer_pool.fix(...)`` (and latch acquire) must be
+released on *all* exits, including exception paths.  Accepted shapes:
+
+* the acquire sits inside a ``try`` whose ``finally`` calls the
+  matching release;
+* the acquire statement is immediately followed by such a ``try``
+  (the classic ``fix(); try: ... finally: unfix()`` idiom, and the
+  shape of the ``BufferPool.fixed()`` context manager itself).
+
+Call sites should normally use ``with pool.fixed(page_id):`` and never
+spell a raw ``fix()`` at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionScope, Project, call_name
+
+#: acquire bare-name -> accepted release bare-names
+PAIRS: Dict[str, Set[str]] = {
+    "fix": {"unfix"},
+    "latch": {"unlatch", "release"},
+    "latch_shared": {"unlatch", "release"},
+    "latch_exclusive": {"unlatch", "release"},
+}
+
+
+def _calls_in(stmts: List[ast.stmt], names: Set[str]) -> bool:
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call) and call_name(sub) in names:
+                return True
+    return False
+
+
+class PairingChecker(Checker):
+    RULES = {
+        "REC010": "fix/latch acquire without an exception-safe release "
+                  "(try/finally or context manager)",
+    }
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        acquires = [call for call in scope.calls() if call_name(call) in PAIRS]
+        if not acquires:
+            return
+        parents: Dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(scope.node)
+            for child in ast.iter_child_nodes(parent)
+        }
+        for call in acquires:
+            name = call_name(call) or "fix"
+            if self._is_protected(call, PAIRS[name], parents):
+                continue
+            yield self.found(
+                scope, call, "REC010",
+                f".{name}() is not released on exception paths",
+                f"use 'with pool.fixed(page_id):' or follow .{name}() "
+                "immediately with try/finally calling "
+                f"{'/'.join(sorted(PAIRS[name]))}()",
+            )
+
+    def _is_protected(self, call: ast.Call, releases: Set[str],
+                      parents: Dict[ast.AST, ast.AST]) -> bool:
+        # (1) an enclosing try whose finally releases — exception-safe.
+        node: ast.AST = call
+        while node in parents:
+            parent = parents[node]
+            if isinstance(parent, ast.Try) and node not in parent.finalbody \
+                    and _calls_in(parent.finalbody, releases):
+                return True
+            node = parent
+        # (2) acquire statement immediately followed by such a try.
+        stmt = self._enclosing_stmt(call, parents)
+        if stmt is None:
+            return False
+        siblings = self._sibling_list(stmt, parents)
+        if siblings is None:
+            return False
+        index = siblings.index(stmt)
+        if index + 1 < len(siblings):
+            nxt = siblings[index + 1]
+            if isinstance(nxt, ast.Try) and _calls_in(nxt.finalbody, releases):
+                return True
+        return False
+
+    @staticmethod
+    def _enclosing_stmt(call: ast.Call,
+                        parents: Dict[ast.AST, ast.AST]) -> Optional[ast.stmt]:
+        node: ast.AST = call
+        while node in parents:
+            if isinstance(node, ast.stmt):
+                return node
+            node = parents[node]
+        return None
+
+    @staticmethod
+    def _sibling_list(stmt: ast.stmt,
+                      parents: Dict[ast.AST, ast.AST]) -> Optional[List[ast.stmt]]:
+        parent = parents.get(stmt)
+        if parent is None:
+            return None
+        for field_name in ("body", "orelse", "finalbody"):
+            stmts = getattr(parent, field_name, None)
+            if isinstance(stmts, list) and stmt in stmts:
+                return stmts
+        return None

@@ -1,0 +1,74 @@
+"""RPC-handler hygiene for the typed transport (PR 1).
+
+RPC001 — every method name invoked through a stub (``.call("name",
+...)``) must be registered with a dispatcher somewhere in the project;
+an unregistered name is a guaranteed runtime dispatch error.
+
+RPC002 — no method name may be registered twice within one registration
+scope (one function): the second ``register()`` silently replaces the
+first handler.
+
+RPC003 — no code may call a registered handler *directly* on
+``self.server`` instead of going through the dispatcher: direct calls
+bypass the (sender, request_id) dedup cache, so a retried message would
+execute twice.  (Harness/test orchestration on other receivers is
+deliberately out of scope.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    FunctionScope, Project, call_name, call_receiver, string_args,
+)
+
+
+class RpcHygieneChecker(Checker):
+    RULES = {
+        "RPC001": "stub .call() names a method no dispatcher registers",
+        "RPC002": "method name registered twice in one scope (second "
+                  "handler silently wins)",
+        "RPC003": "registered handler invoked directly on self.server, "
+                  "bypassing request-id dedup",
+    }
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        seen: Dict[str, int] = {}
+        for call in scope.calls():
+            name = call_name(call)
+            if name == "call":
+                literals = string_args(call)
+                if literals and literals[0] not in project.registered_rpc:
+                    yield self.found(
+                        scope, call, "RPC001",
+                        f'.call("{literals[0]}") has no registered handler '
+                        "anywhere in the project",
+                        "register the handler on the target node's "
+                        "dispatcher, or fix the method name",
+                    )
+            elif name == "register":
+                literals = string_args(call)
+                if literals:
+                    if literals[0] in seen:
+                        yield self.found(
+                            scope, call, "RPC002",
+                            f'"{literals[0]}" already registered at line '
+                            f"{seen[literals[0]]} in this scope",
+                            "remove the duplicate registration; one handler "
+                            "per method name",
+                        )
+                    else:
+                        seen[literals[0]] = call.lineno
+            elif name in project.registered_rpc and \
+                    call_receiver(call) == "self.server":
+                yield self.found(
+                    scope, call, "RPC003",
+                    f"self.server.{name}() called directly; a retried RPC "
+                    "would not be deduplicated",
+                    "route through network.stub(...).call("
+                    f'"{name}", ...) so the dispatcher dedup cache applies',
+                )

@@ -1,0 +1,72 @@
+"""Command-line interface: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when no non-baselined finding exists, 1 otherwise —
+which is what the CI ``lint-protocol`` job keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import save_baseline
+from repro.analysis.checkers import all_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import analyze
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static recovery-protocol linter (WAL, fix/unfix, "
+                    "force-ordering, determinism, RPC hygiene).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to scan "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of suppressed fingerprints "
+                             "(default: ./analysis-baseline.txt when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current findings to --baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, description in all_rules().items():
+            print(f"{rule_id}  {description}")
+        return 0
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        result = analyze(paths, baseline_path=None)
+        count = save_baseline(args.baseline, result.findings)
+        print(f"wrote {count} fingerprints to {args.baseline}")
+        return 0
+    baseline = args.baseline
+    if baseline is None and Path("analysis-baseline.txt").exists():
+        baseline = Path("analysis-baseline.txt")
+    result = analyze(paths, baseline_path=baseline)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result.findings, result.suppressed))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

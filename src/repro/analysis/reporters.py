@@ -1,0 +1,31 @@
+"""Text and JSON reporters for linter results."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.findings import Finding
+
+
+def render_text(new: List[Finding], suppressed: List[Finding]) -> str:
+    lines: List[str] = []
+    for finding in new:
+        lines.append(finding.render())
+    if suppressed:
+        lines.append(f"({len(suppressed)} baselined finding"
+                     f"{'s' if len(suppressed) != 1 else ''} suppressed)")
+    if new:
+        lines.append(f"{len(new)} protocol violation"
+                     f"{'s' if len(new) != 1 else ''} found")
+    else:
+        lines.append("no new protocol violations")
+    return "\n".join(lines)
+
+
+def render_json(new: List[Finding], suppressed: List[Finding]) -> str:
+    return json.dumps({
+        "findings": [f.to_dict() for f in new],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "counts": {"new": len(new), "suppressed": len(suppressed)},
+    }, indent=2)

@@ -1,0 +1,35 @@
+"""Programmatic entry point: load sources, run checkers, apply baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import load_baseline, split_by_baseline
+from repro.analysis.checkers import all_checkers, run_checkers
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+
+@dataclass
+class AnalysisResult:
+    findings: List[Finding] = field(default_factory=list)    #: non-baselined
+    suppressed: List[Finding] = field(default_factory=list)  #: baselined
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def analyze(paths: Sequence[Path],
+            baseline_path: Optional[Path] = None) -> AnalysisResult:
+    project = Project.load([Path(p) for p in paths])
+    findings = run_checkers(all_checkers(), project)
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+    new, suppressed = split_by_baseline(findings, baseline)
+    return AnalysisResult(findings=new, suppressed=suppressed)

@@ -11,7 +11,7 @@ suite isolates exactly the policy delta the paper discusses.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 class LockGranularity(enum.Enum):

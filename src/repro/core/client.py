@@ -58,9 +58,7 @@ from repro.core.lsn import LSN, LogAddr, NULL_LSN
 from repro.core.server import Server
 from repro.core.transaction import Transaction, TransactionTable, TxnState
 from repro.errors import (
-    LockConflictError,
     NodeUnavailableError,
-    PageCorruptedError,
     RecoveryInvariantError,
     TransactionStateError,
 )
@@ -401,32 +399,35 @@ class Client:
         self._lock_for_update(txn, rid)
         if page is None:
             page = self._ensure_update_privilege(rid.page_id)
-        if op is UpdateOp.RECORD_INSERT:
-            before = None
-        else:
-            before = page.read_record(rid.slot)
-        dirtying = not self._is_dirty(rid.page_id)
-        # RecLSN bound (section 2.5.2): the most recent local record just
-        # before the page becomes dirty at this client.
-        rec_lsn = self.log.clock.local_max_lsn if dirtying else NULL_LSN
-        lsn = self._assign_lsn(page.page_lsn)
-        record = UpdateRecord(
-            lsn=lsn, client_id=self.client_id, txn_id=txn.txn_id,
-            prev_lsn=txn.last_lsn, page_id=rid.page_id, op=op,
-            slot=rid.slot, before=before, after=after,
-        )
-        self.log.append(record)
-        txn.note_logged(lsn, rid.page_id)
-        if op is UpdateOp.RECORD_INSERT:
-            assert after is not None
-            page.insert_record(after, slot=rid.slot)
-        elif op is UpdateOp.RECORD_MODIFY:
-            assert after is not None
-            page.modify_record(rid.slot, after)
-        else:
-            page.delete_record(rid.slot)
-        page.page_lsn = lsn
-        self.pool.mark_dirty(rid.page_id, rec_lsn=rec_lsn)
+        # Pin across the read-log-mutate window: an eviction in between
+        # would detach ``page`` from its frame and lose the mutation.
+        with self.pool.fixed(rid.page_id):
+            if op is UpdateOp.RECORD_INSERT:
+                before = None
+            else:
+                before = page.read_record(rid.slot)
+            dirtying = not self._is_dirty(rid.page_id)
+            # RecLSN bound (section 2.5.2): the most recent local record
+            # just before the page becomes dirty at this client.
+            rec_lsn = self.log.clock.local_max_lsn if dirtying else NULL_LSN
+            lsn = self._assign_lsn(page.page_lsn)
+            record = UpdateRecord(
+                lsn=lsn, client_id=self.client_id, txn_id=txn.txn_id,
+                prev_lsn=txn.last_lsn, page_id=rid.page_id, op=op,
+                slot=rid.slot, before=before, after=after,
+            )
+            self.log.append(record)
+            txn.note_logged(lsn, rid.page_id)
+            if op is UpdateOp.RECORD_INSERT:
+                assert after is not None
+                page.insert_record(after, slot=rid.slot)
+            elif op is UpdateOp.RECORD_MODIFY:
+                assert after is not None
+                page.modify_record(rid.slot, after)
+            else:
+                page.delete_record(rid.slot)
+            page.page_lsn = lsn
+            self.pool.mark_dirty(rid.page_id, rec_lsn=rec_lsn)
 
     def _is_dirty(self, page_id: int) -> bool:
         bcb = self.pool.bcb(page_id)
@@ -458,21 +459,22 @@ class Client:
         """
         self._require_up()
         txn.require_active()
-        dirtying = not self._is_dirty(page.page_id)
-        rec_lsn = self.log.clock.local_max_lsn if dirtying else NULL_LSN
-        lsn = self._assign_lsn(max(page.page_lsn, lsn_floor))
-        record = UpdateRecord(
-            lsn=lsn, client_id=self.client_id, txn_id=txn.txn_id,
-            prev_lsn=txn.last_lsn, page_id=page.page_id, op=op, slot=slot,
-            before=before, after=after, redo_only=redo_only, key=key,
-            page_kind=page_kind,
-        )
-        self.log.append(record)
-        txn.note_logged(lsn, page.page_id, redo_only=redo_only)
-        from repro.core.apply import _apply_op
-        _apply_op(page, op, slot, after, key, page_kind)
-        page.page_lsn = lsn
-        self.pool.mark_dirty(page.page_id, rec_lsn=rec_lsn)
+        with self.pool.fixed(page.page_id):
+            dirtying = not self._is_dirty(page.page_id)
+            rec_lsn = self.log.clock.local_max_lsn if dirtying else NULL_LSN
+            lsn = self._assign_lsn(max(page.page_lsn, lsn_floor))
+            record = UpdateRecord(
+                lsn=lsn, client_id=self.client_id, txn_id=txn.txn_id,
+                prev_lsn=txn.last_lsn, page_id=page.page_id, op=op, slot=slot,
+                before=before, after=after, redo_only=redo_only, key=key,
+                page_kind=page_kind,
+            )
+            self.log.append(record)
+            txn.note_logged(lsn, page.page_id, redo_only=redo_only)
+            from repro.core.apply import _apply_op
+            _apply_op(page, op, slot, after, key, page_kind)
+            page.page_lsn = lsn
+            self.pool.mark_dirty(page.page_id, rec_lsn=rec_lsn)
         return lsn
 
     def begin_nested_top_action(self, txn: Transaction) -> LSN:
@@ -523,20 +525,24 @@ class Client:
             if bit is None:
                 continue
             page_id = self.layout.page_for(smp_id, bit)
-            self.apply_logged_update(
-                txn, smp, UpdateOp.SMP_ALLOCATE, slot=bit,
-                before=bytes([sm.FREE]), after=bytes([sm.ALLOCATED]),
-            )
-            page = self._ensure_update_privilege(page_id)
-            meta_image = None
-            if initial_meta:
-                from repro.core import codec
-                meta_image = codec.encode(tuple(initial_meta))
-            self.apply_logged_update(
-                txn, page, UpdateOp.PAGE_FORMAT, after=meta_image,
-                redo_only=True, page_kind=kind.value,
-                lsn_floor=smp.page_lsn,
-            )
+            # Pin the SMP: privileging the data page below may otherwise
+            # evict its frame, and the format record's lsn_floor reads
+            # smp.page_lsn after that admission.
+            with self.pool.fixed(smp_id):
+                self.apply_logged_update(
+                    txn, smp, UpdateOp.SMP_ALLOCATE, slot=bit,
+                    before=bytes([sm.FREE]), after=bytes([sm.ALLOCATED]),
+                )
+                page = self._ensure_update_privilege(page_id)
+                meta_image = None
+                if initial_meta:
+                    from repro.core import codec
+                    meta_image = codec.encode(tuple(initial_meta))
+                self.apply_logged_update(
+                    txn, page, UpdateOp.PAGE_FORMAT, after=meta_image,
+                    redo_only=True, page_kind=kind.value,
+                    lsn_floor=smp.page_lsn,
+                )
             return page
         raise TransactionStateError("no free pages left in any space map")
 
@@ -553,12 +559,15 @@ class Client:
         page = self._ensure_update_privilege(page_id)
         smp_id = self.layout.smp_for(page_id)
         bit = self.layout.bit_for(page_id)
-        smp = self._ensure_update_privilege(smp_id)
-        self.apply_logged_update(
-            txn, smp, UpdateOp.SMP_DEALLOCATE, slot=bit,
-            before=bytes([sm.ALLOCATED]), after=bytes([sm.FREE]),
-            lsn_floor=page.page_lsn,
-        )
+        # Pin the dead page: privileging the SMP may otherwise evict it,
+        # and the deallocate record's lsn_floor reads page.page_lsn.
+        with self.pool.fixed(page_id):
+            smp = self._ensure_update_privilege(smp_id)
+            self.apply_logged_update(
+                txn, smp, UpdateOp.SMP_DEALLOCATE, slot=bit,
+                before=bytes([sm.ALLOCATED]), after=bytes([sm.FREE]),
+                lsn_floor=page.page_lsn,
+            )
 
     # ------------------------------------------------------------------
     # Commit / prepare

@@ -41,7 +41,7 @@ Record kinds
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Type
 
 from repro.core import codec

@@ -20,7 +20,7 @@ The server provides every service the paper assigns to it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.config import ClientRecoveryInfo, SystemConfig
@@ -28,14 +28,11 @@ from repro.core.commit_lsn import GlobalTransactionTracker
 from repro.core.log_records import (
     BeginCheckpointRecord,
     CDPLRecord,
-    CommitRecord,
     DirtyPageEntry,
     EndCheckpointRecord,
-    EndRecord,
     LogRecord,
     PrepareRecord,
     SERVER_ID,
-    TxnOutcome,
     TxnTableEntry,
     UpdateRecord,
 )
@@ -43,16 +40,13 @@ from repro.core.lsn import LSN, LogAddr, NULL_ADDR, NULL_LSN
 from repro.core.recovery import (
     AnalysisResult,
     LogicalUndoHandler,
-    RedoStats,
     RestartTxn,
-    UndoStats,
     analysis_pass,
     redo_pass,
     undo_pass,
 )
 from repro.core.server_log import ServerLogManager
 from repro.errors import (
-    CheckpointError,
     LockConflictError,
     MediaFailureError,
     NodeUnavailableError,
@@ -849,6 +843,10 @@ class Server:
             floor = self._rec_addr_floor.get(entry.page_id)
             if floor is None or entry.rec_addr < floor:
                 self._rec_addr_floor[entry.page_id] = entry.rec_addr
+        # Force both checkpoint records before the master names their
+        # address: a crash truncates the unforced tail and reuses its
+        # addresses, so an unforced begin_addr would dangle (REC021).
+        self.log.force(end_pair[1])
         self._master["client_ckpts"][client_id] = begin_addr
         self._appends_since_ckpt += 2
         return [(begin.lsn, begin_addr), end_pair], self.log.flushed_addr
@@ -1314,6 +1312,11 @@ class Server:
         self._require_up()
         page, redo_start = self.archive.restore_page(page_id)
         applied = self._roll_page_forward(page, redo_start)
+        # WAL: the roll-forward replays records from the volatile log
+        # tail, so the rebuilt image may carry a page_LSN past the
+        # forced prefix.  Force through end-of-log before the image
+        # reaches disk, or a crash would leave the page ahead of the log.
+        self.log.force(self.log.end_of_log_addr)
         self.disk.write_page(page)
         bcb = self.pool.bcb(page_id)
         if bcb is not None:

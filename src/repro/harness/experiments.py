@@ -13,14 +13,12 @@ import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import (
-    ClientRecoveryInfo,
     LsnAssignment,
     SystemConfig,
 )
 from repro.core.system import ClientServerSystem
 from repro.errors import RecordNotFoundError
 from repro.harness import metrics
-from repro.harness.report import ratio
 from repro.index.btree import BTree
 from repro.records.heap import RecordId
 from repro.workloads.generator import (
@@ -160,16 +158,17 @@ def run_e4_commit_lsn(sync_periods: Sequence[int] = (1, 4, 16, 64),
     rows: List[Row] = []
     variants: List[Tuple[str, SystemConfig]] = []
     if include_disabled:
-        variants.append(("disabled", SystemConfig(commit_lsn_enabled=False)))
+        variants.append(("disabled",
+                         SystemConfig(commit_lsn_enabled=False, seed=5)))
     for period in sync_periods:
         variants.append((
             f"period={period}",
-            SystemConfig(max_lsn_sync_period=period),
+            SystemConfig(max_lsn_sync_period=period, seed=5),
         ))
     for label, config in variants:
         system, rids = _fresh(config, ["W", "R"], 16, 4)
         writer, reader = system.client("W"), system.client("R")
-        rng = random.Random(5)
+        rng = random.Random(config.seed)
         # Interleave: one short committed write txn, then one read txn.
         for i in range(num_read_txns):
             txn = writer.begin()
@@ -198,7 +197,7 @@ def run_e4_per_table(num_read_txns: int = 30) -> List[Row]:
     for label, per_table in (("global Commit_LSN", False),
                              ("per-table Commit_LSN", True)):
         config = SystemConfig(max_lsn_sync_period=1,
-                              commit_lsn_per_table=per_table)
+                              commit_lsn_per_table=per_table, seed=21)
         system = ClientServerSystem(config, client_ids=["W", "R"])
         system.bootstrap(data_pages=16, free_pages=8)
         hot = seed_table(system, "W", "hot", 8, 4)
@@ -209,7 +208,7 @@ def run_e4_per_table(num_read_txns: int = 30) -> List[Row]:
         long_txn = writer.begin()
         writer.update(long_txn, hot[0], "pins-commit-lsn")
         writer._ship_log_records()
-        rng = random.Random(21)
+        rng = random.Random(config.seed)
         # Committed updates then freshen every cold page: their page_LSNs
         # now exceed the pinned global Commit_LSN, so only the per-table
         # value can still prove them committed.
@@ -252,18 +251,19 @@ def run_e5_client_recovery(ckpt_intervals: Sequence[int] = (4, 16, 64),
         (f"client-ckpt every {interval}",
          SystemConfig(client_checkpoint_interval=interval,
                       server_checkpoint_interval=0,
-                      client_buffer_frames=frames))
+                      client_buffer_frames=frames, seed=9))
         for interval in ckpt_intervals
     ]
     variants.append((
         "no ckpts (GLM RecAddr, sec 2.6.2)",
         SystemConfig.no_client_checkpoints(server_checkpoint_interval=0,
-                                           client_buffer_frames=frames),
+                                           client_buffer_frames=frames,
+                                           seed=9),
     ))
     for label, config in variants:
         system, rids = _fresh(config, ["C1"], 8, 4)
         client = system.client("C1")
-        rng = random.Random(9)
+        rng = random.Random(config.seed)
         for i in range(committed_before_crash):
             txn = client.begin()
             client.update(txn, rids[rng.randrange(len(rids))], ("x", i))
@@ -443,12 +443,12 @@ def run_e9_page_recovery(updates_since_clean: Sequence[int] = (2, 8, 32),
     cost scales with updates since the page was last clean at the server."""
     rows: List[Row] = []
     for k in updates_since_clean:
-        config = SystemConfig(server_checkpoint_interval=0)
+        config = SystemConfig(server_checkpoint_interval=0, seed=17)
         system, rids = _fresh(config, ["C1"], 8, 4)
         client = system.client("C1")
         target = rids[0]
         other = [rid for rid in rids if rid.page_id != target.page_id]
-        rng = random.Random(17)
+        rng = random.Random(config.seed)
         # Background traffic dilutes the log so scan selectivity matters.
         for i in range(background_updates):
             txn = client.begin()
@@ -523,12 +523,12 @@ def run_e11_forwarding(handoffs: int = 24, pages: int = 8) -> List[Row]:
                            ("forwarding (sec 4.1)", True)):
         config = SystemConfig(enable_forwarding=enabled,
                               server_checkpoint_interval=0,
-                              client_checkpoint_interval=0)
+                              client_checkpoint_interval=0, seed=31)
         system = ClientServerSystem(config, client_ids=["A", "B"])
         system.bootstrap(data_pages=pages, free_pages=8)
         rids = seed_table(system, "A", "t", pages, 2)
         a, b = system.client("A"), system.client("B")
-        rng = random.Random(31)
+        rng = random.Random(config.seed)
         before = metrics.snapshot(system)
         for i in range(handoffs):
             client = a if i % 2 == 0 else b
@@ -560,12 +560,12 @@ def run_e12_lock_caching(num_txns: int = 30) -> List[Row]:
     rows: List[Row] = []
     for label, caching in (("no caching", False), ("LLM lock caching", True)):
         config = SystemConfig(llm_cache_locks=caching,
-                              commit_lsn_enabled=False)
+                              commit_lsn_enabled=False, seed=41)
         system = ClientServerSystem(config, client_ids=["C1"])
         system.bootstrap(data_pages=8, free_pages=8)
         rids = seed_table(system, "C1", "t", 8, 4)
         client = system.client("C1")
-        rng = random.Random(41)
+        rng = random.Random(config.seed)
         before = metrics.snapshot(system)
         for i in range(num_txns):
             txn = client.begin()
@@ -600,13 +600,14 @@ def run_e13_log_replay(num_txns: int = 30, record_bytes: int = 16,
             page_transport=transport, page_size=page_size,
             client_buffer_frames=4,        # force steals
             client_checkpoint_interval=0, server_checkpoint_interval=0,
+            seed=51,
         )
         system = ClientServerSystem(config, client_ids=["C1"])
         system.bootstrap(data_pages=12, free_pages=8)
         rids = seed_table(system, "C1", "t", 12, 2,
                           value_of=lambda i: "x" * record_bytes)
         client = system.client("C1")
-        rng = random.Random(51)
+        rng = random.Random(config.seed)
         before = metrics.snapshot(system)
         for i in range(num_txns):
             txn = client.begin()

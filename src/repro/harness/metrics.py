@@ -8,7 +8,7 @@ explains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict
 
 from repro.core.system import ClientServerSystem

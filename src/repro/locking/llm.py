@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import LockConflictError
 from repro.locking.lock_modes import LockMode, covers, supremum
 from repro.locking.lock_table import LockTable, Resource
 

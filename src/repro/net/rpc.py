@@ -52,7 +52,7 @@ from __future__ import annotations
 import enum
 import random
 from collections import Counter, OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import NodeUnavailableError, ReproError

@@ -20,6 +20,7 @@ of the first update possibly missing from the disk version, section
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional
 
@@ -201,6 +202,21 @@ class BufferPool:
         if bcb.fix_count <= 0:
             raise ValueError(f"unfix of unfixed page {page_id}")
         bcb.fix_count -= 1
+
+    @contextmanager
+    def fixed(self, page_id: int) -> Iterator[Page]:
+        """Pin a resident page for the duration of a block.
+
+        The exception-safe spelling of fix/unfix: while pinned the frame
+        cannot be chosen for eviction, so the caller's page object stays
+        the cached image and its BCB survives any other admissions the
+        block performs.  Yields the pinned page.
+        """
+        self.fix(page_id)
+        try:
+            yield self._frames[page_id].page
+        finally:
+            self.unfix(page_id)
 
     def drop(self, page_id: int) -> None:
         """Remove a frame without writeback (purge / invalidation)."""

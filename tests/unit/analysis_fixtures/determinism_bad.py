@@ -1,0 +1,29 @@
+"""Bad determinism: wall clocks, ambient RNG, identity-derived values."""
+
+import random
+import time
+from datetime import datetime
+
+
+def wallclock():
+    return time.time()  # lint:expect DET001
+
+
+def wallclock_datetime():
+    return datetime.now()  # lint:expect DET001
+
+
+def ambient_random():
+    return random.random()  # lint:expect DET002
+
+
+def entropy_seeded():
+    return random.Random()  # lint:expect DET002
+
+
+def hardcoded_seed():
+    return random.Random(42)  # lint:expect DET002
+
+
+def identity_value(obj):
+    return id(obj)  # lint:expect DET003

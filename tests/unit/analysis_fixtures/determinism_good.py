@@ -1,0 +1,21 @@
+"""Good determinism: every RNG seeded from configuration."""
+
+import random
+
+
+def seeded_from_config(config):
+    rng = random.Random(config.seed)
+    return rng.random()
+
+
+def seeded_from_param(seed):
+    return random.Random(seed)
+
+
+class Jitter:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def next_delay(self):
+        # Instance-RNG calls are fine; only the module-global RNG is banned.
+        return self._rng.random()

@@ -1,0 +1,21 @@
+"""Bad ordering: decisions externalized before their records are forced."""
+
+
+class Coordinator:
+    def commit(self, gtxn):
+        for client, txn in gtxn.branches:
+            self._call_branch(client, "commit_branch", txn)  # lint:expect REC020
+        self._log_decision(gtxn.global_id)
+
+    def _log_decision(self, global_id):
+        addr = self.log.append_local(global_id)
+        self.log.force(addr)
+
+
+class Server:
+    def take_checkpoint(self):
+        begin_addr = self.log.append_local("begin")
+        self._master["ckpt"] = begin_addr  # lint:expect REC021
+
+    def commit_ack(self):
+        self.network.send(self.node_id, "C1", MsgType.ACK)  # lint:expect REC022

@@ -1,0 +1,39 @@
+"""Good ordering: force first, externalize second."""
+
+
+class Coordinator:
+    def commit(self, gtxn):
+        self._log_decision(gtxn.global_id)
+        for client, txn in gtxn.branches:
+            self._call_branch(client, "commit_branch", txn)
+
+    def _log_decision(self, global_id):
+        addr = self.log.append_local(global_id)
+        self.log.force(addr)
+
+
+class Server:
+    def take_checkpoint(self):
+        begin_addr = self.log.append_local("begin")
+        self.log.force(begin_addr)
+        self._master["ckpt"] = begin_addr
+
+    def commit_ack(self):
+        self.log.force(None)
+        self.network.send(self.node_id, "C1", MsgType.ACK)
+
+
+class Client:
+    def commit(self, txn):
+        # The send *is* the force: the named server handler forces the
+        # log before acknowledging (force-set indirection through RPC).
+        self.rpc.call("force_log_for_commit", MsgType.COMMIT_REQUEST)
+
+
+class RemoteLog:
+    def _register_handlers(self):
+        self.dispatcher.register("force_log_for_commit",
+                                 self.force_log_for_commit)
+
+    def force_log_for_commit(self):
+        self.log.force(None)

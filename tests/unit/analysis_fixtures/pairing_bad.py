@@ -1,0 +1,20 @@
+"""Bad pairing: releases exist but are skipped on exception paths."""
+
+
+class Caller:
+    def leaky_fix(self):
+        self.pool.fix(3)  # lint:expect REC010
+        self.do_work()
+        self.pool.unfix(3)
+
+    def leaky_latch(self):
+        self.lock.latch()  # lint:expect REC010
+        self.do_work()
+        self.lock.release()
+
+    def wrong_finally(self):
+        self.pool.fix(3)  # lint:expect REC010
+        try:
+            self.do_work()
+        finally:
+            self.log.flush()  # releases nothing

@@ -1,0 +1,33 @@
+"""Good pairing: context manager, try/finally, and the manager itself."""
+
+from contextlib import contextmanager
+
+
+class Caller:
+    def with_manager(self):
+        with self.pool.fixed(3):
+            self.do_work()
+
+    def fix_then_finally(self):
+        self.pool.fix(3)
+        try:
+            self.do_work()
+        finally:
+            self.pool.unfix(3)
+
+    def acquire_inside_try(self):
+        try:
+            self.pool.fix(3)
+            self.do_work()
+        finally:
+            self.pool.unfix(3)
+
+
+class Pool:
+    @contextmanager
+    def fixed(self, page_id):
+        self.fix(page_id)
+        try:
+            yield
+        finally:
+            self.unfix(page_id)

@@ -1,0 +1,13 @@
+"""Bad RPC hygiene: double registration, dead name, dedup bypass."""
+
+
+class Node:
+    def _register_handlers(self):
+        self.dispatcher.register("ping", self.on_ping)
+        self.dispatcher.register("ping", self.on_ping_v2)  # lint:expect RPC002
+
+    def misdial(self):
+        return self.stub.call("pong", MsgType.PAGE_REQUEST)  # lint:expect RPC001
+
+    def bypass_dedup(self):
+        return self.server.ping("me")  # lint:expect RPC003

@@ -1,0 +1,27 @@
+"""Good WAL discipline: every shape the checker must accept."""
+
+
+class Mutator:
+    def logged_insert(self):
+        page = self.pool.get(7)
+        record = self.make_record(page)
+        self.log.append(record)
+        page.insert_record(b"x", slot=0)
+        page.page_lsn = record.lsn
+
+    def guarded_flush(self):
+        bcb = self.pool.get(7)
+        self.log.force(bcb.force_addr)
+        self.disk.write_page(bcb.page)
+
+    def collector(self):
+        # list.append is not log evidence, but with no page mutation
+        # in scope there is nothing to flag either.
+        out = []
+        out.append(1)
+        return out
+
+
+def replay(page, op):
+    # Mutating a *parameter* is the caller's logging responsibility.
+    page.modify_record(0, b"y")

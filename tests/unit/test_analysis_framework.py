@@ -1,0 +1,133 @@
+"""Framework tests: finding model, baseline round-trip, reporters, CLI,
+and the self-check that the repo's own tree is protocol-clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    load_baseline, save_baseline, split_by_baseline,
+)
+from repro.analysis.checkers import all_rules
+from repro.analysis.cli import main as cli_main
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import analyze
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def _finding(rule="REC001", path="core/x.py", qualname="C.f", line=10):
+    return Finding(path=path, line=line, rule_id=rule, qualname=qualname,
+                   message="m", fix_hint="h")
+
+
+# -- finding model -----------------------------------------------------------
+
+def test_fingerprint_is_line_free():
+    a = _finding(line=10)
+    b = _finding(line=99)
+    assert a.fingerprint == b.fingerprint == "REC001:core/x.py:C.f"
+
+
+def test_finding_to_dict_roundtrips_through_json():
+    data = json.loads(json.dumps(_finding().to_dict()))
+    assert data["rule"] == "REC001"
+    assert data["fingerprint"] == "REC001:core/x.py:C.f"
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.txt"
+    findings = [_finding(), _finding(rule="DET002", qualname="C.g", line=3)]
+    count = save_baseline(path, findings)
+    assert count == 2
+    loaded = load_baseline(path)
+    assert loaded == {f.fingerprint for f in findings}
+    # Comments and blank lines are ignored on load.
+    assert any(line.startswith("#")
+               for line in path.read_text().splitlines())
+
+
+def test_baseline_suppresses_by_fingerprint_not_line(tmp_path):
+    path = tmp_path / "baseline.txt"
+    save_baseline(path, [_finding(line=10)])
+    moved = _finding(line=500)  # same defect, file edited above it
+    new, suppressed = split_by_baseline([moved], load_baseline(path))
+    assert new == []
+    assert suppressed == [moved]
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.txt") == set()
+
+
+# -- reporters ---------------------------------------------------------------
+
+def test_text_reporter_mentions_rule_and_counts():
+    text = render_text([_finding()], [_finding(rule="DET002")])
+    assert "REC001" in text
+    assert "1 protocol violation" in text
+    assert "1 baselined finding suppressed" in text
+
+
+def test_json_reporter_is_valid_json():
+    data = json.loads(render_json([_finding()], []))
+    assert data["counts"] == {"new": 1, "suppressed": 0}
+    assert data["findings"][0]["rule"] == "REC001"
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in all_rules():
+        assert rule_id in out
+
+
+def test_cli_missing_path_exits_2(capsys):
+    assert cli_main(["definitely/not/a/path.py"]) == 2
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "b.txt"
+    bad = str(FIXTURES / "wal_bad.py")
+    assert cli_main([bad, "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+    assert cli_main([bad, "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+
+
+def test_cli_json_format(capsys):
+    assert cli_main([str(FIXTURES / "wal_bad.py"), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"]["new"] > 0
+
+
+# -- the repo's own tree -----------------------------------------------------
+
+def test_repo_tree_is_protocol_clean():
+    """`python -m repro.analysis src/repro` must pass on this tree."""
+    result = analyze([REPO_ROOT / "src" / "repro"],
+                     baseline_path=REPO_ROOT / "analysis-baseline.txt")
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings)
+    # The baseline only covers the deliberate offline-bootstrap writes.
+    assert {f.qualname for f in result.suppressed} == {"Server.bootstrap"}
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no new protocol violations" in proc.stdout
