@@ -8,7 +8,13 @@ and give contributors a regression baseline.
 import random
 
 from repro.core import codec
-from repro.core.log_records import UpdateOp, UpdateRecord, decode_record, encode_record
+from repro.core.log_records import (
+    UpdateOp,
+    UpdateRecord,
+    decode_record,
+    encode_record,
+    peek_header,
+)
 from repro.core.lsn import LsnClock
 from repro.core.recovery import analysis_pass
 from repro.core.server_log import ServerLogManager
@@ -41,6 +47,27 @@ def test_log_record_encode(benchmark):
 def test_log_record_decode(benchmark):
     blob = encode_record(make_update(42))
     benchmark(decode_record, blob)
+
+
+def test_log_record_peek_header(benchmark):
+    """Header peek on the same frame test_log_record_decode pays full
+    price for — the per-record saving behind the header-scan paths."""
+    blob = encode_record(make_update(42))
+    benchmark(peek_header, blob)
+
+
+def test_scan_headers_throughput(benchmark):
+    log = ServerLogManager()
+    log.append_from_client("C1", [make_update(lsn) for lsn in range(1, 501)])
+
+    def sweep():
+        count = 0
+        for _addr, header in log.scan_headers():
+            if header.is_redoable():
+                count += 1
+        return count
+
+    benchmark(sweep)
 
 
 def test_page_serialize(benchmark):

@@ -161,6 +161,23 @@ class SystemConfig:
     #: ESM-CS logs a Commit Dirty Page List before each commit record.
     log_cdpl_at_commit: bool = False
 
+    #: Group commit (section 2.1's force accounting, made active): defer
+    #: commit-path log forces until this many have accumulated, then
+    #: cover the whole group with one device force.  Synchronous forces
+    #: (WAL, privilege transfer, checkpoints, recovery) always flush the
+    #: open window into their own force.  ``0``/``1`` disables deferral,
+    #: preserving one-force-per-commit semantics and counters exactly.
+    #: The latency trade is real: a deferred commit is acknowledged with
+    #: a flushed boundary that does not cover it, the committing client
+    #: keeps its records buffered (section 2.1), and a *server* crash
+    #: inside the window loses nothing — survivors replay their tails.
+    #: Only if every node holding the records fails before the next
+    #: force (e.g. ``crash_all`` mid-window) are the still-deferred
+    #: commits rolled back — the asynchronous-commit trade (PostgreSQL's
+    #: ``synchronous_commit=off``), since ``commit()`` here returns
+    #: before the group force rather than waiting on it.
+    group_commit_window: int = 0
+
     #: Deliberately omit client DPLs from the server checkpoint (the buggy
     #: construction of section 2.7 used by experiment E6).  Never enable
     #: outside that experiment.

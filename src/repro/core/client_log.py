@@ -17,7 +17,7 @@ piggybacked advance of the server's flushed address.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.log_records import LogRecord
 from repro.core.lsn import LSN, LogAddr, LsnClock, NULL_ADDR
@@ -45,6 +45,9 @@ class ClientLogManager:
         self._buffer: List[BufferedRecord] = []
         #: Index of the first record not yet shipped to the server.
         self._ship_cursor = 0
+        #: Rollback lookup index: (txn_id, lsn) -> buffered record.  LSNs
+        #: are unique within a client's stream, so the pair is a key.
+        self._by_txn_lsn: Dict[Tuple[Optional[str], LSN], LogRecord] = {}
         self.records_written = 0
         self.batches_shipped = 0
         self.records_pruned = 0
@@ -54,6 +57,7 @@ class ClientLogManager:
     def append(self, record: LogRecord) -> None:
         """Buffer a record the client just built (LSN already assigned)."""
         self._buffer.append(BufferedRecord(record))
+        self._by_txn_lsn[(record.txn_id, record.lsn)] = record
         self.records_written += 1
 
     def next_lsn(self, page_lsn: LSN = 0) -> LSN:
@@ -93,12 +97,18 @@ class ClientLogManager:
     def prune_stable(self, server_flushed_addr: LogAddr) -> int:
         """Discard records now stable at the server; returns count dropped."""
         dropped = 0
-        while self._buffer and self._buffer[0].shipped and \
-                self._buffer[0].addr < server_flushed_addr:
-            self._buffer.pop(0)
-            self._ship_cursor -= 1
+        while dropped < len(self._buffer):
+            entry = self._buffer[dropped]
+            if not entry.shipped or entry.addr >= server_flushed_addr:
+                break
             dropped += 1
-        self.records_pruned += dropped
+        if dropped:
+            for entry in self._buffer[:dropped]:
+                self._by_txn_lsn.pop((entry.record.txn_id, entry.record.lsn), None)
+            # One slice deletion instead of `dropped` pop(0) shifts.
+            del self._buffer[:dropped]
+            self._ship_cursor -= dropped
+            self.records_pruned += dropped
         return dropped
 
     def unstable_records(self, server_flushed_addr: LogAddr) -> List[Tuple[LogAddr, LogRecord]]:
@@ -148,11 +158,7 @@ class ClientLogManager:
     def find_local(self, txn_id: str, lsn: LSN) -> Optional[LogRecord]:
         """A transaction's record if still buffered locally, else None
         (the rollback path then fetches it from the server)."""
-        for entry in reversed(self._buffer):
-            record = entry.record
-            if record.txn_id == txn_id and record.lsn == lsn:
-                return record
-        return None
+        return self._by_txn_lsn.get((txn_id, lsn))
 
     def buffered_count(self) -> int:
         return len(self._buffer)
@@ -165,5 +171,6 @@ class ClientLogManager:
     def crash(self) -> None:
         """Client crash: the virtual-storage buffer disappears."""
         self._buffer.clear()
+        self._by_txn_lsn.clear()
         self._ship_cursor = 0
         self.clock = LsnClock()

@@ -15,7 +15,12 @@ records: decoded records are immutable snapshots of what was written.
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+from typing import Any, Tuple, Union
+
+#: Buffer types the lazy helpers accept.  ``skip_value_at`` never
+#: materializes values, so it works directly against a large backing
+#: ``bytearray`` (e.g. the stable log) without slicing.
+Buffer = Union[bytes, bytearray, memoryview]
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"t"
@@ -129,6 +134,74 @@ def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
             items.append(item)
         return tuple(items), offset
     raise CodecError(f"unknown tag {tag!r} at offset {offset - 1}")
+
+
+# -- lazy access -----------------------------------------------------------
+#
+# Header peeking (repro.core.log_records.peek_header) wants a handful of
+# leading fields out of a frame without paying for the rest.  These two
+# helpers make that possible against any buffer type: ``decode_value_at``
+# materializes exactly one value, ``skip_value_at`` advances past one
+# value touching only tags and length prefixes.
+
+# Integer tag values for single-byte indexing (buf[i] is an int).
+ORD_NONE = _TAG_NONE[0]
+ORD_TRUE = _TAG_TRUE[0]
+ORD_FALSE = _TAG_FALSE[0]
+ORD_INT = _TAG_INT[0]
+ORD_BIGINT = _TAG_BIGINT[0]
+ORD_STR = _TAG_STR[0]
+ORD_BYTES = _TAG_BYTES[0]
+ORD_TUPLE = _TAG_TUPLE[0]
+
+
+def decode_value_at(data: Buffer, offset: int) -> Tuple[Any, int]:
+    """Decode the single value starting at ``offset``.
+
+    Returns ``(value, next_offset)``; trailing bytes are allowed (they
+    belong to sibling values).  Accepts any buffer type; slices are
+    copied only for the value being materialized.
+    """
+    if not isinstance(data, bytes):
+        # _decode_from slices for strings/bytes; normalize once so the
+        # behaviour (and error text) is identical across buffer types.
+        data = bytes(data)
+    return _decode_from(data, offset)
+
+
+def skip_value_at(data: Buffer, offset: int, end: int) -> int:
+    """Advance past one encoded value without materializing it.
+
+    ``end`` bounds the value (typically the frame end); reads past it
+    raise :class:`CodecError` exactly as a truncated decode would.
+    """
+    if offset >= end:
+        raise CodecError("truncated buffer: missing tag")
+    tag = data[offset]
+    offset += 1
+    if tag in (ORD_NONE, ORD_TRUE, ORD_FALSE):
+        return offset
+    if tag == ORD_INT:
+        if offset + 8 > end:
+            raise CodecError("truncated int")
+        return offset + 8
+    if tag in (ORD_BIGINT, ORD_STR, ORD_BYTES):
+        if offset + 4 > end:
+            raise CodecError("truncated length prefix")
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        if offset + length > end:
+            raise CodecError("length prefix exceeds buffer")
+        return offset + length
+    if tag == ORD_TUPLE:
+        if offset + 4 > end:
+            raise CodecError("truncated length prefix")
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        for _ in range(count):
+            offset = skip_value_at(data, offset, end)
+        return offset
+    raise CodecError(f"unknown tag {bytes((tag,))!r} at offset {offset - 1}")
 
 
 def _read_length(data: bytes, offset: int) -> Tuple[int, int]:

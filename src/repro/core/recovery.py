@@ -16,6 +16,13 @@ its LSN matches the owning loser's expected UndoNxtLSN.  FIFO shipping
 of client log buffers guarantees the prefix property that makes this
 terminate: if a record is in the server log, all earlier records of that
 client are too.
+
+All three passes scan *headers*, not records: every filter they apply
+(client identity, page id, DPL RecAddr, page_LSN, UndoNxtLSN match)
+needs only the fields ``peek_header`` surfaces, so a full record is
+materialized — via the stable log's decode LRU — only for the records
+a pass actually consumes: checkpoint tables, redone updates, undone
+updates, and whatever an ``observer`` asks to see.
 """
 
 from __future__ import annotations
@@ -32,14 +39,11 @@ from repro.core.apply import (
     redo_needed,
 )
 from repro.core.log_records import (
-    BeginCheckpointRecord,
     CDPLRecord,
-    CommitRecord,
     CompensationRecord,
     EndCheckpointRecord,
     EndRecord,
     LogRecord,
-    PrepareRecord,
     TxnOutcome,
     UpdateRecord,
 )
@@ -130,53 +134,59 @@ def analysis_pass(
     rebuild its global transaction tracker).
     """
     result = AnalysisResult(end_addr=log.end_of_log_addr)
-    for addr, record in log.scan(start_addr):
+    for addr, header in log.scan_headers(start_addr):
         result.records_scanned += 1
         if rebuild_log_bookkeeping:
-            log.observe_during_restart(record.client_id, record.lsn, addr)
+            log.observe_during_restart(header.client_id, header.lsn, addr)
         if observer is not None:
-            observer(record, addr)
-        if isinstance(record, EndCheckpointRecord):
-            if client_filter is not None and record.owner not in client_filter:
+            observer(log.read_at(addr), addr)
+        tag = header.type_tag
+        if tag == "ECP":
+            ecp = log.read_at(addr)
+            assert isinstance(ecp, EndCheckpointRecord)
+            if client_filter is not None and ecp.owner not in client_filter:
                 continue
-            _merge_checkpoint(result, record)
+            _merge_checkpoint(result, ecp)
             continue
-        if isinstance(record, BeginCheckpointRecord):
+        if tag == "BCP":
             continue
-        if client_filter is not None and record.client_id not in client_filter:
+        if client_filter is not None and header.client_id not in client_filter:
             continue
-        if isinstance(record, CDPLRecord):
-            for entry in record.entries:
+        if tag == "CDP":
+            cdpl = log.read_at(addr)
+            assert isinstance(cdpl, CDPLRecord)
+            for entry in cdpl.entries:
                 _merge_dpl(result, entry.page_id, entry.rec_addr)
             continue
-        if isinstance(record, (UpdateRecord, CompensationRecord)):
-            if record.page_id >= 0 and record.page_id not in result.dpl:
-                result.dpl[record.page_id] = addr
-            txn = _txn_entry(result, record)
-            txn.last_lsn = record.lsn
+        if tag == "UPD" or tag == "CLR":
+            if header.page_id >= 0 and header.page_id not in result.dpl:
+                result.dpl[header.page_id] = addr
+            txn = _txn_entry(result, header.txn_id, header.client_id)
+            txn.last_lsn = header.lsn
             if txn.first_lsn == NULL_LSN:
-                txn.first_lsn = record.lsn
-            if isinstance(record, CompensationRecord):
-                txn.undo_next_lsn = record.undo_next_lsn
-            elif not record.redo_only:
-                txn.undo_next_lsn = record.lsn
+                txn.first_lsn = header.lsn
+            if tag == "CLR":
+                txn.undo_next_lsn = header.undo_next_lsn
+            elif not header.redo_only:
+                txn.undo_next_lsn = header.lsn
             continue
-        if isinstance(record, CommitRecord):
-            _txn_entry(result, record).state = "committed"
-        elif isinstance(record, PrepareRecord):
-            _txn_entry(result, record).state = "prepared"
-        elif isinstance(record, EndRecord):
-            result.txns.pop(record.txn_id, None)
+        if tag == "CMT":
+            _txn_entry(result, header.txn_id, header.client_id).state = "committed"
+        elif tag == "PRE":
+            _txn_entry(result, header.txn_id, header.client_id).state = "prepared"
+        elif tag == "END" and header.txn_id is not None:
+            result.txns.pop(header.txn_id, None)
     result.redo_addr = min(result.dpl.values()) if result.dpl else result.end_addr
     return result
 
 
-def _txn_entry(result: AnalysisResult, record: LogRecord) -> RestartTxn:
-    assert record.txn_id is not None
-    txn = result.txns.get(record.txn_id)
+def _txn_entry(result: AnalysisResult, txn_id: Optional[str],
+               client_id: str) -> RestartTxn:
+    assert txn_id is not None
+    txn = result.txns.get(txn_id)
     if txn is None:
-        txn = RestartTxn(record.txn_id, record.client_id)
-        result.txns[record.txn_id] = txn
+        txn = RestartTxn(txn_id, client_id)
+        result.txns[txn_id] = txn
     return txn
 
 
@@ -234,13 +244,13 @@ def redo_pass(
     1.1.2) and applied only if ``page_LSN < record LSN``.
     """
     stats = RedoStats()
-    for addr, record in log.scan(analysis.redo_addr, analysis.end_addr):
+    for addr, header in log.scan_headers(analysis.redo_addr, analysis.end_addr):
         stats.records_scanned += 1
-        if not record.is_redoable():
+        if not header.is_redoable():
             continue
-        if client_filter is not None and record.client_id not in client_filter:
+        if client_filter is not None and header.client_id not in client_filter:
             continue
-        page_id = record.page_id  # type: ignore[union-attr]
+        page_id = header.page_id
         if page_id < 0:
             continue  # dummy CLRs have no page effect
         rec_addr = analysis.dpl.get(page_id)
@@ -248,12 +258,14 @@ def redo_pass(
             continue
         stats.records_considered += 1
         page = pages.fetch(page_id)
-        if not redo_needed(page, record.lsn):
+        if not redo_needed(page, header.lsn):
             continue
+        record = log.read_at(addr)
         if isinstance(record, UpdateRecord):
             apply_redo(page, record)
         else:
-            apply_clr_redo(page, record)  # type: ignore[arg-type]
+            assert isinstance(record, CompensationRecord)
+            apply_clr_redo(page, record)
         pages.mark_dirty(page_id, rec_addr)
         stats.redos_applied += 1
     return stats
@@ -298,22 +310,24 @@ def undo_pass(
     if not expected:
         return stats
 
-    for addr, record in log.scan_backward():
+    for addr, header in log.scan_headers_backward():
         if not expected:
             break
         stats.records_scanned += 1
-        txn_id = record.txn_id
+        txn_id = header.txn_id
         if txn_id is None or txn_id not in expected:
             continue
-        if record.lsn != expected[txn_id]:
+        if header.lsn != expected[txn_id]:
             continue
         txn = losers[txn_id]
-        if isinstance(record, CompensationRecord):
-            expected[txn_id] = record.undo_next_lsn
-        elif isinstance(record, UpdateRecord):
-            if record.redo_only:
-                expected[txn_id] = record.prev_lsn
+        if header.is_clr():
+            expected[txn_id] = header.undo_next_lsn
+        elif header.is_update():
+            if header.redo_only:
+                expected[txn_id] = header.prev_lsn
             else:
+                record = log.read_at(addr)
+                assert isinstance(record, UpdateRecord)
                 clr_lsn = _undo_one(
                     record, pages, clr_writer, txn, last_lsn[txn_id], logical_undo
                 )
@@ -323,7 +337,7 @@ def undo_pass(
         else:
             raise RecoveryInvariantError(
                 f"undo chain of {txn_id} points at non-undoable "
-                f"{record.type_name} (lsn {record.lsn})"
+                f"{header.type_name} (lsn {header.lsn})"
             )
         if expected[txn_id] == NULL_LSN:
             del expected[txn_id]

@@ -123,7 +123,7 @@ class Server:
         self.config = config
         self.network = network
         self.disk = Disk()
-        self.log = ServerLogManager()
+        self.log = ServerLogManager(config.group_commit_window)
         self.glm = GlobalLockManager()
         self.tracker = GlobalTransactionTracker()
         self.archive = Archive()
@@ -572,11 +572,17 @@ class Server:
         return assigned, self.log.flushed_addr
 
     def force_log_for_commit(self, client_id: str, txn_id: str) -> LogAddr:
-        """Commit force: everything up to the commit record goes stable."""
+        """Commit force: everything up to the commit record goes stable.
+
+        Eligible for group-commit deferral: with an open window the
+        returned flushed boundary may not cover the commit record yet,
+        and the client keeps its records buffered until it does
+        (section 2.1) — which is what makes deferral crash-safe.
+        """
         self._require_up()
-        self.log.force()
+        flushed = self.log.commit_force()
         self.commit_forces += 1
-        return self.log.flushed_addr
+        return flushed
 
     def log_cdpl(self, client_id: str, txn_id: str,
                  pages: List[Tuple[int, LSN]]) -> None:
@@ -619,8 +625,8 @@ class Server:
 
     def _search_log_for(self, client_id: str, lsn: LSN) -> LogAddr:
         """Last-resort backward search for a record by (client, LSN)."""
-        for addr, record in self.log.scan_backward():
-            if record.client_id == client_id and record.lsn == lsn:
+        for addr, header in self.log.scan_headers_backward():
+            if header.client_id == client_id and header.lsn == lsn:
                 return addr
         raise RecoveryError(
             f"log record with LSN {lsn} from {client_id} not found in server log"
@@ -1009,8 +1015,8 @@ class Server:
         # surviving clients still hold pages dirtied long before the last
         # checkpoint.  (A production system would persist map summaries
         # with its checkpoints instead of rescanning.)
-        for addr, record in self.log.scan(0, start_addr):
-            self.log.observe_during_restart(record.client_id, record.lsn, addr)
+        for addr, header in self.log.scan_headers(0, start_addr):
+            self.log.observe_during_restart(header.client_id, header.lsn, addr)
         analysis = analysis_pass(
             self.log, start_addr,
             rebuild_log_bookkeeping=True,
@@ -1081,8 +1087,10 @@ class Server:
             if txn.client_id != client_id or txn.state != "prepared":
                 continue
             locks: Tuple = ()
-            for addr, record in self.log.scan_backward():
-                if isinstance(record, PrepareRecord) and record.txn_id == txn_id:
+            for addr, header in self.log.scan_headers_backward():
+                if header.type_tag == "PRE" and header.txn_id == txn_id:
+                    record = self.log.read_at(addr)
+                    assert isinstance(record, PrepareRecord)
                     locks = record.locks
                     break
             indoubt.append((txn_id, locks,
@@ -1137,11 +1145,12 @@ class Server:
         # the logged lock list plus the LSN chain state the client needs
         # to later roll the branch back if the coordinator says abort.
         indoubt: List[Tuple[str, Tuple, Tuple]] = []
-        for addr, record in self.log.scan_backward():
-            if isinstance(record, PrepareRecord) and record.client_id == client_id:
-                if record.txn_id in analysis.txns and \
-                        analysis.txns[record.txn_id].state == "prepared":
-                    txn = analysis.txns[record.txn_id]
+        for addr, header in self.log.scan_headers_backward():
+            if header.type_tag == "PRE" and header.client_id == client_id:
+                txn = analysis.txns.get(header.txn_id or "")
+                if txn is not None and txn.state == "prepared":
+                    record = self.log.read_at(addr)
+                    assert isinstance(record, PrepareRecord)
                     indoubt.append((record.txn_id, record.locks,
                                     (txn.last_lsn, txn.undo_next_lsn,
                                      txn.first_lsn)))
@@ -1155,6 +1164,14 @@ class Server:
             caching.discard(client_id)
         self.tracker.drop_transactions_of(client_id)
         self.tracker.forget_client(client_id)
+
+        # Close recovery with a server checkpoint (the ARIES rule).  The
+        # redo pass above re-dirtied the failed client's pages at the
+        # server from records that PRECEDE the last checkpoint, so no
+        # post-checkpoint log record witnesses them: without a fresh DPL
+        # a server crash before the next checkpoint would silently skip
+        # them during restart redo and lose committed updates.
+        self.take_checkpoint()
 
         report = RecoveryReport(
             kind=f"client-recovery:{client_id}",
@@ -1326,20 +1343,22 @@ class Server:
 
     def _roll_page_forward(self, page: Page, from_addr: LogAddr) -> int:
         """Apply all missing log records for one page from ``from_addr``."""
+        from repro.core.apply import apply_clr_redo, apply_redo
+        from repro.core.log_records import CompensationRecord
         applied = 0
-        for addr, record in self.log.scan(max(from_addr, 0)):
-            if not record.is_redoable():
+        for addr, header in self.log.scan_headers(max(from_addr, 0)):
+            if not header.is_redoable():
                 continue
-            if record.page_id != page.page_id:  # type: ignore[union-attr]
+            if header.page_id != page.page_id:
                 continue
-            if page.page_lsn >= record.lsn:
+            if page.page_lsn >= header.lsn:
                 continue
+            record = self.log.read_at(addr)
             if isinstance(record, UpdateRecord):
-                from repro.core.apply import apply_redo
                 apply_redo(page, record)
             else:
-                from repro.core.apply import apply_clr_redo
-                apply_clr_redo(page, record)  # type: ignore[arg-type]
+                assert isinstance(record, CompensationRecord)
+                apply_clr_redo(page, record)
             applied += 1
         return applied
 

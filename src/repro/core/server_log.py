@@ -23,16 +23,126 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.core.log_records import LogRecord
+from repro.core.log_records import FrameHeader, LogRecord
 from repro.core.lsn import LSN, LogAddr, LsnClock, NULL_ADDR
 from repro.storage.stable_log import StableLog
+
+
+class GroupForceScheduler:
+    """Server-side group commit: coalesce commit forces into one I/O.
+
+    The paper's force accounting already treats a force that rides a
+    prior one as free (``StableLog.force`` is a counted no-op when the
+    target is stable); this scheduler makes the batching *active*.
+    Commit forces arriving while the window is open are deferred, and
+    one device force covers the whole group once ``window`` of them
+    have accumulated — or immediately, merged into the same I/O, when a
+    synchronous force (WAL safety, privilege transfer, checkpointing,
+    recovery) comes through.
+
+    Deferring a commit force is crash-safe in ARIES/CSA terms: the
+    committing client keeps every log record in its virtual-storage
+    buffer until the server confirms it stable (section 2.1), and after
+    a server crash restart replays the survivors' unstable tails.  What
+    the window trades is only *when* the commit acknowledgement becomes
+    durable, which is the classic group-commit latency/throughput trade.
+
+    ``window <= 1`` (the default configuration) disables deferral:
+    every commit force is issued immediately, preserving the historical
+    force counts byte for byte.
+    """
+
+    def __init__(self, stable: StableLog, window: int = 0) -> None:
+        self.stable = stable
+        self.window = window
+        self.commit_requests = 0
+        self.sync_requests = 0
+        #: Device forces that covered more than one deferred commit.
+        self.group_forces = 0
+        #: Commit forces that never became their own device force.
+        self.forces_saved = 0
+        self._pending = 0
+        self._pending_target: LogAddr = 0
+
+    @property
+    def pending(self) -> int:
+        """Commit forces currently deferred in the open window."""
+        return self._pending
+
+    def commit_force(self, up_to_addr: Optional[LogAddr] = None) -> LogAddr:
+        """A commit/ship force request; may be deferred into the window.
+
+        Returns the flushed boundary the caller should report — with an
+        open window that boundary may not yet cover the commit record,
+        and the client correspondingly keeps its records buffered.
+        """
+        self.commit_requests += 1
+        target = self.stable.end_of_log_addr if up_to_addr is None else up_to_addr
+        if self.window <= 1:
+            before = self.stable.forces
+            self.stable.force(target)
+            if self.stable.forces == before:
+                self.forces_saved += 1  # rode an earlier force: no I/O
+            return self.stable.flushed_addr
+        if target <= self.stable.flushed_addr:
+            self.forces_saved += 1
+            return self.stable.flushed_addr
+        self._pending += 1
+        if target > self._pending_target:
+            self._pending_target = target
+        if self._pending >= self.window:
+            self.flush_pending()
+        return self.stable.flushed_addr
+
+    def flush_pending(self) -> None:
+        """Issue the single device force covering every deferred commit."""
+        if not self._pending:
+            return
+        riders = self._pending
+        target = self._pending_target
+        self._pending = 0
+        self._pending_target = 0
+        before = self.stable.forces
+        self.stable.force(target)
+        if self.stable.forces > before:
+            self.group_forces += 1
+            self.forces_saved += riders - 1
+        else:
+            # An interleaved synchronous force already covered the group.
+            self.forces_saved += riders
+
+    def force_now(self, up_to_addr: Optional[LogAddr] = None) -> None:
+        """Immediate force (WAL, privilege transfer, checkpoint, recovery).
+
+        Any open commit window is merged into the same device force —
+        correctness paths never wait on the group.
+        """
+        self.sync_requests += 1
+        riders = self._pending
+        if riders:
+            self._pending = 0
+            if up_to_addr is not None and self._pending_target > up_to_addr:
+                up_to_addr = self._pending_target
+            self._pending_target = 0
+        before = self.stable.forces
+        self.stable.force(up_to_addr)
+        if riders:
+            if self.stable.forces > before:
+                self.group_forces += 1
+            self.forces_saved += riders
+
+    def note_crash(self) -> None:
+        """The volatile tail is gone; deferred commit forces die with it."""
+        self._pending = 0
+        self._pending_target = 0
 
 
 class ServerLogManager:
     """Stable log ownership plus the LSN/address bookkeeping of CSA."""
 
-    def __init__(self) -> None:
+    def __init__(self, group_commit_window: int = 0) -> None:
         self.stable = StableLog()
+        self.group = GroupForceScheduler(self.stable, group_commit_window)
         #: The server's own LSN stream (checkpoint records, CLRs written
         #: on behalf of failed clients, server-resident transactions).
         self.clock = LsnClock()
@@ -117,7 +227,15 @@ class ServerLogManager:
     # -- passthroughs -----------------------------------------------------------
 
     def force(self, up_to_addr: Optional[LogAddr] = None) -> None:
-        self.stable.force(up_to_addr)
+        """Synchronous force; flushes any open group-commit window too."""
+        self.group.force_now(up_to_addr)
+
+    def commit_force(self, up_to_addr: Optional[LogAddr] = None) -> LogAddr:
+        """Commit-path force, eligible for group-commit deferral.
+
+        Returns the flushed boundary to report to the committing client.
+        """
+        return self.group.commit_force(up_to_addr)
 
     @property
     def flushed_addr(self) -> LogAddr:
@@ -135,13 +253,27 @@ class ServerLogManager:
                       down_to_addr: LogAddr = 0) -> Iterator[Tuple[LogAddr, LogRecord]]:
         return self.stable.scan_backward(from_addr, down_to_addr)
 
+    def scan_headers(self, from_addr: LogAddr = 0,
+                     to_addr: Optional[LogAddr] = None
+                     ) -> Iterator[Tuple[LogAddr, FrameHeader]]:
+        return self.stable.scan_headers(from_addr, to_addr)
+
+    def scan_headers_backward(self, from_addr: Optional[LogAddr] = None,
+                              down_to_addr: LogAddr = 0
+                              ) -> Iterator[Tuple[LogAddr, FrameHeader]]:
+        return self.stable.scan_headers_backward(from_addr, down_to_addr)
+
     def read_at(self, addr: LogAddr) -> LogRecord:
         return self.stable.read_at(addr)
+
+    def header_at(self, addr: LogAddr) -> FrameHeader:
+        return self.stable.header_at(addr)
 
     # -- crash model --------------------------------------------------------------
 
     def crash(self) -> None:
         """Server crash: stable prefix survives, bookkeeping does not."""
+        self.group.note_crash()
         self.stable.crash()
         self.clock = LsnClock()
         self._pair_lsns.clear()

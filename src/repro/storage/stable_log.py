@@ -12,46 +12,84 @@ The log models the volatile/stable split precisely:
 * ``force`` makes everything up to an address stable;
 * ``crash`` discards the volatile tail, keeping only forced bytes.
 
+Storage layout
+--------------
+
+The log *is* its byte image: one contiguous ``bytearray`` holding, per
+record, an 8-byte big-endian length prefix (the ``FRAME_OVERHEAD``
+charged per record) followed by the encoded frame.  A record's logical
+address is exactly ``_base`` plus its physical offset in the buffer, so
+appends are O(1) buffer extends and address arithmetic is byte-exact.
+A sorted frame-start index supports O(log n) address lookup; counting
+(``records_between``) and truncation are index slices — no decoding.
+
 Scanning decodes records on demand from their stored bytes, so recovery
-reads exactly what survived, byte for byte.
+reads exactly what survived, byte for byte.  The header-only variants
+(``scan_headers`` / ``scan_headers_backward``) peek each frame's header
+fields in place — no slicing, no record allocation — which is what lets
+the recovery passes filter before they materialize; a small LRU of
+decoded records keeps the undo/redo overlap cheap.
 """
 
 from __future__ import annotations
 
 import bisect
+import struct
+from collections import OrderedDict
 from typing import Iterator, List, Optional, Tuple
 
-from repro.core.log_records import LogRecord, decode_record, encode_record
+from repro.core.log_records import (
+    FrameHeader,
+    LogRecord,
+    decode_record,
+    encode_record,
+    peek_header_in,
+)
 from repro.core.lsn import LogAddr
 from repro.errors import LogRecordNotFoundError
 
-#: Bytes of framing charged per record (length prefix etc.).
+#: Bytes of framing charged per record (the stored length prefix).
 FRAME_OVERHEAD = 8
+
+_FRAME_LEN = struct.Struct(">Q")
 
 
 class StableLog:
     """Append-only log with force semantics and crash truncation."""
 
+    #: Full-decode LRU capacity: sized for the undo/redo overlap of one
+    #: restart (losers' tails), not for whole-log caching.
+    DECODE_CACHE_SIZE = 256
+
     def __init__(self) -> None:
-        self._addrs: List[LogAddr] = []
-        self._frames: List[bytes] = []
-        self._next_addr: LogAddr = 0
+        #: Byte image of the retained log: [len u64][frame] per record.
+        self._buf = bytearray()
+        #: Sorted frame-start addresses (parallel to frames in _buf).
+        self._index: List[LogAddr] = []
+        #: Logical address of ``_buf[0]``; advanced by truncate_prefix.
+        #: Addresses of archived bytes are never reused.
+        self._base: LogAddr = 0
         #: Exclusive upper bound of the stable prefix, as a byte address.
         self._flushed_addr: LogAddr = 0
+        #: LRU of fully decoded records keyed by address.
+        self._decoded: "OrderedDict[LogAddr, LogRecord]" = OrderedDict()
         self.appends = 0
         self.forces = 0
         self.bytes_appended = 0
         self.records_lost_last_crash = 0
+        self.full_decodes = 0
+        self.header_peeks = 0
+        self.decode_cache_hits = 0
 
     # -- writing -----------------------------------------------------------
 
     def append(self, record: LogRecord) -> LogAddr:
         """Append ``record`` to the volatile tail; returns its address."""
         frame = encode_record(record)
-        addr = self._next_addr
-        self._addrs.append(addr)
-        self._frames.append(frame)
-        self._next_addr = addr + len(frame) + FRAME_OVERHEAD
+        addr = self._base + len(self._buf)
+        self._buf += _FRAME_LEN.pack(len(frame))
+        self._buf += frame
+        self._index.append(addr)
         self.appends += 1
         self.bytes_appended += len(frame) + FRAME_OVERHEAD
         return addr
@@ -64,7 +102,7 @@ class StableLog:
         group-commit accounting.
         """
         if up_to_addr is None:
-            target = self._next_addr
+            target = self.end_of_log_addr
         else:
             target = self._frame_end(up_to_addr)
         if target <= self._flushed_addr:
@@ -73,36 +111,97 @@ class StableLog:
         self.forces += 1
 
     def _frame_end(self, addr: LogAddr) -> LogAddr:
-        index = bisect.bisect_left(self._addrs, addr)
-        if index >= len(self._addrs) or self._addrs[index] != addr:
+        index = bisect.bisect_left(self._index, addr)
+        if index >= len(self._index) or self._index[index] != addr:
             # Conservative callers may pass an address between frames;
             # force through the frame containing/preceding it.
-            index = min(index, len(self._addrs) - 1)
+            index = min(index, len(self._index) - 1)
             if index < 0:
                 return 0
-        return self._addrs[index] + len(self._frames[index]) + FRAME_OVERHEAD
+        return self._index[index] + self._frame_length_at(index)
+
+    def _frame_length_at(self, index: int) -> int:
+        """Total frame size (prefix + payload) of frame ``index``."""
+        offset = self._index[index] - self._base
+        return FRAME_OVERHEAD + _FRAME_LEN.unpack_from(self._buf, offset)[0]
+
+    def _payload_bounds(self, index: int) -> Tuple[int, int]:
+        """Physical [start, end) of frame ``index``'s encoded payload."""
+        offset = self._index[index] - self._base
+        length = _FRAME_LEN.unpack_from(self._buf, offset)[0]
+        start = offset + FRAME_OVERHEAD
+        return start, start + length
+
+    def _frame_bytes(self, index: int) -> bytes:
+        start, end = self._payload_bounds(index)
+        with memoryview(self._buf) as view:
+            return bytes(view[start:end])
+
+    def _decode_at(self, index: int, addr: LogAddr) -> LogRecord:
+        """Full decode of frame ``index`` through the LRU cache."""
+        cached = self._decoded.get(addr)
+        if cached is not None:
+            self._decoded.move_to_end(addr)
+            self.decode_cache_hits += 1
+            return cached
+        record = decode_record(self._frame_bytes(index))
+        self.full_decodes += 1
+        self._decoded[addr] = record
+        if len(self._decoded) > self.DECODE_CACHE_SIZE:
+            self._decoded.popitem(last=False)
+        return record
 
     # -- reading -----------------------------------------------------------
 
     @property
     def end_of_log_addr(self) -> LogAddr:
         """Address one past the last appended record."""
-        return self._next_addr
+        return self._base + len(self._buf)
 
     @property
     def flushed_addr(self) -> LogAddr:
         return self._flushed_addr
 
     def is_stable(self, addr: LogAddr) -> bool:
-        """True when the record at ``addr`` has been forced."""
-        return self._frame_end(addr) <= self._flushed_addr if self._addrs else False
+        """True when the byte at ``addr`` lies in the forced prefix.
+
+        ``flushed_addr`` always falls on a frame boundary, so for a
+        record's address this is exactly "the whole frame is forced".
+        The boundary cases are deliberate and tested:
+
+        * an address below ``flushed_addr`` stays stable even after the
+          frames holding it are archived away by ``truncate_prefix`` —
+          the bytes were forced, whether or not a frame remains in
+          memory to witness it (the old frame-lookup answered ``False``
+          for every address once the log was empty, ``force()`` or not);
+        * a trailing address (at or past end-of-log) is stable exactly
+          when the whole log is — in particular, every address of an
+          empty log is vacuously stable.
+        """
+        return addr < self._flushed_addr or self._flushed_addr == self.end_of_log_addr
 
     def read_at(self, addr: LogAddr) -> LogRecord:
         """Decode the record whose frame starts at ``addr``."""
-        index = bisect.bisect_left(self._addrs, addr)
-        if index >= len(self._addrs) or self._addrs[index] != addr:
+        index = bisect.bisect_left(self._index, addr)
+        if index >= len(self._index) or self._index[index] != addr:
             raise LogRecordNotFoundError(f"no log record at address {addr}")
-        return decode_record(self._frames[index])
+        return self._decode_at(index, addr)
+
+    def header_at(self, addr: LogAddr) -> FrameHeader:
+        """Peek only the header of the record at ``addr``."""
+        index = bisect.bisect_left(self._index, addr)
+        if index >= len(self._index) or self._index[index] != addr:
+            raise LogRecordNotFoundError(f"no log record at address {addr}")
+        self.header_peeks += 1
+        start, end = self._payload_bounds(index)
+        return peek_header_in(self._buf, start, end)
+
+    def frame_size(self, addr: LogAddr) -> int:
+        """Bytes the record at ``addr`` occupies (frame + overhead)."""
+        index = bisect.bisect_left(self._index, addr)
+        if index >= len(self._index) or self._index[index] != addr:
+            raise LogRecordNotFoundError(f"no log record at address {addr}")
+        return self._frame_length_at(index)
 
     def scan(self, from_addr: LogAddr = 0,
              to_addr: Optional[LogAddr] = None) -> Iterator[Tuple[LogAddr, LogRecord]]:
@@ -112,12 +211,18 @@ class StableLog:
         starts at the first frame at or after it — the conservative
         RecAddr semantics of section 2.5.2 rely on this.
         """
-        start = bisect.bisect_left(self._addrs, max(from_addr, 0))
-        for index in range(start, len(self._addrs)):
-            addr = self._addrs[index]
+        start = bisect.bisect_left(self._index, max(from_addr, 0))
+        for index in range(start, len(self._index)):
+            addr = self._index[index]
             if to_addr is not None and addr >= to_addr:
                 return
-            yield addr, decode_record(self._frames[index])
+            cached = self._decoded.get(addr)
+            if cached is not None:
+                self.decode_cache_hits += 1
+                yield addr, cached
+            else:
+                self.full_decodes += 1
+                yield addr, decode_record(self._frame_bytes(index))
 
     def scan_backward(self, from_addr: Optional[LogAddr] = None,
                       down_to_addr: LogAddr = 0) -> Iterator[Tuple[LogAddr, LogRecord]]:
@@ -131,21 +236,69 @@ class StableLog:
         expected UndoNxtLSNs.
         """
         if from_addr is None:
-            start = len(self._addrs)
+            start = len(self._index)
         else:
-            start = bisect.bisect_left(self._addrs, from_addr)
+            start = bisect.bisect_left(self._index, from_addr)
         for index in range(start - 1, -1, -1):
-            addr = self._addrs[index]
+            addr = self._index[index]
             if addr < down_to_addr:
                 return
-            yield addr, decode_record(self._frames[index])
+            cached = self._decoded.get(addr)
+            if cached is not None:
+                self.decode_cache_hits += 1
+                yield addr, cached
+            else:
+                self.full_decodes += 1
+                yield addr, decode_record(self._frame_bytes(index))
+
+    def scan_headers(self, from_addr: LogAddr = 0,
+                     to_addr: Optional[LogAddr] = None
+                     ) -> Iterator[Tuple[LogAddr, FrameHeader]]:
+        """Header-only forward scan: ``(addr, FrameHeader)`` pairs.
+
+        Same address semantics as :func:`scan`; each frame's header is
+        peeked in place, no full record is materialized.  Callers fetch
+        the records they actually need via :func:`read_at`, which serves
+        repeats from the decode LRU.
+        """
+        start = bisect.bisect_left(self._index, max(from_addr, 0))
+        for index in range(start, len(self._index)):
+            addr = self._index[index]
+            if to_addr is not None and addr >= to_addr:
+                return
+            self.header_peeks += 1
+            payload_start, payload_end = self._payload_bounds(index)
+            yield addr, peek_header_in(self._buf, payload_start, payload_end)
+
+    def scan_headers_backward(self, from_addr: Optional[LogAddr] = None,
+                              down_to_addr: LogAddr = 0
+                              ) -> Iterator[Tuple[LogAddr, FrameHeader]]:
+        """Header-only variant of :func:`scan_backward`."""
+        if from_addr is None:
+            start = len(self._index)
+        else:
+            start = bisect.bisect_left(self._index, from_addr)
+        for index in range(start - 1, -1, -1):
+            addr = self._index[index]
+            if addr < down_to_addr:
+                return
+            self.header_peeks += 1
+            payload_start, payload_end = self._payload_bounds(index)
+            yield addr, peek_header_in(self._buf, payload_start, payload_end)
 
     def record_count(self) -> int:
-        return len(self._addrs)
+        return len(self._index)
 
     def records_between(self, from_addr: LogAddr, to_addr: Optional[LogAddr] = None) -> int:
-        """How many records a scan over [from, to) would visit."""
-        return sum(1 for _ in self.scan(from_addr, to_addr))
+        """How many records a scan over [from, to) would visit.
+
+        Pure index arithmetic — no frame is touched, let alone decoded.
+        """
+        start = bisect.bisect_left(self._index, max(from_addr, 0))
+        if to_addr is None:
+            return len(self._index) - start
+        stop = bisect.bisect_left(self._index, to_addr, start)
+        return stop - start
 
     # -- truncation ------------------------------------------------------------
 
@@ -162,36 +315,39 @@ class StableLog:
                 f"cannot truncate into the volatile tail "
                 f"(addr {up_to_addr} > flushed {self._flushed_addr})"
             )
-        keep = bisect.bisect_left(self._addrs, up_to_addr)
-        del self._addrs[:keep]
-        del self._frames[:keep]
+        keep = bisect.bisect_left(self._index, up_to_addr)
+        if keep:
+            cut_addr = (
+                self._index[keep] if keep < len(self._index)
+                else self.end_of_log_addr
+            )
+            del self._buf[:cut_addr - self._base]
+            del self._index[:keep]
+            self._base = cut_addr
+            self._decoded.clear()
         return keep
 
     @property
     def low_water_addr(self) -> LogAddr:
-        """Address of the oldest retained record (0 for an empty log)."""
-        return self._addrs[0] if self._addrs else self._next_addr
+        """Address of the oldest retained record (end-of-log when empty)."""
+        return self._index[0] if self._index else self.end_of_log_addr
 
     # -- crash model ---------------------------------------------------------
 
     def crash(self) -> None:
         """Server crash: the unforced tail vanishes."""
-        keep = bisect.bisect_right(
-            self._addrs,
-            self._flushed_addr - 1,
-        )
+        keep = bisect.bisect_right(self._index, self._flushed_addr - 1)
         # A frame survives iff its *end* is within the flushed prefix.
         while keep > 0:
             last = keep - 1
-            end = self._addrs[last] + len(self._frames[last]) + FRAME_OVERHEAD
-            if end <= self._flushed_addr:
+            if self._index[last] + self._frame_length_at(last) <= self._flushed_addr:
                 break
             keep = last
-        self.records_lost_last_crash = len(self._addrs) - keep
-        del self._addrs[keep:]
-        del self._frames[keep:]
-        self._next_addr = (
-            self._addrs[-1] + len(self._frames[-1]) + FRAME_OVERHEAD
-            if self._addrs else 0
-        )
-        self._flushed_addr = self._next_addr
+        self.records_lost_last_crash = len(self._index) - keep
+        if keep < len(self._index):
+            del self._buf[self._index[keep] - self._base:]
+            del self._index[keep:]
+        self._flushed_addr = self.end_of_log_addr
+        # Post-crash appends reuse the truncated tail's addresses; drop
+        # any cached decodes for them.
+        self._decoded.clear()

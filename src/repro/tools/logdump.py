@@ -5,20 +5,27 @@ the views a developer actually wants — the raw sequence, one
 transaction's chain (forward records and CLR back-pointers), and one
 page's update history — plus a compact anomaly summary.
 
+The filtered views scan frame headers only (``scan_headers``) and
+materialize the handful of records they actually print — on a large log
+that is the difference between touching every byte and touching a few
+frames.
+
 Usage::
 
-    from repro.tools.logdump import dump_log, transaction_history
+    from repro.tools.logdump import dump_log, log_stats, transaction_history
     print(dump_log(system.server))
     print(transaction_history(system.server, "C1.T3"))
+    print(log_stats(system.server))
 
 or, for a demonstration on a synthetic workload::
 
-    python -m repro.tools.logdump
+    python -m repro.tools.logdump            # all views
+    python -m repro.tools.logdump --stats    # per-type/per-client stats only
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.log_records import (
     BeginCheckpointRecord,
@@ -90,8 +97,9 @@ def transaction_history(server: Server, txn_id: str) -> str:
     """One transaction's records, annotated with chain structure."""
     lines = [f"transaction {txn_id}:"]
     records: List = [
-        (addr, record) for addr, record in server.log.scan()
-        if record.txn_id == txn_id
+        (addr, server.log.read_at(addr))
+        for addr, header in server.log.scan_headers()
+        if header.txn_id == txn_id
     ]
     if not records:
         return f"transaction {txn_id}: no records in the log"
@@ -113,15 +121,16 @@ def page_history(server: Server, page_id: int) -> str:
     """Every logged change to one page, with the LSN chain made visible."""
     lines = [f"page {page_id} history:"]
     previous_lsn = None
-    for addr, record in server.log.scan():
-        if not record.is_redoable() or record.page_id != page_id:
+    for addr, header in server.log.scan_headers():
+        if not header.is_redoable() or header.page_id != page_id:
             continue
         jump = ""
-        if previous_lsn is not None and record.lsn <= previous_lsn:
+        if previous_lsn is not None and header.lsn <= previous_lsn:
             jump = "  <-- LSN ORDER ANOMALY"
+        record = server.log.read_at(addr)
         lines.append(_line(addr, record, server.log.stable.is_stable(addr))
                      + jump)
-        previous_lsn = record.lsn
+        previous_lsn = header.lsn
     disk_lsn = server.disk.stored_lsn(page_id)
     bcb = server.pool.bcb(page_id)
     lines.append(f"  disk version: LSN {disk_lsn}")
@@ -138,8 +147,8 @@ def summarize(server: Server) -> str:
     from collections import Counter
     counts: Counter = Counter()
     unstable = 0
-    for addr, record in server.log.scan():
-        counts[record.type_name] += 1
+    for addr, header in server.log.scan_headers():
+        counts[header.type_name] += 1
         if not server.log.stable.is_stable(addr):
             unstable += 1
     lines = ["log summary:"]
@@ -151,6 +160,40 @@ def summarize(server: Server) -> str:
     lines.append(f"  last server ckpt at addr {master['server_ckpt_begin_addr']}")
     for client_id, addr in sorted(master["client_ckpts"].items()):
         lines.append(f"  last {client_id} ckpt at addr {addr}")
+    return "\n".join(lines)
+
+
+def log_stats(server: Server) -> str:
+    """Records and wire bytes per record type and per client.
+
+    Pure header scan: frame sizes come from the log's own index
+    (``frame_size``), so no record body is ever decoded — this stays
+    cheap on logs where ``dump_log`` would be pages of output.
+    """
+    by_type: Dict[str, Tuple[int, int]] = {}
+    by_client: Dict[str, Tuple[int, int]] = {}
+    total_records = 0
+    total_bytes = 0
+    for addr, header in server.log.scan_headers():
+        size = server.log.stable.frame_size(addr)
+        count, size_sum = by_type.get(header.type_name, (0, 0))
+        by_type[header.type_name] = (count + 1, size_sum + size)
+        count, size_sum = by_client.get(header.client_id, (0, 0))
+        by_client[header.client_id] = (count + 1, size_sum + size)
+        total_records += 1
+        total_bytes += size
+    lines = ["log stats:", "  by record type:"]
+    for name in sorted(by_type):
+        count, size_sum = by_type[name]
+        lines.append(f"    {name:<24} {count:>6} records  {size_sum:>8} bytes")
+    lines.append("  by client:")
+    for client_id in sorted(by_client):
+        count, size_sum = by_client[client_id]
+        lines.append(f"    {client_id:<24} {count:>6} records  {size_sum:>8} bytes")
+    lines.append(f"  total                     {total_records:>6} records"
+                 f"  {total_bytes:>8} bytes")
+    lines.append(f"  flushed through addr      {server.log.flushed_addr}")
+    lines.append(f"  end of log addr           {server.log.end_of_log_addr}")
     return "\n".join(lines)
 
 
@@ -187,7 +230,7 @@ def message_trace(network, limit: Optional[int] = None) -> str:
     return "\n".join(lines)
 
 
-def _demo() -> None:  # pragma: no cover - illustrative CLI
+def _demo_system():  # pragma: no cover - illustrative CLI
     from repro.config import SystemConfig
     from repro.core.system import ClientServerSystem
     from repro.workloads.generator import seed_table
@@ -203,7 +246,29 @@ def _demo() -> None:  # pragma: no cover - illustrative CLI
     doomed = client.begin()
     client.update(doomed, rids[1], "world")
     client.rollback(doomed)
-    print(dump_log(system.server))
+    return system, rids, doomed
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.logdump",
+        description="Render the demo workload's server log.",
+    )
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-type/per-client record and byte "
+                             "counts (header-only scan) instead of the "
+                             "full dump")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="truncate the full dump after N records")
+    opts = parser.parse_args(argv)
+
+    system, rids, doomed = _demo_system()
+    if opts.stats:
+        print(log_stats(system.server))
+        return 0
+    print(dump_log(system.server, limit=opts.limit))
     print()
     print(transaction_history(system.server, doomed.txn_id))
     print()
@@ -211,8 +276,11 @@ def _demo() -> None:  # pragma: no cover - illustrative CLI
     print()
     print(summarize(system.server))
     print()
+    print(log_stats(system.server))
+    print()
     print(message_trace(system.network, limit=20))
+    return 0
 
 
 if __name__ == "__main__":
-    _demo()
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Integration: group-forced commits at the system level.
+
+With ``group_commit_window > 1`` the server defers commit-path forces
+and covers a window's worth with one device force.  These tests pin the
+I/O saving AND the safety story: a deferred commit is not acknowledged
+as stable, the client keeps its records buffered (section 2.1), and a
+server crash inside the window loses nothing that was ever reported
+durable — restart replays the survivors' tails.
+"""
+
+from tests.conftest import make_system
+from repro.workloads.generator import seed_table
+
+
+def run_commits(system, rids, count, start=0):
+    client = system.client("C1")
+    for i in range(count):
+        txn = client.begin()
+        client.update(txn, rids[i % len(rids)], ("round", start + i))
+        client.commit(txn)
+
+
+class TestGroupedForces:
+    def test_window_batches_commit_forces(self):
+        system = make_system(client_ids=["C1"], group_commit_window=4)
+        rids = seed_table(system, "C1", "t", 4, 3)
+        server_log = system.server.log
+        forces_before = server_log.stable.forces
+        commits = 12
+        run_commits(system, rids, commits)
+        forced = server_log.stable.forces - forces_before
+        # 12 commit requests, window 4: at most ~3 device forces (+ the
+        # occasional WAL force a steal write sneaks in).
+        assert forced < commits / 2
+        assert server_log.group.forces_saved > 0
+        assert server_log.group.commit_requests >= commits
+
+    def test_default_window_force_per_commit(self):
+        system = make_system(client_ids=["C1"])
+        rids = seed_table(system, "C1", "t", 4, 3)
+        server_log = system.server.log
+        forces_before = server_log.stable.forces
+        run_commits(system, rids, 6)
+        assert server_log.stable.forces - forces_before == 6
+        assert server_log.group.pending == 0
+
+    def test_open_window_leaves_tail_volatile(self):
+        system = make_system(client_ids=["C1"], group_commit_window=8)
+        rids = seed_table(system, "C1", "t", 4, 3)
+        run_commits(system, rids, 2)
+        server_log = system.server.log
+        assert server_log.group.pending > 0
+        assert server_log.flushed_addr < server_log.end_of_log_addr
+        # The committing client is still buffering its unstable records.
+        assert system.client("C1").log.buffered_count() > 0
+
+
+class TestCrashSafety:
+    def test_crash_inside_window_preserves_committed_work(self):
+        system = make_system(client_ids=["C1"], group_commit_window=8)
+        rids = seed_table(system, "C1", "t", 4, 3)
+        run_commits(system, rids, 5)
+        assert system.server.log.group.pending > 0
+        # Server crashes with deferred commit forces outstanding; the
+        # surviving client replays its unstable tail during restart.
+        system.server.crash()
+        system.server.restart()
+        for i in range(5):
+            assert system.current_value(rids[i]) == ("round", i)
+
+    def test_crash_all_inside_window_keeps_acknowledged_prefix(self):
+        """Losing everyone mid-window may lose the *deferred* commits —
+        exactly the records never acknowledged stable — but every record
+        below the reported flushed boundary survives."""
+        system = make_system(client_ids=["C1"], group_commit_window=6)
+        rids = seed_table(system, "C1", "t", 4, 3)
+        run_commits(system, rids, 3)
+        flushed = system.server.log.flushed_addr
+        stable_records = [
+            record.lsn
+            for _addr, record in system.server.log.stable.scan(0, flushed)
+        ]
+        system.crash_all()
+        system.restart_all()
+        survivors = [record.lsn for _a, record in system.server.log.scan()]
+        assert [lsn for lsn in stable_records if lsn in survivors] == \
+            stable_records
+
+    def test_window_then_checkpoint_flushes_everything(self):
+        system = make_system(client_ids=["C1"], group_commit_window=8)
+        rids = seed_table(system, "C1", "t", 4, 3)
+        run_commits(system, rids, 3)
+        system.server.take_checkpoint()
+        server_log = system.server.log
+        assert server_log.group.pending == 0
+        assert server_log.flushed_addr == server_log.end_of_log_addr

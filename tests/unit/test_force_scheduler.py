@@ -1,0 +1,146 @@
+"""Unit tests: the group-commit force scheduler (server-side batching)."""
+
+from repro.core.log_records import CommitRecord, UpdateOp, UpdateRecord
+from repro.core.server_log import GroupForceScheduler, ServerLogManager
+from repro.storage.stable_log import StableLog
+
+
+def upd(lsn):
+    return UpdateRecord(lsn=lsn, client_id="C", txn_id=f"T{lsn}",
+                        prev_lsn=lsn - 1, page_id=1,
+                        op=UpdateOp.RECORD_MODIFY, slot=0,
+                        before=b"x", after=b"y")
+
+
+def cmt(lsn):
+    return CommitRecord(lsn=lsn, client_id="C", txn_id=f"T{lsn}",
+                        prev_lsn=lsn - 1)
+
+
+class TestWindowDisabled:
+    def test_window_zero_forces_immediately(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=0)
+        log.append(cmt(1))
+        flushed = sched.commit_force()
+        assert flushed == log.end_of_log_addr
+        assert log.forces == 1
+        assert sched.pending == 0
+
+    def test_window_one_behaves_like_zero(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=1)
+        log.append(cmt(1))
+        sched.commit_force()
+        assert log.forces == 1
+        assert sched.pending == 0
+
+    def test_noop_ride_counted_as_saved(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=0)
+        log.append(cmt(1))
+        sched.commit_force()
+        sched.commit_force()  # nothing new: rides the previous force
+        assert log.forces == 1
+        assert sched.forces_saved == 1
+
+
+class TestWindowOpen:
+    def test_commits_deferred_until_window_full(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=3)
+        for lsn in (1, 2):
+            log.append(cmt(lsn))
+            sched.commit_force()
+        assert log.forces == 0
+        assert sched.pending == 2
+        log.append(cmt(3))
+        sched.commit_force()
+        # Third commit fills the window: one device force for all three.
+        assert log.forces == 1
+        assert sched.pending == 0
+        assert sched.group_forces == 1
+        assert sched.forces_saved == 2
+        assert log.flushed_addr == log.end_of_log_addr
+
+    def test_deferred_commit_reports_unflushed_boundary(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=2)
+        addr = log.append(cmt(1))
+        flushed = sched.commit_force()
+        # The caller learns its record is NOT yet stable, so the client
+        # keeps buffering it (section 2.1) — deferral stays crash-safe.
+        assert flushed <= addr
+        assert not log.is_stable(addr)
+
+    def test_sync_force_merges_open_window(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=5)
+        log.append(cmt(1))
+        sched.commit_force()
+        log.append(upd(2))
+        sched.force_now()  # WAL-style force: cannot wait for the group
+        assert log.forces == 1
+        assert sched.pending == 0
+        assert sched.forces_saved == 1  # the deferred commit rode along
+        assert log.flushed_addr == log.end_of_log_addr
+
+    def test_sync_force_target_extends_to_pending(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=5)
+        first = log.append(cmt(1))
+        log.append(cmt(2))
+        sched.commit_force()  # pending target covers record 2
+        sched.force_now(first)  # narrower sync request
+        # The merged force must still cover the deferred commit.
+        assert log.flushed_addr == log.end_of_log_addr
+
+    def test_already_stable_commit_saved_without_deferring(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=3)
+        addr = log.append(cmt(1))
+        log.force()
+        sched.commit_force(addr)
+        assert sched.pending == 0
+        assert sched.forces_saved == 1
+
+    def test_crash_discards_pending(self):
+        log = StableLog()
+        sched = GroupForceScheduler(log, window=3)
+        log.append(cmt(1))
+        sched.commit_force()
+        sched.note_crash()
+        log.crash()
+        assert sched.pending == 0
+        # Flushing after the crash is a no-op, not a stale-target force.
+        sched.flush_pending()
+        assert log.forces == 0
+
+
+class TestServerLogManagerIntegration:
+    def test_manager_routes_commit_and_sync_forces(self):
+        mgr = ServerLogManager(group_commit_window=2)
+        mgr.append_from_client("C", [cmt(1)])
+        mgr.commit_force()
+        assert mgr.stable.forces == 0  # deferred
+        mgr.append_from_client("C", [cmt(2)])
+        mgr.commit_force()
+        assert mgr.stable.forces == 1  # window filled
+        mgr.append_from_client("C", [upd(3)])
+        mgr.force()
+        assert mgr.stable.forces == 2  # sync force is immediate
+
+    def test_default_window_preserves_historical_counts(self):
+        mgr = ServerLogManager()
+        for lsn in range(1, 5):
+            mgr.append_from_client("C", [cmt(lsn)])
+            mgr.commit_force()
+        assert mgr.stable.forces == 4
+
+    def test_manager_crash_resets_scheduler(self):
+        mgr = ServerLogManager(group_commit_window=4)
+        mgr.append_from_client("C", [cmt(1)])
+        mgr.commit_force()
+        assert mgr.group.pending == 1
+        mgr.crash()
+        assert mgr.group.pending == 0

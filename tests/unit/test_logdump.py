@@ -4,6 +4,7 @@ import pytest
 
 from repro.tools.logdump import (
     dump_log,
+    log_stats,
     page_history,
     summarize,
     transaction_history,
@@ -96,3 +97,24 @@ class TestSummary:
         assert "CommitRecord" in text
         assert "total records" in text
         assert "volatile tail" in text
+
+
+class TestLogStats:
+    def test_per_type_and_per_client_totals_agree(self, worked):
+        system, *_ = worked
+        text = log_stats(system.server)
+        assert "UpdateRecord" in text
+        assert "C1" in text
+        total = system.server.log.stable.record_count()
+        assert f"{total:>6} records" in text
+        # The two breakdowns and the total all cover the same bytes.
+        end = system.server.log.end_of_log_addr
+        low = system.server.log.stable.low_water_addr
+        assert f"{end - low:>8} bytes" in text
+
+    def test_stats_never_decode_records(self, worked):
+        system, *_ = worked
+        stable = system.server.log.stable
+        decodes = stable.full_decodes
+        log_stats(system.server)
+        assert stable.full_decodes == decodes

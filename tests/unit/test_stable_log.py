@@ -137,3 +137,113 @@ class TestForceAndCrash:
         log.append(rec(2))
         log.crash()
         assert log.flushed_addr == log.end_of_log_addr
+
+
+class TestHeaderScans:
+    def test_scan_headers_matches_scan(self, log):
+        for i in range(1, 8):
+            log.append(rec(i, txn=f"T{i % 3}"))
+        full = list(log.scan())
+        headers = list(log.scan_headers())
+        assert [a for a, _ in headers] == [a for a, _ in full]
+        for (_, record), (_, header) in zip(full, headers):
+            assert header.record_class is type(record)
+            assert header.lsn == record.lsn
+            assert header.client_id == record.client_id
+            assert header.txn_id == record.txn_id
+            assert header.prev_lsn == record.prev_lsn
+            assert header.page_id == record.page_id
+
+    def test_scan_headers_backward_matches_scan_backward(self, log):
+        for i in range(1, 6):
+            log.append(rec(i))
+        full = [(a, r.lsn) for a, r in log.scan_backward()]
+        headers = [(a, h.lsn) for a, h in log.scan_headers_backward()]
+        assert headers == full
+
+    def test_scan_headers_respects_bounds(self, log):
+        addrs = [log.append(rec(i)) for i in range(1, 6)]
+        windowed = [a for a, _ in log.scan_headers(addrs[1], addrs[4])]
+        assert windowed == addrs[1:4]
+
+    def test_header_at(self, log):
+        addr = log.append(rec(7))
+        caddr = log.append(CommitRecord(lsn=8, client_id="C1", txn_id="T1",
+                                        prev_lsn=7))
+        header = log.header_at(addr)
+        assert header.lsn == 7
+        assert header.is_update()
+        cheader = log.header_at(caddr)
+        assert cheader.record_class is CommitRecord
+        assert not cheader.is_redoable()
+
+    def test_header_scan_counts_peeks_not_decodes(self, log):
+        for i in range(1, 5):
+            log.append(rec(i))
+        decodes = log.full_decodes
+        list(log.scan_headers())
+        assert log.header_peeks == 4
+        assert log.full_decodes == decodes
+
+
+class TestDecodeCache:
+    def test_read_at_caches(self, log):
+        addr = log.append(rec(1))
+        log.read_at(addr)
+        decodes = log.full_decodes
+        again = log.read_at(addr)
+        assert again.lsn == 1
+        assert log.full_decodes == decodes
+        assert log.decode_cache_hits >= 1
+
+    def test_cache_bounded(self, log):
+        addrs = [log.append(rec(i)) for i in range(1, 40)]
+        log.DECODE_CACHE_SIZE = 8
+        for addr in addrs:
+            log.read_at(addr)
+        assert len(log._decoded) <= 8
+
+    def test_scan_reuses_cached_records(self, log):
+        addr = log.append(rec(1))
+        cached = log.read_at(addr)
+        assert next(log.scan())[1] is cached
+
+
+class TestBoundarySemantics:
+    def test_frame_size_matches_wire_bytes(self, log):
+        from repro.storage.stable_log import FRAME_OVERHEAD
+        a1 = log.append(rec(1))
+        a2 = log.append(rec(2))
+        assert log.frame_size(a1) == a2 - a1
+        assert log.frame_size(a1) > FRAME_OVERHEAD
+
+    def test_empty_log_is_vacuously_stable(self, log):
+        # Regression: the old frame-lookup answered False for every
+        # address of an empty log, force() or not.
+        assert log.is_stable(0)
+        log.force()
+        assert log.is_stable(0)
+
+    def test_trailing_address_stable_iff_whole_log_is(self, log):
+        log.append(rec(1))
+        end = log.end_of_log_addr
+        assert not log.is_stable(end)
+        log.force()
+        assert log.is_stable(end)
+        log.append(rec(2))
+        assert not log.is_stable(log.end_of_log_addr)
+
+    def test_stable_addresses_survive_truncation(self, log):
+        a1 = log.append(rec(1))
+        a2 = log.append(rec(2))
+        log.force()
+        log.truncate_prefix(a2)
+        assert log.is_stable(a1)
+        assert log.low_water_addr == a2
+
+    def test_records_between_counts_from_index(self, log):
+        addrs = [log.append(rec(i)) for i in range(1, 6)]
+        # Non-boundary addresses count conservatively from the next frame.
+        assert log.records_between(addrs[2] + 1) == 2
+        assert log.records_between(0, addrs[3]) == 3
+        assert log.records_between(log.end_of_log_addr) == 0
