@@ -19,5 +19,14 @@ def test_e1_commit_traffic(benchmark):
     print(format_table(rows, title="E1: commit traffic vs write-set size"))
     csa = [r for r in rows if r["system"] == "ARIES/CSA"]
     esm = [r for r in rows if r["system"] == "ESM-CS"]
+    grouped = [r for r in rows if r["system"] == "ARIES/CSA (group commit)"]
     assert all(r["pages_shipped_at_commit"] == 0 for r in csa)
     assert esm[-1]["messages_per_commit"] > 10 * csa[-1]["messages_per_commit"]
+    # The group-commit variant must surface its force batching in the
+    # snapshot columns; plain systems run with the window disabled.
+    assert all(r["forces_saved"] == 0 and r["group_forces"] == 0
+               for r in csa + esm)
+    assert all(r["forces_saved"] > 0 and r["group_forces"] > 0
+               for r in grouped)
+    assert all(r["log_forces"] < c["log_forces"]
+               for r, c in zip(grouped, csa))

@@ -112,6 +112,37 @@ def test_analysis_pass_throughput(benchmark):
     benchmark(analysis_pass, log, 0)
 
 
+def test_tracer_disabled_fix_unfix(benchmark):
+    """The hot-path hook with no tracer attached: one pointer comparison
+    on top of fix/unfix (the 3% CI gate lives in
+    ``bench_tracing_overhead.py``; this pins the raw micro cost)."""
+    from repro.storage.buffer_pool import BufferPool
+    from repro.storage.page import Page, PageKind
+
+    pool = BufferPool(capacity=4, name="bench")
+    page = Page(1, PageKind.DATA)
+    page.format(PageKind.DATA)
+    pool.admit(page)
+
+    def fix_unfix():
+        pool.fix(1)
+        pool.unfix(1)
+
+    benchmark(fix_unfix)
+
+
+def test_tracer_enabled_instant(benchmark):
+    """Cost of one recorded point event when tracing IS on."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+
+    def emit():
+        tracer.instant("buf", "fix", "bench", page_id=1)
+
+    benchmark(emit)
+
+
 def test_end_to_end_txn(benchmark):
     """One committed single-update transaction on a warm complex."""
     from repro.config import SystemConfig

@@ -6,6 +6,7 @@ from typing import Dict, List
 
 from repro.analysis.checkers.base import Checker, run_checkers
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.observability import ObservabilityChecker
 from repro.analysis.checkers.ordering import OrderingChecker
 from repro.analysis.checkers.pairing import PairingChecker
 from repro.analysis.checkers.rpc_hygiene import RpcHygieneChecker
@@ -14,7 +15,7 @@ from repro.analysis.checkers.wal import WalChecker
 __all__ = [
     "Checker", "run_checkers", "all_checkers", "all_rules",
     "WalChecker", "PairingChecker", "OrderingChecker",
-    "DeterminismChecker", "RpcHygieneChecker",
+    "DeterminismChecker", "RpcHygieneChecker", "ObservabilityChecker",
 ]
 
 
@@ -25,6 +26,7 @@ def all_checkers() -> List[Checker]:
         OrderingChecker(),
         DeterminismChecker(),
         RpcHygieneChecker(),
+        ObservabilityChecker(),
     ]
 
 

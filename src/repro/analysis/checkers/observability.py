@@ -1,0 +1,56 @@
+"""Observability lint: counters must go through the metrics registry.
+
+The repo's cost model is counter-based: benchmarks diff
+:class:`~repro.harness.metrics.MetricsSnapshot` around a workload, and
+the snapshot is collected from the central
+:class:`~repro.obs.registry.MetricsRegistry`.  A counter that a method
+bumps ad hoc but never registers is invisible to every benchmark and
+report — the worst kind of telemetry bug, because the code *looks*
+instrumented.
+
+OBS001 — a method increments a public ``self.<attr>`` that the registry
+manifest (``repro.obs.registry.TRACKED_COUNTER_ATTRS``) does not list.
+Either add the attribute to the manifest and register a provider for
+it, or mark it as private state with a leading underscore.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionScope, Project
+from repro.obs.registry import TRACKED_COUNTER_ATTRS
+
+
+class ObservabilityChecker(Checker):
+    RULES = {
+        "OBS001": "ad-hoc public counter increment outside the metrics "
+                  "registry manifest (invisible to snapshots/benchmarks)",
+    }
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        for node in ast.walk(scope.node):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, ast.Add):
+                continue
+            target = node.target
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            attr = target.attr
+            if attr.startswith("_") or attr in TRACKED_COUNTER_ATTRS:
+                continue
+            yield self.found(
+                scope, node, "OBS001",
+                f"self.{attr} += ... is not in the metrics registry "
+                f"manifest",
+                "add the attribute to TRACKED_COUNTER_ATTRS and register "
+                "a provider in repro.obs.registry, or rename it with a "
+                "leading underscore if it is private state",
+            )

@@ -207,6 +207,11 @@ class SystemConfig:
     #: (rendered by ``tools.logdump.message_trace``; 0 disables).
     message_trace_depth: int = 0
 
+    #: Build and attach a :class:`repro.obs.Tracer` to every instrumented
+    #: subsystem of the complex.  Off by default: an unattached hook
+    #: costs one pointer comparison (the CI bench gate holds it ≤ 3%).
+    trace_enabled: bool = False
+
     #: Deterministic seed for any randomized tie-breaking inside the
     #: complex (victim selection etc.).
     seed: int = 0

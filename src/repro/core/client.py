@@ -26,7 +26,7 @@ force-to-disk commit.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import (
     CommitCachePolicy,
@@ -70,6 +70,9 @@ from repro.net.rpc import RpcDispatcher
 from repro.records.heap import RecordId, decode_value, encode_value
 from repro.storage.buffer_pool import BufferControlBlock, BufferPool
 from repro.storage.page import Page, PageKind
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 #: Hook for logical undo of index operations: (record, page_supplier) ->
 #: UndoEffect on the page where the key currently lives.
@@ -133,6 +136,12 @@ class Client:
         self.rollback_records_fetched_remotely = 0
         #: CLRs this client wrote during normal (client-side) rollbacks.
         self.clrs_written_locally = 0
+        #: Space-map page updates applied by this client (allocate /
+        #: deallocate), surfaced through the metrics registry.
+        self.smp_updates = 0
+
+        #: Attached by the owning complex; ``None`` disables the hooks.
+        self.tracer: Optional["Tracer"] = None
 
         server.connect_client(self)
 
@@ -333,6 +342,12 @@ class Client:
                     )
             if page.page_lsn < threshold:
                 self.locks_avoided_by_commit_lsn += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "lock", "commit_lsn_avoided", self.client_id,
+                        page_id=rid.page_id, page_lsn=int(page.page_lsn),
+                        threshold=int(threshold),
+                    )
                 return
         self._acquire_logical(txn, rid, LockMode.S)
 
@@ -533,6 +548,7 @@ class Client:
                     txn, smp, UpdateOp.SMP_ALLOCATE, slot=bit,
                     before=bytes([sm.FREE]), after=bytes([sm.ALLOCATED]),
                 )
+                self.smp_updates += 1
                 page = self._ensure_update_privilege(page_id)
                 meta_image = None
                 if initial_meta:
@@ -568,6 +584,7 @@ class Client:
                 before=bytes([sm.ALLOCATED]), after=bytes([sm.FREE]),
                 lsn_floor=page.page_lsn,
             )
+            self.smp_updates += 1
 
     # ------------------------------------------------------------------
     # Commit / prepare

@@ -104,6 +104,8 @@ class AnalysisResult:
     redo_addr: LogAddr = NULL_ADDR
     records_scanned: int = 0
     end_addr: LogAddr = 0
+    #: Scanned records attributed to the client that wrote them.
+    records_by_client: Dict[str, int] = field(default_factory=dict)
 
     def losers(self) -> Dict[str, RestartTxn]:
         """In-flight transactions the undo pass must roll back.
@@ -136,6 +138,9 @@ def analysis_pass(
     result = AnalysisResult(end_addr=log.end_of_log_addr)
     for addr, header in log.scan_headers(start_addr):
         result.records_scanned += 1
+        result.records_by_client[header.client_id] = (
+            result.records_by_client.get(header.client_id, 0) + 1
+        )
         if rebuild_log_bookkeeping:
             log.observe_during_restart(header.client_id, header.lsn, addr)
         if observer is not None:
@@ -229,6 +234,8 @@ class RedoStats:
     records_scanned: int = 0
     records_considered: int = 0
     redos_applied: int = 0
+    #: Applied redos attributed to the client that wrote the record.
+    applied_by_client: Dict[str, int] = field(default_factory=dict)
 
 
 def redo_pass(
@@ -268,6 +275,9 @@ def redo_pass(
             apply_clr_redo(page, record)
         pages.mark_dirty(page_id, rec_addr)
         stats.redos_applied += 1
+        stats.applied_by_client[header.client_id] = (
+            stats.applied_by_client.get(header.client_id, 0) + 1
+        )
     return stats
 
 
@@ -280,6 +290,8 @@ class UndoStats:
     records_scanned: int = 0
     clrs_written: int = 0
     txns_rolled_back: int = 0
+    #: CLRs attributed to the client whose transaction was undone.
+    clrs_by_client: Dict[str, int] = field(default_factory=dict)
 
 
 def undo_pass(
@@ -334,6 +346,9 @@ def undo_pass(
                 last_lsn[txn_id] = clr_lsn
                 expected[txn_id] = record.prev_lsn
                 stats.clrs_written += 1
+                stats.clrs_by_client[txn.client_id] = (
+                    stats.clrs_by_client.get(txn.client_id, 0) + 1
+                )
         else:
             raise RecoveryInvariantError(
                 f"undo chain of {txn_id} points at non-undoable "

@@ -21,7 +21,7 @@ The server provides every service the paper assigns to it:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.config import ClientRecoveryInfo, SystemConfig
 from repro.core.commit_lsn import GlobalTransactionTracker
@@ -64,6 +64,9 @@ from repro.storage.buffer_pool import BufferControlBlock, BufferPool
 from repro.storage.disk import Disk
 from repro.storage.page import Page, PageKind
 from repro.storage.space_map import SpaceMapLayout
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -190,6 +193,9 @@ class Server:
         self.serverside_undo_records = 0
         self.last_recovery: Optional[RecoveryReport] = None
         self.recovery_reports: List[RecoveryReport] = []
+
+        #: Attached by the owning complex; ``None`` disables the hooks.
+        self.tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # RPC dispatch table (what clients may invoke on the server)
@@ -785,6 +791,10 @@ class Server:
 
     def _flush_bcb(self, bcb: BufferControlBlock) -> None:
         if bcb.force_addr != NULL_ADDR and not self.log.stable.is_stable(bcb.force_addr):
+            if self.tracer is not None:
+                self.tracer.instant("log", "wal_force_on_evict", "server",
+                                    page_id=bcb.page_id,
+                                    force_addr=bcb.force_addr)
             self.log.force(bcb.force_addr)
             self.wal_forces += 1
         if bcb.force_addr != NULL_ADDR and not self.log.stable.is_stable(bcb.force_addr):
@@ -967,6 +977,13 @@ class Server:
                 client_id for client_id in self._clients
                 if not self.network.is_up(client_id)
             }
+        tracer = self.tracer
+        root_span = 0
+        if tracer is not None:
+            root_span = tracer.begin(
+                "recovery", "server-restart", "server",
+                failed_clients=sorted(failed_clients),
+            )
 
         # Restart orchestration deliberately bypasses the RPC layer:
         # these are out-of-band recovery interactions (the paper never
@@ -1017,11 +1034,24 @@ class Server:
         # with its checkpoints instead of rescanning.)
         for addr, header in self.log.scan_headers(0, start_addr):
             self.log.observe_during_restart(header.client_id, header.lsn, addr)
+        analysis_span = 0
+        if tracer is not None:
+            analysis_span = tracer.begin("recovery", "analysis", "server",
+                                         start_addr=start_addr)
         analysis = analysis_pass(
             self.log, start_addr,
             rebuild_log_bookkeeping=True,
             observer=self.tracker.observe,
         )
+        if tracer is not None:
+            tracer.end(
+                analysis_span,
+                records_scanned=analysis.records_scanned,
+                by_client=dict(sorted(analysis.records_by_client.items())),
+                dpl_size=len(analysis.dpl),
+                redo_addr=analysis.redo_addr,
+                end_addr=analysis.end_addr,
+            )
         # Re-seed the tracker with in-progress transactions whose records
         # all precede the checkpoint (known only via the checkpoint's
         # transaction table) — Commit_LSN safety for surviving clients.
@@ -1036,13 +1066,37 @@ class Server:
                 self._rec_addr_floor.get(page_id, rec_addr), rec_addr
             )
         pages = _ServerPageAccess(self)
+        redo_span = 0
+        if tracer is not None:
+            redo_span = tracer.begin("recovery", "redo", "server",
+                                     redo_addr=analysis.redo_addr)
         redo = redo_pass(self.log, analysis, pages)
+        if tracer is not None:
+            tracer.end(
+                redo_span,
+                records_scanned=redo.records_scanned,
+                records_considered=redo.records_considered,
+                pages_redone=redo.redos_applied,
+                by_client=dict(sorted(redo.applied_by_client.items())),
+            )
         losers = {
             txn_id: txn for txn_id, txn in analysis.losers().items()
             if txn.client_id == SERVER_ID or txn.client_id in failed_clients
         }
+        undo_span = 0
+        if tracer is not None:
+            undo_span = tracer.begin("recovery", "undo", "server",
+                                     losers=len(losers))
         undo = undo_pass(self.log, losers, pages, _ServerClrWriter(self),
                          self.logical_undo_handler)
+        if tracer is not None:
+            tracer.end(
+                undo_span,
+                records_scanned=undo.records_scanned,
+                clrs_written=undo.clrs_written,
+                txns_rolled_back=undo.txns_rolled_back,
+                by_client=dict(sorted(undo.clrs_by_client.items())),
+            )
         self.log.force()
 
         # Rebuild the volatile lock table and coherency map from the
@@ -1079,6 +1133,9 @@ class Server:
         )
         self.last_recovery = report
         self.recovery_reports.append(report)
+        if tracer is not None:
+            tracer.end(root_span,
+                       total_records=report.total_log_records_processed)
         return report
 
     def _stash_indoubt(self, client_id: str, analysis: AnalysisResult) -> None:
@@ -1113,10 +1170,27 @@ class Server:
         reconnect beyond in-doubt lock reacquisition.
         """
         self._require_up()
+        tracer = self.tracer
+        root_span = 0
+        analysis_span = 0
+        if tracer is not None:
+            root_span = tracer.begin("recovery", "client-recovery", "server",
+                                     client=client_id)
+            analysis_span = tracer.begin("recovery", "analysis", "server",
+                                         client=client_id)
         if self.config.client_recovery_info is ClientRecoveryInfo.CLIENT_CHECKPOINTS:
             analysis = self._client_analysis_from_checkpoint(client_id)
         else:
             analysis = self._client_analysis_from_lock_table(client_id)
+        if tracer is not None:
+            tracer.end(
+                analysis_span,
+                records_scanned=analysis.records_scanned,
+                by_client=dict(sorted(analysis.records_by_client.items())),
+                dpl_size=len(analysis.dpl),
+                redo_addr=analysis.redo_addr,
+                end_addr=analysis.end_addr,
+            )
 
         pages = _ServerPageAccess(self)
         # Pages whose forwarded dirty versions died with this client must
@@ -1134,11 +1208,37 @@ class Server:
             forwarded_redos += self._roll_page_forward(page, rec_addr)
             self._mark_recovered_dirty(page_id, rec_addr)
             del self._forwarded_dirty[page_id]
+        redo_span = 0
+        if tracer is not None:
+            redo_span = tracer.begin("recovery", "redo", "server",
+                                     client=client_id,
+                                     redo_addr=analysis.redo_addr)
         redo = redo_pass(self.log, analysis, pages, client_filter={client_id})
         redo.redos_applied += forwarded_redos
+        if tracer is not None:
+            tracer.end(
+                redo_span,
+                records_scanned=redo.records_scanned,
+                records_considered=redo.records_considered,
+                pages_redone=redo.redos_applied,
+                forwarded_redos=forwarded_redos,
+                by_client=dict(sorted(redo.applied_by_client.items())),
+            )
         losers = analysis.losers()
+        undo_span = 0
+        if tracer is not None:
+            undo_span = tracer.begin("recovery", "undo", "server",
+                                     client=client_id, losers=len(losers))
         undo = undo_pass(self.log, losers, pages, _ServerClrWriter(self),
                          self.logical_undo_handler)
+        if tracer is not None:
+            tracer.end(
+                undo_span,
+                records_scanned=undo.records_scanned,
+                clrs_written=undo.clrs_written,
+                txns_rolled_back=undo.txns_rolled_back,
+                by_client=dict(sorted(undo.clrs_by_client.items())),
+            )
         self.log.force()
 
         # In-doubt info kept for the reconnecting client (section 2.6.1):
@@ -1186,6 +1286,9 @@ class Server:
         )
         self.last_recovery = report
         self.recovery_reports.append(report)
+        if tracer is not None:
+            tracer.end(root_span,
+                       total_records=report.total_log_records_processed)
         return report
 
     def _client_analysis_from_checkpoint(self, client_id: str) -> AnalysisResult:
@@ -1328,6 +1431,9 @@ class Server:
         """
         self._require_up()
         page, redo_start = self.archive.restore_page(page_id)
+        if self.tracer is not None:
+            self.tracer.instant("recovery", "media_recover", "server",
+                                page_id=page_id, redo_start=redo_start)
         applied = self._roll_page_forward(page, redo_start)
         # WAL: the roll-forward replays records from the volatile log
         # tail, so the rebuilt image may carry a page_LSN past the

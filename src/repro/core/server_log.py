@@ -21,11 +21,14 @@ to conservative bounds supplied by the caller.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.log_records import FrameHeader, LogRecord
 from repro.core.lsn import LSN, LogAddr, LsnClock, NULL_ADDR
 from repro.storage.stable_log import StableLog
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 
 class GroupForceScheduler:
@@ -55,6 +58,8 @@ class GroupForceScheduler:
     def __init__(self, stable: StableLog, window: int = 0) -> None:
         self.stable = stable
         self.window = window
+        #: Attached by the owning complex; ``None`` disables the hooks.
+        self.tracer: Optional["Tracer"] = None
         self.commit_requests = 0
         self.sync_requests = 0
         #: Device forces that covered more than one deferred commit.
@@ -90,6 +95,9 @@ class GroupForceScheduler:
         self._pending += 1
         if target > self._pending_target:
             self._pending_target = target
+        if self.tracer is not None:
+            self.tracer.instant("log", "commit_force_deferred", "server",
+                                pending=self._pending, target=target)
         if self._pending >= self.window:
             self.flush_pending()
         return self.stable.flushed_addr
@@ -107,6 +115,9 @@ class GroupForceScheduler:
         if self.stable.forces > before:
             self.group_forces += 1
             self.forces_saved += riders - 1
+            if self.tracer is not None:
+                self.tracer.instant("log", "group_force", "server",
+                                    riders=riders, target=target)
         else:
             # An interleaved synchronous force already covered the group.
             self.forces_saved += riders
@@ -129,6 +140,9 @@ class GroupForceScheduler:
         if riders:
             if self.stable.forces > before:
                 self.group_forces += 1
+                if self.tracer is not None:
+                    self.tracer.instant("log", "group_force", "server",
+                                        riders=riders, sync=True)
             self.forces_saved += riders
 
     def note_crash(self) -> None:
@@ -151,6 +165,11 @@ class ServerLogManager:
         self._pair_addrs: Dict[str, List[LogAddr]] = {}
         self._last_addr_from: Dict[str, LogAddr] = {}
         self.client_records_received = 0
+
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Enable tracing on the stable log and the group scheduler."""
+        self.stable.tracer = tracer
+        self.group.tracer = tracer
 
     # -- appending ----------------------------------------------------------
 

@@ -20,6 +20,7 @@ from repro.core.server import RecoveryReport, Server
 from repro.errors import ReproError
 from repro.net.network import Network
 from repro.net.rpc import retry_policy_from_config, transport_from_config
+from repro.obs.tracer import Tracer
 from repro.records.heap import RecordId, decode_value
 from repro.storage.page import Page
 
@@ -37,6 +38,11 @@ class ClientServerSystem:
         )
         self.server = Server(self.config, self.network)
         self.clients: Dict[str, Client] = {}
+        #: Present only when tracing is on; attachment IS the enable
+        #: switch — unattached hooks cost one pointer comparison.
+        self.tracer: Optional[Tracer] = None
+        if self.config.trace_enabled:
+            self.attach_tracer(Tracer())
         self._tables: Dict[str, List[int]] = {}
         self._page_table: Dict[int, str] = {}
         self._free_pool: List[int] = []
@@ -46,6 +52,28 @@ class ClientServerSystem:
         for client_id in client_ids:
             self.add_client(client_id)
 
+    # -- observability -----------------------------------------------------
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Attach ``tracer`` to every instrumented object of the complex.
+
+        Idempotent per object: attaching replaces any previous tracer.
+        Clients added later are attached by :meth:`add_client`.
+        """
+        self.tracer = tracer
+        self.network.tracer = tracer
+        self.server.tracer = tracer
+        self.server.pool.tracer = tracer
+        self.server.log.attach_tracer(tracer)
+        for client in self.clients.values():
+            self._attach_client_tracer(client)
+
+    def _attach_client_tracer(self, client: Client) -> None:
+        assert self.tracer is not None
+        client.tracer = self.tracer
+        client.pool.tracer = self.tracer
+        client.llm.tracer = self.tracer
+
     # -- topology ----------------------------------------------------------
 
     def add_client(self, client_id: str) -> Client:
@@ -54,6 +82,8 @@ class ClientServerSystem:
         client = Client(client_id, self.config, self.network, self.server)
         client.table_of = self._page_table.get
         self.clients[client_id] = client
+        if self.tracer is not None:
+            self._attach_client_tracer(client)
         return client
 
     def client(self, client_id: str) -> Client:

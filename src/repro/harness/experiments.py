@@ -60,9 +60,15 @@ def run_e1_commit_traffic(write_set_sizes: Sequence[int] = (1, 4, 16),
                           num_txns: int = 10,
                           table_pages: int = 24) -> List[Row]:
     """ARIES/CSA ships only log records at commit; ESM-CS ships every
-    modified page; ObjectStore also writes them to disk."""
+    modified page; ObjectStore also writes them to disk.  A group-commit
+    variant (PR 3) additionally batches commit forces, which the
+    ``forces_saved``/``group_forces`` columns surface."""
     rows: List[Row] = []
-    for config in _named_configs():
+    configs = _named_configs() + [
+        SystemConfig.aries_csa(group_commit_window=4,
+                               label="ARIES/CSA (group commit)"),
+    ]
+    for config in configs:
         for write_set in write_set_sizes:
             system, rids = _fresh(config, ["C1"], table_pages, 2)
             programs = debit_credit_programs(num_txns, rids, write_set)
@@ -79,6 +85,9 @@ def run_e1_commit_traffic(write_set_sizes: Sequence[int] = (1, 4, 16),
                 "pages_shipped_at_commit": delta.pages_shipped_at_commit,
                 "disk_writes": delta.disk_writes,
                 "bytes_per_commit": delta.message_bytes // num_txns,
+                "log_forces": delta.log_forces,
+                "forces_saved": delta.forces_saved,
+                "group_forces": delta.group_forces,
             })
     return rows
 

@@ -4,15 +4,26 @@ Benchmarks run a workload between two snapshots and report the delta —
 messages, bytes, page I/O, log volume, forces, lock calls, cache hit
 rates — the counter-based cost model DESIGN.md's substitution table
 explains.
+
+:func:`snapshot` is a pure collection over the central
+:class:`~repro.obs.registry.MetricsRegistry`: each subsystem registers
+its counters once (``repro.obs.registry``), and the snapshot dataclass
+is simply the registry's field set frozen at one instant.  A unit test
+asserts the registry's names and :class:`MetricsSnapshot`'s fields stay
+identical, so a counter cannot be registered without surfacing here or
+vice versa.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.core.system import ClientServerSystem
-from repro.net.messages import MsgType
+from repro.obs.registry import MetricsRegistry, build_default_registry
+
+#: The registry behind every snapshot (module-level: built once).
+DEFAULT_REGISTRY: MetricsRegistry = build_default_registry()
 
 
 @dataclass(frozen=True)
@@ -34,8 +45,19 @@ class MetricsSnapshot:
     log_appends: int = 0
     log_forces: int = 0
     log_bytes: int = 0
+    #: Group commit (PR 3): commit forces that rode another device force.
+    forces_saved: int = 0
+    #: Device forces that covered a whole deferred-commit group.
+    group_forces: int = 0
     wal_forces: int = 0
     commit_forces: int = 0
+
+    #: Media-recovery I/O: backup copies read back from the archive.
+    archive_reads: int = 0
+    #: Page copies written into the archive by backups.
+    archive_writes: int = 0
+    #: Space-map page updates (allocate/deallocate) across all clients.
+    smp_updates: int = 0
 
     client_lock_calls: int = 0
     locks_avoided: int = 0
@@ -71,43 +93,12 @@ class MetricsSnapshot:
 
 
 def snapshot(system: ClientServerSystem) -> MetricsSnapshot:
-    """Capture the complex's cumulative counters."""
-    net = system.network.stats
-    server = system.server
-    clients = list(system.clients.values())
-    return MetricsSnapshot(
-        messages=net.messages,
-        message_bytes=net.bytes,
-        page_ships=net.count(MsgType.PAGE_SHIP),
-        page_requests=net.count(MsgType.PAGE_REQUEST),
-        log_ships=net.count(MsgType.LOG_SHIP),
-        lock_requests=net.count(MsgType.LOCK_REQUEST),
-        p_lock_requests=net.count(MsgType.P_LOCK_REQUEST),
-        callbacks=net.count(MsgType.CALLBACK),
-        lsn_requests=net.count(MsgType.LSN_REQUEST),
-        disk_reads=server.disk.reads,
-        disk_writes=server.disk.writes,
-        log_appends=server.log.stable.appends,
-        log_forces=server.log.stable.forces,
-        log_bytes=server.log.stable.bytes_appended,
-        wal_forces=server.wal_forces,
-        commit_forces=server.commit_forces,
-        client_lock_calls=sum(c.lock_calls for c in clients),
-        locks_avoided=sum(c.locks_avoided_by_commit_lsn for c in clients),
-        llm_local_grants=sum(c.llm.local_only_grants for c in clients),
-        glm_requests=server.glm.logical_requests,
-        client_cache_hits=sum(c.pool.hits for c in clients),
-        client_cache_misses=sum(c.pool.misses for c in clients),
-        commits=sum(c.commits for c in clients),
-        aborts=sum(c.aborts for c in clients),
-        pages_shipped_at_commit=sum(c.pages_shipped_at_commit for c in clients),
-        message_drops=net.drops,
-        message_retries=net.retries,
-        rpc_timeouts=net.timeouts,
-    )
+    """Capture the complex's cumulative counters via the registry."""
+    return MetricsSnapshot(**DEFAULT_REGISTRY.collect(system))
 
 
-def measure(system: ClientServerSystem, action) -> MetricsSnapshot:
+def measure(system: ClientServerSystem,
+            action: Callable[[], object]) -> MetricsSnapshot:
     """Run ``action()`` and return the counter delta it caused."""
     before = snapshot(system)
     action()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, Optional, Set, Tuple
 
 from repro.errors import NodeUnavailableError
 from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
@@ -37,6 +37,9 @@ from repro.net.rpc import (
     RpcStub,
     Transport,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -169,6 +172,8 @@ class Network:
         self._stubs: Dict[Tuple[str, str], RpcStub] = {}
         self._request_counter = 0
         self.stats = TrafficStats()
+        #: Attached by the owning complex; ``None`` disables rpc spans.
+        self.tracer: Optional["Tracer"] = None
         self._init_trace()
 
     def _init_trace(self) -> None:
@@ -237,6 +242,35 @@ class Network:
             raise NodeUnavailableError(envelope.src)
         if not self.is_up(envelope.dst):
             raise NodeUnavailableError(envelope.dst)
+        if self.tracer is None:
+            return self._deliver(envelope, attempt)
+        span_id = self.tracer.begin(
+            "rpc", envelope.method, envelope.src, dst=envelope.dst,
+            msg_type=envelope.msg_type.value,
+            request_id=envelope.request_id, attempt=attempt,
+        )
+        try:
+            response = self._deliver(envelope, attempt)
+        except MessageDroppedError as exc:
+            self._end_rpc_span(span_id, f"drop-{exc.leg}")
+            raise
+        except Exception:
+            self._end_rpc_span(span_id, "error")
+            raise
+        self._end_rpc_span(span_id, "ok")
+        return response
+
+    def _end_rpc_span(self, span_id: int, outcome: str) -> None:
+        """Close an rpc span, linking it to the ring-buffer trace entry
+        of the same delivery attempt when message tracing is active."""
+        assert self.tracer is not None
+        if self.stats.trace is not None:
+            self.tracer.end(span_id, outcome=outcome,
+                            trace_seq=self.stats._trace_seq)
+        else:
+            self.tracer.end(span_id, outcome=outcome)
+
+    def _deliver(self, envelope: Envelope, attempt: int) -> Response:
         outcome, delay = self.transport.plan(envelope, attempt)
         size = MESSAGE_OVERHEAD + payload_size(envelope.payload)
         if self.stats.trace is not None:

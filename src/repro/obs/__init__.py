@@ -1,0 +1,31 @@
+"""Observability: structured tracing, the metrics registry, exporters.
+
+The package has three legs, mirroring the split the recovery papers'
+evaluations rely on (per-pass, per-client breakdowns rather than
+end-minus-start counter deltas):
+
+* :mod:`repro.obs.tracer` — nested spans and typed instant events on a
+  monotonic *logical* clock (no wall time: traces are a pure function of
+  the deterministic execution, hence seed-reproducible byte for byte);
+* :mod:`repro.obs.registry` — the central metrics registry every
+  subsystem registers its counters with exactly once;
+  ``harness.metrics.snapshot`` is a thin collection over it;
+* :mod:`repro.obs.export` — JSONL event streams and Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``about:tracing``),
+  rendered in text by ``python -m repro.tools.tracedump``.
+"""
+
+from repro.obs.registry import (
+    TRACKED_COUNTER_ATTRS,
+    MetricsRegistry,
+    build_default_registry,
+)
+from repro.obs.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "build_default_registry",
+    "TRACKED_COUNTER_ATTRS",
+]

@@ -1,0 +1,162 @@
+"""Trace exporters: JSONL event streams and Chrome ``trace_event`` JSON.
+
+Two formats, two audiences:
+
+* **JSONL** — one canonically serialized JSON object per event, in
+  recording order.  This is the machine format: ``tracedump`` renders
+  it, tests diff it, and because serialization is canonical (sorted
+  keys, fixed separators, no floats in the event model) two same-seed
+  runs produce byte-identical files.
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` JSON the
+  Chrome tracing UI and Perfetto load.  Logical ticks map directly to
+  microsecond timestamps; each simulated node becomes a "thread" of a
+  single process, named via ``thread_name`` metadata events.
+
+The Chrome validator is hand-rolled (the container has no JSON-schema
+package) and checks the subset of the trace_event contract we emit:
+required keys per phase, known phase letters, integer ids, and
+balanced B/E nesting per thread.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, TextIO
+
+from repro.obs.tracer import TraceEvent
+
+#: Phases the exporter emits; "M" is metadata (thread names).
+_CHROME_PHASES = frozenset({"B", "E", "i", "M"})
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """The JSONL row for one event (plain dict, canonical field set)."""
+    return {
+        "tick": event.tick,
+        "ph": event.phase,
+        "cat": event.cat,
+        "name": event.name,
+        "node": event.node,
+        "span": event.span_id,
+        "parent": event.parent_id,
+        "args": event.args_dict(),
+    }
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events as canonical JSONL (byte-stable per seed)."""
+    lines = [
+        json.dumps(event_to_dict(e), sort_keys=True, separators=(",", ":"))
+        for e in events
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+def write_jsonl(events: Iterable[TraceEvent], fp: TextIO) -> None:
+    fp.write(to_jsonl(events))
+
+
+def read_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into event dicts."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document.
+
+    Nodes are assigned thread ids deterministically in order of first
+    appearance; logical ticks become the microsecond timestamps, so the
+    rendered timeline preserves exact event ordering.
+    """
+    tids: Dict[str, int] = {}
+    rows: List[Dict[str, Any]] = []
+    for event in events:
+        if event.node not in tids:
+            tid = len(tids) + 1
+            tids[event.node] = tid
+            rows.append({
+                "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                "args": {"name": event.node},
+            })
+        row: Dict[str, Any] = {
+            "ph": "i" if event.phase == "I" else event.phase,
+            "cat": event.cat,
+            "name": event.name,
+            "pid": 1,
+            "tid": tids[event.node],
+            "ts": event.tick,
+            "args": event.args_dict(),
+        }
+        if event.phase == "I":
+            row["s"] = "t"  # thread-scoped instant
+        rows.append(row)
+    return {"traceEvents": rows, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Check ``doc`` against the trace_event contract we rely on.
+
+    Returns a list of problems (empty means valid) rather than raising,
+    so CI can print every violation at once.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+
+    open_per_tid: Dict[Any, List[str]] = {}
+    last_ts: Dict[Any, int] = {}
+    for i, row in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = row.get("ph")
+        if ph not in _CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in row:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(row.get("pid"), int) or not isinstance(
+                row.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+            continue
+        if ph == "M":
+            continue
+        ts = row.get("ts")
+        if not isinstance(ts, int):
+            problems.append(f"{where}: missing integer ts")
+            continue
+        tid = row["tid"]
+        if ts < last_ts.get(tid, 0):
+            problems.append(f"{where}: ts goes backwards on tid {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            open_per_tid.setdefault(tid, []).append(str(row.get("name")))
+        elif ph == "E":
+            stack = open_per_tid.get(tid, [])
+            if not stack:
+                problems.append(f"{where}: E with no open B on tid {tid}")
+            else:
+                stack.pop()
+        elif ph == "i" and row.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant missing scope 's'")
+    for tid, stack in open_per_tid.items():
+        if stack:
+            problems.append(
+                f"tid {tid}: {len(stack)} unclosed span(s): {stack}"
+            )
+    return problems
+
+
+def chrome_trace_json(events: Iterable[TraceEvent]) -> str:
+    """Canonically serialized Chrome trace (byte-stable per seed)."""
+    return json.dumps(to_chrome_trace(events), sort_keys=True,
+                      separators=(",", ":"))

@@ -1,0 +1,193 @@
+"""The central metrics registry.
+
+Before this module existed, ``harness.metrics.snapshot`` hand-wired
+every counter in the complex into :class:`MetricsSnapshot` — and
+demonstrably drifted (the group-commit counters of the log fast path
+never made it in; archive and space-map I/O were never counted at all).
+The registry inverts the dependency: each subsystem registers its
+counters once, ``snapshot`` is a pure collection over the registry, and
+a static lint rule (OBS001) closes the loop by flagging any counter
+attribute incremented in the codebase that the registry manifest does
+not know about.
+
+Two artifacts live here:
+
+* :data:`TRACKED_COUNTER_ATTRS` — the **manifest**: a literal frozenset
+  naming every sanctioned public counter attribute in the repo.  It is
+  deliberately a pure literal so the AST-based linter
+  (``repro.analysis`` rule OBS001) and humans can read it without
+  importing anything.
+* :class:`MetricsRegistry` plus the per-subsystem registration
+  functions — the providers behind every ``MetricsSnapshot`` field.
+
+Providers take the whole :class:`~repro.core.system.ClientServerSystem`
+(duck-typed to avoid an import cycle) and return a number; they must be
+pure reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.net.messages import MsgType
+
+#: Every public ``self.<attr> += ...`` counter the codebase is allowed
+#: to maintain.  Rule OBS001 flags increments of public attributes
+#: missing from this set: a new counter must either be registered here
+#: (and usually surfaced through a registry provider) or renamed with a
+#: leading underscore if it is internal bookkeeping rather than a
+#: metric.  Keep the set a pure literal — the linter reads it from the
+#: AST, not from an import.
+TRACKED_COUNTER_ATTRS = frozenset({
+    # net.network.TrafficStats
+    "messages", "bytes", "drops", "retries", "timeouts",
+    "retries_exhausted", "delay_total",
+    # net.rpc.RpcDispatcher
+    "duplicates_suppressed",
+    # storage.buffer_pool.BufferPool
+    "hits", "misses", "evictions", "dirty_evictions",
+    # storage.disk.Disk
+    "reads", "writes", "bytes_read", "bytes_written",
+    # storage.stable_log.StableLog
+    "appends", "forces", "bytes_appended", "records_lost_last_crash",
+    "full_decodes", "header_peeks", "decode_cache_hits",
+    # storage.archive.Archive
+    "backups_taken", "archive_reads", "archive_writes",
+    # core.server_log.GroupForceScheduler / ServerLogManager
+    "commit_requests", "sync_requests", "group_forces", "forces_saved",
+    "client_records_received",
+    # core.server.Server
+    "wal_forces", "pages_served", "callbacks_sent", "invalidations_sent",
+    "piggybacks_sent", "commit_forces", "forwards", "transfer_forces",
+    "materializations", "records_replayed_for_materialize",
+    "serverside_undo_records",
+    # core.client.Client
+    "lock_calls", "locks_avoided_by_commit_lsn", "commits", "aborts",
+    "pages_shipped_at_commit", "rollback_records_fetched_remotely",
+    "clrs_written_locally", "smp_updates",
+    # core.client_log.ClientLogManager
+    "records_written", "batches_shipped", "records_pruned",
+    # core.transaction.Transaction
+    "updates_logged",
+    # core.lsn.LsnClock
+    "advances_from_peer",
+    # locking.llm.LocalLockManager
+    "local_only_grants", "global_requests", "callbacks_honored",
+    # locking.lock_table.LockTable
+    "requests", "conflicts", "grants", "releases",
+    # index.btree.BTree
+    "splits", "page_deallocations",
+})
+
+#: A provider reads one cumulative counter off a complex.
+Provider = Callable[[Any], float]
+
+
+class MetricsRegistry:
+    """Named counter providers, collected in registration order."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, Provider] = {}
+
+    def register(self, name: str, provider: Provider) -> None:
+        if name in self._providers:
+            raise ValueError(f"metric {name!r} registered twice")
+        self._providers[name] = provider
+
+    def names(self) -> List[str]:
+        return list(self._providers)
+
+    def collect(self, system: Any) -> Dict[str, float]:
+        """Read every registered counter off ``system``."""
+        return {
+            name: provider(system)
+            for name, provider in self._providers.items()
+        }
+
+
+# ---------------------------------------------------------------------------
+# Per-subsystem registrations (each called once by build_default_registry)
+# ---------------------------------------------------------------------------
+
+def register_network_counters(registry: MetricsRegistry) -> None:
+    """Traffic counters: the paper's message/byte cost model."""
+    registry.register("messages", lambda s: s.network.stats.messages)
+    registry.register("message_bytes", lambda s: s.network.stats.bytes)
+    for name, msg_type in (
+        ("page_ships", MsgType.PAGE_SHIP),
+        ("page_requests", MsgType.PAGE_REQUEST),
+        ("log_ships", MsgType.LOG_SHIP),
+        ("lock_requests", MsgType.LOCK_REQUEST),
+        ("p_lock_requests", MsgType.P_LOCK_REQUEST),
+        ("callbacks", MsgType.CALLBACK),
+        ("lsn_requests", MsgType.LSN_REQUEST),
+    ):
+        registry.register(
+            name,
+            lambda s, _t=msg_type: s.network.stats.count(_t),
+        )
+    registry.register("message_drops", lambda s: s.network.stats.drops)
+    registry.register("message_retries", lambda s: s.network.stats.retries)
+    registry.register("rpc_timeouts", lambda s: s.network.stats.timeouts)
+
+
+def register_storage_counters(registry: MetricsRegistry) -> None:
+    """Disk, stable log (incl. group commit), archive, space maps."""
+    registry.register("disk_reads", lambda s: s.server.disk.reads)
+    registry.register("disk_writes", lambda s: s.server.disk.writes)
+    registry.register("log_appends", lambda s: s.server.log.stable.appends)
+    registry.register("log_forces", lambda s: s.server.log.stable.forces)
+    registry.register("log_bytes",
+                      lambda s: s.server.log.stable.bytes_appended)
+    registry.register("forces_saved",
+                      lambda s: s.server.log.group.forces_saved)
+    registry.register("group_forces",
+                      lambda s: s.server.log.group.group_forces)
+    registry.register("archive_reads", lambda s: s.server.archive.archive_reads)
+    registry.register("archive_writes",
+                      lambda s: s.server.archive.archive_writes)
+    registry.register(
+        "smp_updates",
+        lambda s: sum(c.smp_updates for c in s.clients.values()),
+    )
+
+
+def register_server_counters(registry: MetricsRegistry) -> None:
+    registry.register("wal_forces", lambda s: s.server.wal_forces)
+    registry.register("commit_forces", lambda s: s.server.commit_forces)
+    registry.register("glm_requests", lambda s: s.server.glm.logical_requests)
+
+
+def register_client_counters(registry: MetricsRegistry) -> None:
+    """Per-client counters, summed across the complex."""
+    def summed(attr: str) -> Provider:
+        return lambda s: sum(getattr(c, attr) for c in s.clients.values())
+
+    registry.register("client_lock_calls", summed("lock_calls"))
+    registry.register("locks_avoided", summed("locks_avoided_by_commit_lsn"))
+    registry.register(
+        "llm_local_grants",
+        lambda s: sum(c.llm.local_only_grants for c in s.clients.values()),
+    )
+    registry.register(
+        "client_cache_hits",
+        lambda s: sum(c.pool.hits for c in s.clients.values()),
+    )
+    registry.register(
+        "client_cache_misses",
+        lambda s: sum(c.pool.misses for c in s.clients.values()),
+    )
+    registry.register("commits", summed("commits"))
+    registry.register("aborts", summed("aborts"))
+    registry.register("pages_shipped_at_commit",
+                      summed("pages_shipped_at_commit"))
+
+
+def build_default_registry() -> MetricsRegistry:
+    """The registry behind ``harness.metrics.snapshot``."""
+    registry = MetricsRegistry()
+    register_network_counters(registry)
+    register_storage_counters(registry)
+    register_server_counters(registry)
+    register_client_counters(registry)
+    return registry

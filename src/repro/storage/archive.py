@@ -30,6 +30,10 @@ class Archive:
     def __init__(self) -> None:
         self._copies: Dict[int, Tuple[bytes, LogAddr]] = {}
         self.backups_taken = 0
+        #: Page copies written to the archive (media-recovery I/O cost).
+        self.archive_writes = 0
+        #: Backup copies read back during media recovery.
+        self.archive_reads = 0
 
     def backup_from_disk(self, disk: Disk, redo_start_addr: LogAddr) -> int:
         """Archive every page currently on disk; returns the page count.
@@ -43,6 +47,7 @@ class Archive:
                 continue
             page = disk.read_page(page_id)
             self._copies[page_id] = (page.to_bytes(), redo_start_addr)
+            self.archive_writes += 1
             count += 1
         self.backups_taken += 1
         return count
@@ -50,12 +55,14 @@ class Archive:
     def backup_page(self, page: Page, redo_start_addr: LogAddr) -> None:
         """Archive a single page image."""
         self._copies[page.page_id] = (page.to_bytes(), redo_start_addr)
+        self.archive_writes += 1
 
     def restore_page(self, page_id: int) -> Tuple[Page, LogAddr]:
         """Return (backup copy, redo start address) for ``page_id``."""
         entry = self._copies.get(page_id)
         if entry is None:
             raise ArchiveError(f"no backup copy for page {page_id}")
+        self.archive_reads += 1
         image, addr = entry
         return Page.from_bytes(image), addr
 

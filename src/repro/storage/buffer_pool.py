@@ -22,11 +22,14 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional
 
 from repro.core.lsn import LSN, LogAddr, NULL_ADDR, NULL_LSN
 from repro.errors import BufferPoolFullError
 from repro.storage.page import Page
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -65,6 +68,9 @@ class BufferPool:
         self.capacity = capacity
         self.name = name
         self.on_evict = on_evict
+        #: Attached by the owning complex; ``None`` means tracing is off
+        #: and every hook below costs one pointer comparison.
+        self.tracer: Optional["Tracer"] = None
         self._frames: Dict[int, BufferControlBlock] = {}
         self._tick = 0
         self.hits = 0
@@ -156,6 +162,9 @@ class BufferPool:
             raise BufferPoolFullError(
                 f"{self.name}: all {self.capacity} frames are fixed"
             )
+        if self.tracer is not None:
+            self.tracer.instant("buf", "evict", self.name,
+                                page_id=victim.page_id, dirty=victim.dirty)
         if victim.dirty:
             # Steal: a dirty (possibly uncommitted) page leaves the pool.
             # The owner's callback must make it durable first.
@@ -196,12 +205,16 @@ class BufferPool:
 
     def fix(self, page_id: int) -> None:
         self._frames[page_id].fix_count += 1
+        if self.tracer is not None:
+            self.tracer.instant("buf", "fix", self.name, page_id=page_id)
 
     def unfix(self, page_id: int) -> None:
         bcb = self._frames[page_id]
         if bcb.fix_count <= 0:
             raise ValueError(f"unfix of unfixed page {page_id}")
         bcb.fix_count -= 1
+        if self.tracer is not None:
+            self.tracer.instant("buf", "unfix", self.name, page_id=page_id)
 
     @contextmanager
     def fixed(self, page_id: int) -> Iterator[Page]:

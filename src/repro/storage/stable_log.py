@@ -36,7 +36,7 @@ from __future__ import annotations
 import bisect
 import struct
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.core.log_records import (
     FrameHeader,
@@ -47,6 +47,9 @@ from repro.core.log_records import (
 )
 from repro.core.lsn import LogAddr
 from repro.errors import LogRecordNotFoundError
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 #: Bytes of framing charged per record (the stored length prefix).
 FRAME_OVERHEAD = 8
@@ -73,6 +76,8 @@ class StableLog:
         self._flushed_addr: LogAddr = 0
         #: LRU of fully decoded records keyed by address.
         self._decoded: "OrderedDict[LogAddr, LogRecord]" = OrderedDict()
+        #: Attached by the owning complex; ``None`` disables the hooks.
+        self.tracer: Optional["Tracer"] = None
         self.appends = 0
         self.forces = 0
         self.bytes_appended = 0
@@ -92,6 +97,10 @@ class StableLog:
         self._index.append(addr)
         self.appends += 1
         self.bytes_appended += len(frame) + FRAME_OVERHEAD
+        if self.tracer is not None:
+            self.tracer.instant("log", "append", "server", addr=addr,
+                                lsn=int(record.lsn),
+                                nbytes=len(frame) + FRAME_OVERHEAD)
         return addr
 
     def force(self, up_to_addr: Optional[LogAddr] = None) -> None:
@@ -109,6 +118,9 @@ class StableLog:
             return
         self._flushed_addr = target
         self.forces += 1
+        if self.tracer is not None:
+            self.tracer.instant("log", "force", "server",
+                                flushed_addr=target)
 
     def _frame_end(self, addr: LogAddr) -> LogAddr:
         index = bisect.bisect_left(self._index, addr)

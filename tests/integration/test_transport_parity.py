@@ -29,6 +29,12 @@ E1_BASELINE = {
     ("ObjectStore-style", 1): (4.2, 4554, 10, 10),
     ("ObjectStore-style", 4): (7.2, 17361, 40, 40),
     ("ObjectStore-style", 16): (19.2, 68532, 160, 160),
+    # Group commit batches device forces only; its wire profile is
+    # identical to plain ARIES/CSA (the batching shows up in the
+    # forces_saved/group_forces columns instead).
+    ("ARIES/CSA (group commit)", 1): (2.2, 439, 0, 0),
+    ("ARIES/CSA (group commit)", 4): (2.2, 814, 0, 0),
+    ("ARIES/CSA (group commit)", 16): (2.2, 2256, 0, 0),
 }
 
 # variant -> (lsn_round_trips, messages, messages_per_update)

@@ -1,0 +1,9 @@
+"""Bad observability: ad-hoc public counters outside the registry."""
+
+
+class Mutator:
+    def serve_page(self):
+        self.pages_sent += 1  # lint:expect OBS001
+
+    def charge(self, nbytes):
+        self.bytes_out += nbytes  # lint:expect OBS001

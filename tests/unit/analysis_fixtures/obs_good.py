@@ -1,0 +1,19 @@
+"""Good observability: manifest counters, private state, other receivers."""
+
+
+class Mutator:
+    def tracked_counter(self):
+        # In repro.obs.registry.TRACKED_COUNTER_ATTRS -> registered.
+        self.evictions += 1
+
+    def private_state(self):
+        # Leading underscore marks internal state, not telemetry.
+        self._retry_budget += 1
+
+    def nested_receiver(self):
+        # Receiver is not ``self`` -- per-object bookkeeping is fine.
+        self.frames[7].fix_count += 1
+
+    def non_additive(self):
+        # Only ``+=`` looks like a counter bump.
+        self.high_water = max(self.high_water, 9)
