@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.checkers.base import Checker, run_checkers
+from repro.analysis.checkers.crash_scopes import CrashScopeChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.observability import ObservabilityChecker
 from repro.analysis.checkers.ordering import OrderingChecker
@@ -16,6 +17,7 @@ __all__ = [
     "Checker", "run_checkers", "all_checkers", "all_rules",
     "WalChecker", "PairingChecker", "OrderingChecker",
     "DeterminismChecker", "RpcHygieneChecker", "ObservabilityChecker",
+    "CrashScopeChecker",
 ]
 
 
@@ -27,6 +29,7 @@ def all_checkers() -> List[Checker]:
         DeterminismChecker(),
         RpcHygieneChecker(),
         ObservabilityChecker(),
+        CrashScopeChecker(),
     ]
 
 

@@ -1,0 +1,63 @@
+"""Crash-scope instrumentation check (fault plane, DESIGN.md section 10).
+
+REC030 — every durable-write call site (``disk.write_page(...)`` or an
+archive backup) must sit in a crashpoint-instrumented scope: a
+``faults.crashpoint(...)`` call earlier in the same function.  The
+crash-schedule explorer enumerates failure points by censusing
+crashpoint hits; a durable write with no crashpoint ahead of it is a
+state transition the explorer can never crash *before*, so torn-write
+and partial-flush coverage silently ends at that line.
+
+Funnelling through an instrumented helper satisfies the rule at the
+helper (``Server._disk_write`` carries ``disk.write.before``); the
+caller is then not flagged because it no longer names the raw write.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    FunctionScope, Project, call_name, call_receiver,
+)
+
+#: Raw page writes to the database disk.
+DISK_WRITE_METHODS = {"write_page"}
+#: Page-copy writes into the media-recovery archive.
+ARCHIVE_WRITE_METHODS = {"backup_from_disk", "backup_page"}
+
+
+class CrashScopeChecker(Checker):
+    RULES = {
+        "REC030": "durable write (disk.write_page / archive backup) in a "
+                  "scope with no preceding crashpoint instrumentation",
+    }
+
+    def check_function(self, scope: FunctionScope,
+                       project: Project) -> Iterator[Finding]:
+        crash_lines: Set[int] = set()
+        writes: List[Tuple[ast.Call, str]] = []
+        for call in scope.calls():
+            name = call_name(call)
+            receiver = call_receiver(call) or ""
+            if name == "crashpoint":
+                crash_lines.add(call.lineno)
+            elif name in DISK_WRITE_METHODS and "disk" in receiver:
+                writes.append((call, f"disk.{name}"))
+            elif name in ARCHIVE_WRITE_METHODS and "archive" in receiver:
+                writes.append((call, f"archive.{name}"))
+        for call, label in writes:
+            if not any(line < call.lineno for line in crash_lines):
+                yield self.found(
+                    scope, call, "REC030",
+                    f"{label}() in a scope with no preceding "
+                    "faults.crashpoint(...) — the crash-schedule explorer "
+                    "cannot fail this durable write",
+                    "add a named crashpoint (guarded by `if self.faults is "
+                    "not None:`) before the write, or funnel it through an "
+                    "instrumented helper like Server._disk_write",
+                )

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.faults import FaultPlan
 
 
 class LockGranularity(enum.Enum):
@@ -211,6 +214,14 @@ class SystemConfig:
     #: subsystem of the complex.  Off by default: an unattached hook
     #: costs one pointer comparison (the CI bench gate holds it ≤ 3%).
     trace_enabled: bool = False
+
+    #: The unified fault plane (``repro.faults``): one seeded plan that
+    #: drives *all* injection — transport drops/delays, torn page
+    #: writes, transient I/O errors, partial log flushes, and armed
+    #: crashpoint schedules.  ``None`` (the default) leaves every
+    #: crashpoint hook at its one-pointer-comparison disabled cost and
+    #: keeps all experiment tables byte-identical.
+    fault_plan: Optional[FaultPlan] = None
 
     #: Deterministic seed for any randomized tie-breaking inside the
     #: complex (victim selection etc.).

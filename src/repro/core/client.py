@@ -72,6 +72,7 @@ from repro.storage.buffer_pool import BufferControlBlock, BufferPool
 from repro.storage.page import Page, PageKind
 
 if TYPE_CHECKING:
+    from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
 
 #: Hook for logical undo of index operations: (record, page_supplier) ->
@@ -142,6 +143,8 @@ class Client:
 
         #: Attached by the owning complex; ``None`` disables the hooks.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables injection.
+        self.faults: Optional["FaultPlan"] = None
 
         server.connect_client(self)
 
@@ -297,6 +300,8 @@ class Client:
         self._push_dirty_state(bcb)
 
     def _push_dirty_state(self, bcb: BufferControlBlock) -> None:
+        if self.faults is not None:
+            self.faults.crashpoint("client.evict.before_push", self.tracer)
         self._ship_log_records()
         if self.config.page_transport is PageTransport.LOG_REPLAY:
             self.rpc.call("materialize_page", MsgType.MATERIALIZE,
@@ -549,6 +554,12 @@ class Client:
                     before=bytes([sm.FREE]), after=bytes([sm.ALLOCATED]),
                 )
                 self.smp_updates += 1
+                # The allocation is logged but the format record is not
+                # yet: a crash here leaves an allocated-but-unformatted
+                # page for undo to reclaim (section 2.3).
+                if self.faults is not None:
+                    self.faults.crashpoint(
+                        "client.alloc.between_smp_and_format", self.tracer)
                 page = self._ensure_update_privilege(page_id)
                 meta_image = None
                 if initial_meta:
@@ -620,6 +631,9 @@ class Client:
                     # Piggybacks on the page ship just sent (uncharged).
                     self.rpc.call("flush_page", MsgType.COMMIT_REQUEST,
                                   args=(page_id,), charge=False)
+        if self.faults is not None:
+            self.faults.crashpoint("client.commit.before_commit_record",
+                                   self.tracer)
         commit_lsn = self._assign_lsn(NULL_LSN)
         self.log.append(CommitRecord(
             lsn=commit_lsn, client_id=self.client_id, txn_id=txn.txn_id,
@@ -627,9 +641,13 @@ class Client:
         ))
         txn.last_lsn = commit_lsn
         self._ship_log_records()
+        if self.faults is not None:
+            self.faults.crashpoint("client.commit.before_force", self.tracer)
         flushed = self.rpc.call("force_log_for_commit", MsgType.COMMIT_REQUEST,
                                 payload=txn.txn_id, args=(txn.txn_id,))
         self.log.prune_stable(flushed)
+        if self.faults is not None:
+            self.faults.crashpoint("client.commit.before_end", self.tracer)
         txn.state = TxnState.COMMITTED
         end_lsn = self._assign_lsn(NULL_LSN)
         self.log.append(EndRecord(
@@ -663,6 +681,8 @@ class Client:
         ))
         txn.last_lsn = lsn
         self._ship_log_records()
+        if self.faults is not None:
+            self.faults.crashpoint("client.prepare.before_force", self.tracer)
         flushed = self.rpc.call("force_log_for_commit", MsgType.COMMIT_REQUEST,
                                 payload=txn.txn_id, args=(txn.txn_id,))
         self.log.prune_stable(flushed)
@@ -757,6 +777,8 @@ class Client:
             page_id=effect.page_id, op=effect.op, slot=effect.slot,
             after=effect.after, key=effect.key,
         )
+        if self.faults is not None:
+            self.faults.crashpoint("client.rollback.before_clr", self.tracer)
         self.log.append(clr)
         txn.note_clr(clr_lsn, record.prev_lsn)
         self.clrs_written_locally += 1
@@ -830,6 +852,9 @@ class Client:
             txn_id=None, prev_lsn=begin.lsn, owner=self.client_id,
             dirty_pages=entries, transactions=self.txns.to_table_entries(),
         )
+        if self.faults is not None:
+            self.faults.crashpoint("client.checkpoint.before_send",
+                                   self.tracer)
         _, flushed = self.rpc.call("receive_client_checkpoint",
                                    MsgType.CHECKPOINT,
                                    payload=[begin, end], args=(begin, end))

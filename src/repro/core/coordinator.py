@@ -119,6 +119,10 @@ class TwoPhaseCoordinator:
                 f"global transaction {gtxn.global_id} is {gtxn.state}"
             )
         gtxn.state = "preparing"
+        faults = self.server.faults
+        if faults is not None:
+            faults.crashpoint("coordinator.2pc.before_prepare",
+                              self.server.tracer)
         prepared: List[Tuple[Client, Transaction]] = []
         for client, txn in gtxn.branches:
             try:
@@ -127,8 +131,14 @@ class TwoPhaseCoordinator:
             except (NodeUnavailableError, TransactionStateError):
                 self._abort_prepared(gtxn, prepared)
                 return "aborted"
+        if faults is not None:
+            faults.crashpoint("coordinator.2pc.before_decision",
+                              self.server.tracer)
         self._log_decision(gtxn.global_id)
         gtxn.state = "committed"
+        if faults is not None:
+            faults.crashpoint("coordinator.2pc.before_commit_fanout",
+                              self.server.tracer)
         for client, txn in gtxn.branches:
             try:
                 self._call_branch(client, "commit_branch", txn)

@@ -50,6 +50,7 @@ from repro.core.log_records import (
 from repro.core.lsn import LSN, LogAddr, NULL_ADDR, NULL_LSN
 from repro.core.server_log import ServerLogManager
 from repro.errors import RecoveryInvariantError
+from repro.faults import FaultPlan
 from repro.storage.page import Page
 
 
@@ -125,6 +126,7 @@ def analysis_pass(
     client_filter: Optional[Set[str]] = None,
     rebuild_log_bookkeeping: bool = False,
     observer: Optional[Callable[[LogRecord, LogAddr], None]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> AnalysisResult:
     """Scan [start_addr, end) rebuilding the DPL and transaction table.
 
@@ -133,10 +135,14 @@ def analysis_pass(
     also repopulates the server log manager's per-client LSN/address
     pairs — used during server restart, when that volatile state was
     lost.  ``observer`` sees every scanned record (the server uses it to
-    rebuild its global transaction tracker).
+    rebuild its global transaction tracker).  ``faults`` arms the
+    per-record crashpoint that lets the explorer kill recovery itself
+    mid-scan (restart must be restartable, section 2.5).
     """
     result = AnalysisResult(end_addr=log.end_of_log_addr)
     for addr, header in log.scan_headers(start_addr):
+        if faults is not None:
+            faults.crashpoint("recovery.analysis.scan")
         result.records_scanned += 1
         result.records_by_client[header.client_id] = (
             result.records_by_client.get(header.client_id, 0) + 1
@@ -243,6 +249,7 @@ def redo_pass(
     analysis: AnalysisResult,
     pages: RecoveryPageAccess,
     client_filter: Optional[Set[str]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RedoStats:
     """Repeat history: reapply every missing update recorded in the log.
 
@@ -252,6 +259,8 @@ def redo_pass(
     """
     stats = RedoStats()
     for addr, header in log.scan_headers(analysis.redo_addr, analysis.end_addr):
+        if faults is not None:
+            faults.crashpoint("recovery.redo.scan")
         stats.records_scanned += 1
         if not header.is_redoable():
             continue
@@ -300,6 +309,7 @@ def undo_pass(
     pages: RecoveryPageAccess,
     clr_writer: ClrWriter,
     logical_undo: Optional[LogicalUndoHandler] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> UndoStats:
     """Roll back the losers, writing CLRs in their names.
 
@@ -325,6 +335,8 @@ def undo_pass(
     for addr, header in log.scan_headers_backward():
         if not expected:
             break
+        if faults is not None:
+            faults.crashpoint("recovery.undo.scan")
         stats.records_scanned += 1
         txn_id = header.txn_id
         if txn_id is None or txn_id not in expected:

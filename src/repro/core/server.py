@@ -50,10 +50,12 @@ from repro.errors import (
     LockConflictError,
     MediaFailureError,
     NodeUnavailableError,
+    PageCorruptedError,
     PageNotFoundError,
     RecoveryError,
     WALViolationError,
 )
+from repro.faults import FaultPlan, io_retry
 from repro.locking.glm import GlobalLockManager
 from repro.locking.lock_modes import LockMode
 from repro.net.messages import MsgType
@@ -196,6 +198,8 @@ class Server:
 
         #: Attached by the owning complex; ``None`` disables the hooks.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables injection.
+        self.faults: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------
     # RPC dispatch table (what clients may invoke on the server)
@@ -250,6 +254,9 @@ class Server:
         allocated data page ids.
         """
         from repro.storage import space_map as sm
+        if self.faults is not None:
+            self.faults.crashpoint("server.bootstrap.before_format",
+                                   self.tracer)
         allocated: List[int] = []
         total_needed = data_pages + free_pages
         covered = 0
@@ -258,13 +265,13 @@ class Server:
         while covered < total_needed or len(allocated) < data_pages:
             if self.layout.is_smp(page_id):
                 if smp is not None:
-                    self.disk.write_page(smp)
+                    self._disk_write(smp)
                 smp = Page(page_id, page_size=self.config.page_size)
                 sm.format_smp(smp, self.layout.coverage)
             elif len(allocated) < data_pages:
                 page = Page(page_id, PageKind.DATA, self.config.page_size)
                 page.format(PageKind.DATA)
-                self.disk.write_page(page)
+                self._disk_write(page)
                 assert smp is not None
                 sm.set_bit(smp, self.layout.bit_for(page_id), sm.ALLOCATED)
                 allocated.append(page_id)
@@ -273,8 +280,16 @@ class Server:
                 covered += 1  # a free page: laid out but never written
             page_id += 1
         if smp is not None:
-            self.disk.write_page(smp)
+            self._disk_write(smp)
         return allocated
+
+    def _disk_write(self, page: Page) -> None:
+        """One database-disk page write, retried through the fault
+        plane's deterministic transient-I/O policy."""
+        if self.faults is not None:
+            self.faults.crashpoint("disk.write.before", self.tracer)
+        io_retry(self.faults, lambda: self.disk.write_page(page),
+                 "disk.write")
 
     # ------------------------------------------------------------------
     # Client session management
@@ -364,6 +379,8 @@ class Server:
             page = self.disk.read_page(page_id)
         except PageNotFoundError:
             page = Page(page_id, PageKind.FREE, self.config.page_size)
+        except PageCorruptedError:
+            page = self._heal_torn_page(page_id)
         self.pool.misses += 1
         return self.pool.admit(page, dirty=False,
                                covered_addr=self.log.end_of_log_addr)
@@ -570,6 +587,9 @@ class Server:
         """
         self._require_up()
         self._interaction(client_id)
+        if self.faults is not None:
+            self.faults.crashpoint("server.log_ship.before_append",
+                                   self.tracer)
         assigned = self.log.append_from_client(client_id, records)
         for record, (_, addr) in zip(records, assigned):
             self.tracker.observe(record, addr)
@@ -586,6 +606,8 @@ class Server:
         (section 2.1) — which is what makes deferral crash-safe.
         """
         self._require_up()
+        if self.faults is not None:
+            self.faults.crashpoint("server.commit.before_force", self.tracer)
         flushed = self.log.commit_force()
         self.commit_forces += 1
         return flushed
@@ -795,13 +817,20 @@ class Server:
                 self.tracer.instant("log", "wal_force_on_evict", "server",
                                     page_id=bcb.page_id,
                                     force_addr=bcb.force_addr)
+            if self.faults is not None:
+                self.faults.crashpoint("server.flush.before_force",
+                                       self.tracer)
             self.log.force(bcb.force_addr)
             self.wal_forces += 1
         if bcb.force_addr != NULL_ADDR and not self.log.stable.is_stable(bcb.force_addr):
             raise WALViolationError(
                 f"page {bcb.page_id} would reach disk before log addr {bcb.force_addr}"
             )
-        self.disk.write_page(bcb.page)
+        if self.faults is not None:
+            self.faults.crashpoint("server.flush.before_write", self.tracer)
+        self._disk_write(bcb.page)
+        if self.faults is not None:
+            self.faults.crashpoint("server.flush.after_write", self.tracer)
         if bcb.covered_addr != NULL_ADDR:
             self.glm.advance_rec_addr(bcb.page_id, bcb.covered_addr)
         bcb.dirty = False
@@ -862,7 +891,13 @@ class Server:
         # Force both checkpoint records before the master names their
         # address: a crash truncates the unforced tail and reuses its
         # addresses, so an unforced begin_addr would dangle (REC021).
+        if self.faults is not None:
+            self.faults.crashpoint("server.client_checkpoint.before_force",
+                                   self.tracer)
         self.log.force(end_pair[1])
+        if self.faults is not None:
+            self.faults.crashpoint("server.client_checkpoint.before_master",
+                                   self.tracer)
         self._master["client_ckpts"][client_id] = begin_addr
         self._appends_since_ckpt += 2
         return [(begin.lsn, begin_addr), end_pair], self.log.flushed_addr
@@ -879,6 +914,8 @@ class Server:
         transaction known to the tracker.
         """
         self._require_up()
+        if self.faults is not None:
+            self.faults.crashpoint("server.checkpoint.begin", self.tracer)
         begin = BeginCheckpointRecord(
             lsn=self.log.clock.next_lsn(NULL_LSN),
             client_id=SERVER_ID, txn_id=None, prev_lsn=NULL_LSN,
@@ -934,8 +971,20 @@ class Server:
             owner=SERVER_ID, dirty_pages=entries, transactions=txn_entries,
         )
         end_addr = self.log.append_local(end)
+        if self.faults is not None:
+            self.faults.crashpoint("server.checkpoint.before_force",
+                                   self.tracer)
         self.log.force(end_addr)
+        # The master-record update is the checkpoint's commit point
+        # (section 2.5.2): a crash on either side of it must leave a
+        # reachable checkpoint — the previous one before, this one after.
+        if self.faults is not None:
+            self.faults.crashpoint("server.checkpoint.before_master",
+                                   self.tracer)
         self._master["server_ckpt_begin_addr"] = begin_addr
+        if self.faults is not None:
+            self.faults.crashpoint("server.checkpoint.after_master",
+                                   self.tracer)
         for entry in entries:
             floor = self._rec_addr_floor.get(entry.page_id)
             if floor is None or entry.rec_addr < floor:
@@ -1038,10 +1087,13 @@ class Server:
         if tracer is not None:
             analysis_span = tracer.begin("recovery", "analysis", "server",
                                          start_addr=start_addr)
+        if self.faults is not None:
+            self.faults.crashpoint("server.restart.before_analysis", tracer)
         analysis = analysis_pass(
             self.log, start_addr,
             rebuild_log_bookkeeping=True,
             observer=self.tracker.observe,
+            faults=self.faults,
         )
         if tracer is not None:
             tracer.end(
@@ -1070,7 +1122,9 @@ class Server:
         if tracer is not None:
             redo_span = tracer.begin("recovery", "redo", "server",
                                      redo_addr=analysis.redo_addr)
-        redo = redo_pass(self.log, analysis, pages)
+        if self.faults is not None:
+            self.faults.crashpoint("server.restart.before_redo", tracer)
+        redo = redo_pass(self.log, analysis, pages, faults=self.faults)
         if tracer is not None:
             tracer.end(
                 redo_span,
@@ -1087,8 +1141,10 @@ class Server:
         if tracer is not None:
             undo_span = tracer.begin("recovery", "undo", "server",
                                      losers=len(losers))
+        if self.faults is not None:
+            self.faults.crashpoint("server.restart.before_undo", tracer)
         undo = undo_pass(self.log, losers, pages, _ServerClrWriter(self),
-                         self.logical_undo_handler)
+                         self.logical_undo_handler, faults=self.faults)
         if tracer is not None:
             tracer.end(
                 undo_span,
@@ -1101,6 +1157,9 @@ class Server:
 
         # Rebuild the volatile lock table and coherency map from the
         # operational clients, and collect in-doubt info for failed ones.
+        if self.faults is not None:
+            self.faults.crashpoint("server.restart.before_lock_rebuild",
+                                   tracer)
         for client_id in sorted(self._clients):
             if self.network.is_up(client_id):
                 client = self._clients[client_id]
@@ -1178,6 +1237,9 @@ class Server:
                                      client=client_id)
             analysis_span = tracer.begin("recovery", "analysis", "server",
                                          client=client_id)
+        if self.faults is not None:
+            self.faults.crashpoint("server.client_recovery.before_analysis",
+                                   tracer)
         if self.config.client_recovery_info is ClientRecoveryInfo.CLIENT_CHECKPOINTS:
             analysis = self._client_analysis_from_checkpoint(client_id)
         else:
@@ -1213,7 +1275,11 @@ class Server:
             redo_span = tracer.begin("recovery", "redo", "server",
                                      client=client_id,
                                      redo_addr=analysis.redo_addr)
-        redo = redo_pass(self.log, analysis, pages, client_filter={client_id})
+        if self.faults is not None:
+            self.faults.crashpoint("server.client_recovery.before_redo",
+                                   tracer)
+        redo = redo_pass(self.log, analysis, pages, client_filter={client_id},
+                         faults=self.faults)
         redo.redos_applied += forwarded_redos
         if tracer is not None:
             tracer.end(
@@ -1229,8 +1295,11 @@ class Server:
         if tracer is not None:
             undo_span = tracer.begin("recovery", "undo", "server",
                                      client=client_id, losers=len(losers))
+        if self.faults is not None:
+            self.faults.crashpoint("server.client_recovery.before_undo",
+                                   tracer)
         undo = undo_pass(self.log, losers, pages, _ServerClrWriter(self),
-                         self.logical_undo_handler)
+                         self.logical_undo_handler, faults=self.faults)
         if tracer is not None:
             tracer.end(
                 undo_span,
@@ -1271,6 +1340,9 @@ class Server:
         # post-checkpoint log record witnesses them: without a fresh DPL
         # a server crash before the next checkpoint would silently skip
         # them during restart redo and lose committed updates.
+        if self.faults is not None:
+            self.faults.crashpoint("server.client_recovery.before_checkpoint",
+                                   tracer)
         self.take_checkpoint()
 
         report = RecoveryReport(
@@ -1370,8 +1442,35 @@ class Server:
             # Never written: redo begins from a fresh frame; the page's
             # format record will initialize it.
             page = Page(page_id, PageKind.FREE, self.config.page_size)
+        except PageCorruptedError:
+            # The on-disk image is torn (a write died mid-page, section
+            # 2.5.3): rebuild from the archive copy / the log before
+            # recovery touches the page.
+            page = self._heal_torn_page(page_id)
         bcb = self.pool.admit(page, dirty=False)
         return bcb.page
+
+    def _heal_torn_page(self, page_id: int) -> Page:
+        """Rebuild a page whose stored image failed its CRC.
+
+        A torn image is the media-failure case of section 2.5.3 with the
+        failure detected by checksum instead of by the device: restore
+        the archive copy (or start from a fresh frame when the page's
+        whole lineage — its format record included — is in the log),
+        roll forward, and heal the disk copy under WAL.
+        """
+        if self.tracer is not None:
+            self.tracer.instant("recovery", "torn_page", "server",
+                                page_id=page_id)
+        if self.archive.has_backup(page_id):
+            page, redo_start = self.archive.restore_page(page_id)
+        else:
+            page = Page(page_id, PageKind.FREE, self.config.page_size)
+            redo_start = 0
+        self._roll_page_forward(page, redo_start)
+        self.log.force(self.log.end_of_log_addr)
+        self._disk_write(page)
+        return page
 
     def _mark_recovered_dirty(self, page_id: int, rec_addr: LogAddr) -> None:
         self.pool.mark_dirty(page_id, rec_addr=rec_addr,
@@ -1396,6 +1495,8 @@ class Server:
             page = self.disk.read_page(page_id)
         except MediaFailureError:
             return self.media_recover_page(page_id)
+        except PageCorruptedError:
+            page = self._heal_torn_page(page_id)
         applied = self._roll_page_forward(page, rec_addr)
         self.pool.admit(page, dirty=applied > 0, rec_addr=rec_addr,
                         force_addr=self.log.end_of_log_addr if applied else NULL_ADDR,
@@ -1430,6 +1531,8 @@ class Server:
         the backup; the recovered image is written back to disk.
         """
         self._require_up()
+        if self.faults is not None:
+            self.faults.crashpoint("server.media.before_restore", self.tracer)
         page, redo_start = self.archive.restore_page(page_id)
         if self.tracer is not None:
             self.tracer.instant("recovery", "media_recover", "server",
@@ -1440,7 +1543,9 @@ class Server:
         # forced prefix.  Force through end-of-log before the image
         # reaches disk, or a crash would leave the page ahead of the log.
         self.log.force(self.log.end_of_log_addr)
-        self.disk.write_page(page)
+        if self.faults is not None:
+            self.faults.crashpoint("server.media.before_write", self.tracer)
+        self._disk_write(page)
         bcb = self.pool.bcb(page_id)
         if bcb is not None:
             bcb.page = page
@@ -1547,6 +1652,9 @@ class Server:
             if bcb.rec_addr != NULL_ADDR:
                 bounds.append(bcb.rec_addr)
         redo_start = min(bounds) if bounds else self.log.end_of_log_addr
+        if self.faults is not None:
+            self.faults.crashpoint("server.backup.before_archive",
+                                   self.tracer)
         return self.archive.backup_from_disk(self.disk, redo_start)
 
     # ------------------------------------------------------------------
@@ -1567,6 +1675,12 @@ class Server:
         if cached is not None:
             return cached
         reads, bytes_read = self.disk.reads, self.disk.bytes_read
-        image = self.disk.read_page(page_id)
-        self.disk.reads, self.disk.bytes_read = reads, bytes_read  # oracle reads are free
+        try:
+            image = self.disk.read_page(page_id)
+        except PageCorruptedError:
+            # Even the oracle must never see a torn image: heal it the
+            # way an operational read would (section 2.5.3).
+            return self._heal_torn_page(page_id)
+        finally:
+            self.disk.reads, self.disk.bytes_read = reads, bytes_read  # oracle reads are free
         return image

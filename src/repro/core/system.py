@@ -18,6 +18,7 @@ from repro.config import SystemConfig
 from repro.core.client import Client
 from repro.core.server import RecoveryReport, Server
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.net.network import Network
 from repro.net.rpc import retry_policy_from_config, transport_from_config
 from repro.obs.tracer import Tracer
@@ -41,8 +42,13 @@ class ClientServerSystem:
         #: Present only when tracing is on; attachment IS the enable
         #: switch — unattached hooks cost one pointer comparison.
         self.tracer: Optional[Tracer] = None
+        #: Present only when fault injection is on; same attachment
+        #: pattern as the tracer.
+        self.faults: Optional[FaultPlan] = None
         if self.config.trace_enabled:
             self.attach_tracer(Tracer())
+        if self.config.fault_plan is not None:
+            self.attach_faults(self.config.fault_plan)
         self._tables: Dict[str, List[int]] = {}
         self._page_table: Dict[int, str] = {}
         self._free_pool: List[int] = []
@@ -65,6 +71,8 @@ class ClientServerSystem:
         self.server.tracer = tracer
         self.server.pool.tracer = tracer
         self.server.log.attach_tracer(tracer)
+        if self.faults is not None:
+            self.faults.tracer = tracer
         for client in self.clients.values():
             self._attach_client_tracer(client)
 
@@ -73,6 +81,32 @@ class ClientServerSystem:
         client.tracer = self.tracer
         client.pool.tracer = self.tracer
         client.llm.tracer = self.tracer
+
+    # -- fault injection ---------------------------------------------------
+
+    def attach_faults(self, plan: FaultPlan) -> None:
+        """Attach ``plan`` to every instrumented object of the complex.
+
+        The mirror of :meth:`attach_tracer`: attachment IS the enable
+        switch, so a complex without a plan pays one pointer comparison
+        per hook.  The network transport is attached separately via
+        ``SystemConfig.fault_plan`` (``transport_from_config`` folds the
+        drop/delay RNG under the plan's ``transport`` namespace).
+        """
+        self.faults = plan
+        plan.tracer = self.tracer
+        self.server.faults = plan
+        self.server.disk.faults = plan
+        self.server.archive.faults = plan
+        self.server.pool.faults = plan
+        self.server.log.stable.faults = plan
+        for client in self.clients.values():
+            self._attach_client_faults(client)
+
+    def _attach_client_faults(self, client: Client) -> None:
+        assert self.faults is not None
+        client.faults = self.faults
+        client.pool.faults = self.faults
 
     # -- topology ----------------------------------------------------------
 
@@ -84,6 +118,8 @@ class ClientServerSystem:
         self.clients[client_id] = client
         if self.tracer is not None:
             self._attach_client_tracer(client)
+        if self.faults is not None:
+            self._attach_client_faults(client)
         return client
 
     def client(self, client_id: str) -> Client:

@@ -50,6 +50,19 @@ class BufferPoolFullError(StorageError):
     """No evictable frame is available in a buffer pool."""
 
 
+class TransientIOError(StorageError):
+    """An I/O attempt failed transiently; the same request may succeed
+    if retried.  Only ever raised by injected faults
+    (:class:`repro.faults.FaultPlan`); callers on the page-flush and
+    archive paths retry with a bounded deterministic budget."""
+
+    def __init__(self, what: str, attempt: int) -> None:
+        super().__init__(f"transient I/O error during {what} "
+                         f"(attempt {attempt})")
+        self.what = what
+        self.attempt = attempt
+
+
 class RecordError(StorageError):
     """Base class for record-level (slotted page) errors."""
 

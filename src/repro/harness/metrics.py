@@ -75,6 +75,13 @@ class MetricsSnapshot:
     message_retries: int = 0
     rpc_timeouts: int = 0
 
+    #: Fault-plane counters (all zero with no FaultPlan attached).
+    faults_injected: int = 0
+    torn_writes: int = 0
+    io_retries: int = 0
+    crashpoints_hit: int = 0
+    schedules_explored: int = 0
+
     def minus(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         """Per-field difference (this - other)."""
         values = {

@@ -50,12 +50,14 @@ paper's traffic comparisons never count them.
 from __future__ import annotations
 
 import enum
-import random
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import NodeUnavailableError, ReproError
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
 
 
 class RpcError(ReproError):
@@ -220,24 +222,36 @@ class FaultyTransport(Transport):
     name = "faulty"
 
     def __init__(self, seed: int = 0, drop_rate: float = 0.05,
-                 delay_rate: float = 0.0, max_delay: float = 5.0) -> None:
+                 delay_rate: float = 0.0, max_delay: float = 5.0,
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise RpcError(f"drop_rate must be in [0, 1), got {drop_rate}")
         self.seed = seed
         self.drop_rate = drop_rate
         self.delay_rate = delay_rate
         self.max_delay = max_delay
-        self._rng = random.Random(seed)
+        # The drop/delay stream lives in the fault plane's "transport"
+        # namespace.  Seeding that namespace with the bare integer seed
+        # keeps the draw sequence bit-for-bit identical to the
+        # pre-FaultPlan ``random.Random(seed)`` (test_transport_parity
+        # pins the resulting counters).
+        if fault_plan is None:
+            from repro.faults import FaultPlan
+            fault_plan = FaultPlan(seed=seed)
+        self.fault_plan = fault_plan
+        self._rng = fault_plan.rng("transport", seed)
 
     def plan(self, envelope: Envelope, attempt: int
              ) -> Tuple[DeliveryOutcome, float]:
         delay = 0.0
         if self.delay_rate > 0 and self._rng.random() < self.delay_rate:
             delay = self._rng.uniform(0.0, self.max_delay)
+            self.fault_plan.note_transport_fault("delay")
         if self._rng.random() < self.drop_rate:
             outcome = (DeliveryOutcome.DROP_REQUEST
                        if self._rng.random() < 0.5
                        else DeliveryOutcome.DROP_RESPONSE)
+            self.fault_plan.note_transport_fault(outcome.value)
             return outcome, delay
         return DeliveryOutcome.DELIVER, delay
 
@@ -310,7 +324,15 @@ class RpcStub:
 
 
 def transport_from_config(config: Any) -> Transport:
-    """Build the transport a :class:`~repro.config.SystemConfig` asks for."""
+    """Build the transport a :class:`~repro.config.SystemConfig` asks for.
+
+    Under :attr:`~repro.config.TransportPolicy.FAULTY` the drop/delay
+    stream is drawn from the config's :class:`~repro.faults.FaultPlan`
+    (transport namespace) when one is present, so transport chaos and
+    storage chaos replay from the same seed; without a plan an implicit
+    single-namespace plan is built from the transport seed, preserving
+    the pre-FaultPlan draw sequence exactly.
+    """
     from repro.config import TransportPolicy
     if config.transport_policy is TransportPolicy.FAULTY:
         seed = config.transport_seed
@@ -321,6 +343,7 @@ def transport_from_config(config: Any) -> Transport:
             drop_rate=config.transport_drop_rate,
             delay_rate=config.transport_delay_rate,
             max_delay=config.transport_max_delay,
+            fault_plan=config.fault_plan,
         )
     return ReliableTransport()
 

@@ -77,6 +77,9 @@ TRACKED_COUNTER_ATTRS = frozenset({
     "requests", "conflicts", "grants", "releases",
     # index.btree.BTree
     "splits", "page_deallocations",
+    # faults.FaultPlan
+    "faults_injected", "torn_writes", "io_retries", "crashpoints_hit",
+    "schedules_explored",
 })
 
 #: A provider reads one cumulative counter off a complex.
@@ -183,6 +186,19 @@ def register_client_counters(registry: MetricsRegistry) -> None:
                       summed("pages_shipped_at_commit"))
 
 
+def register_fault_counters(registry: MetricsRegistry) -> None:
+    """Fault-plane counters; all zero when no plan is attached."""
+    def plan_attr(attr: str) -> Provider:
+        return lambda s: getattr(s.faults, attr, 0) if s.faults is not None \
+            else 0
+
+    registry.register("faults_injected", plan_attr("faults_injected"))
+    registry.register("torn_writes", plan_attr("torn_writes"))
+    registry.register("io_retries", plan_attr("io_retries"))
+    registry.register("crashpoints_hit", plan_attr("crashpoints_hit"))
+    registry.register("schedules_explored", plan_attr("schedules_explored"))
+
+
 def build_default_registry() -> MetricsRegistry:
     """The registry behind ``harness.metrics.snapshot``."""
     registry = MetricsRegistry()
@@ -190,4 +206,5 @@ def build_default_registry() -> MetricsRegistry:
     register_storage_counters(registry)
     register_server_counters(registry)
     register_client_counters(registry)
+    register_fault_counters(registry)
     return registry

@@ -29,6 +29,7 @@ from repro.errors import BufferPoolFullError
 from repro.storage.page import Page
 
 if TYPE_CHECKING:
+    from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
 
 
@@ -71,6 +72,8 @@ class BufferPool:
         #: Attached by the owning complex; ``None`` means tracing is off
         #: and every hook below costs one pointer comparison.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables injection.
+        self.faults: Optional["FaultPlan"] = None
         self._frames: Dict[int, BufferControlBlock] = {}
         self._tick = 0
         self.hits = 0
@@ -168,6 +171,9 @@ class BufferPool:
         if victim.dirty:
             # Steal: a dirty (possibly uncommitted) page leaves the pool.
             # The owner's callback must make it durable first.
+            if self.faults is not None:
+                self.faults.crashpoint("pool.evict.before_writeback",
+                                       self.tracer)
             self.dirty_evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)

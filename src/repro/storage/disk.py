@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Set
 
 from repro.errors import MediaFailureError, PageNotFoundError
+from repro.faults import TORN_WRITE_CRASH, CrashPointReached, FaultPlan
 from repro.storage.page import Page
 
 
@@ -29,12 +30,32 @@ class Disk:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Attached by the owning complex; ``None`` disables injection.
+        self.faults: Optional[FaultPlan] = None
 
     # -- I/O -------------------------------------------------------------
 
     def write_page(self, page: Page) -> None:
-        """Atomically replace the stored image of ``page``."""
+        """Atomically replace the stored image of ``page``.
+
+        With a fault plan attached, the write may fail transiently
+        (:class:`~repro.errors.TransientIOError`; callers retry) or
+        tear: half the serialized image is persisted and
+        :class:`~repro.faults.CrashPointReached` propagates to the
+        harness, which crashes the complex — a torn write only exists
+        because the writer died mid-write.  The CRC trailer of
+        ``Page.to_bytes`` makes the tear detectable on the next read.
+        """
         image = page.to_bytes()
+        if self.faults is not None:
+            self.faults.maybe_io_error("disk.write", page.page_id)
+            torn = self.faults.torn_write_len(page.page_id, len(image))
+            if torn is not None:
+                self._images[page.page_id] = image[:torn]
+                self._failed_pages.discard(page.page_id)
+                self.writes += 1
+                self.bytes_written += torn
+                raise CrashPointReached(TORN_WRITE_CRASH)
         self._images[page.page_id] = image
         self._failed_pages.discard(page.page_id)
         self.writes += 1
@@ -43,9 +64,10 @@ class Disk:
     def read_page(self, page_id: int) -> Page:
         """Read and deserialize a page image.
 
-        Raises :class:`PageNotFoundError` for never-written pages and
+        Raises :class:`PageNotFoundError` for never-written pages,
         :class:`MediaFailureError` for pages with an injected media
-        failure.
+        failure, and :class:`~repro.errors.PageCorruptedError` when the
+        stored image fails its CRC (a torn write surfaced).
         """
         if page_id in self._failed_pages:
             raise MediaFailureError(page_id)

@@ -49,6 +49,7 @@ from repro.core.lsn import LogAddr
 from repro.errors import LogRecordNotFoundError
 
 if TYPE_CHECKING:
+    from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
 
 #: Bytes of framing charged per record (the stored length prefix).
@@ -78,6 +79,8 @@ class StableLog:
         self._decoded: "OrderedDict[LogAddr, LogRecord]" = OrderedDict()
         #: Attached by the owning complex; ``None`` disables the hooks.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables injection.
+        self.faults: Optional["FaultPlan"] = None
         self.appends = 0
         self.forces = 0
         self.bytes_appended = 0
@@ -90,6 +93,8 @@ class StableLog:
 
     def append(self, record: LogRecord) -> LogAddr:
         """Append ``record`` to the volatile tail; returns its address."""
+        if self.faults is not None:
+            self.faults.crashpoint("log.append.before", self.tracer)
         frame = encode_record(record)
         addr = self._base + len(self._buf)
         self._buf += _FRAME_LEN.pack(len(frame))
@@ -110,6 +115,8 @@ class StableLog:
         stable prefix is a no-op and is not counted, matching the usual
         group-commit accounting.
         """
+        if self.faults is not None:
+            self.faults.crashpoint("log.force.before", self.tracer)
         if up_to_addr is None:
             target = self.end_of_log_addr
         else:
@@ -347,7 +354,16 @@ class StableLog:
     # -- crash model ---------------------------------------------------------
 
     def crash(self) -> None:
-        """Server crash: the unforced tail vanishes."""
+        """Server crash: the unforced tail vanishes.
+
+        With a fault plan attached, the plan may decide that the device
+        had flushed part of its queue when power failed (a *partial
+        flush*): some prefix of the unforced whole frames survives the
+        crash.  Surviving more log than the forced boundary promised is
+        always safe — analysis/redo are driven by what is actually on
+        stable storage — but exercises bookkeeping a clean truncation
+        never would.
+        """
         keep = bisect.bisect_right(self._index, self._flushed_addr - 1)
         # A frame survives iff its *end* is within the flushed prefix.
         while keep > 0:
@@ -355,6 +371,10 @@ class StableLog:
             if self._index[last] + self._frame_length_at(last) <= self._flushed_addr:
                 break
             keep = last
+        if self.faults is not None:
+            # Partially flushed suffix: these frames survive the crash
+            # even though force() never covered them.
+            keep += self.faults.partial_flush_frames(len(self._index) - keep)
         self.records_lost_last_crash = len(self._index) - keep
         if keep < len(self._index):
             del self._buf[self._index[keep] - self._base:]

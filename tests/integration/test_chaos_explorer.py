@@ -1,0 +1,133 @@
+"""End-to-end checks of the crash-schedule explorer (``harness.chaos``).
+
+The quick (CI smoke) sweep must recover cleanly from every schedule,
+replay byte-identically from a schedule id, and include nested
+crash-during-recovery schedules — the restart-is-restartable claim of
+section 2.5.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import CRASHPOINTS
+from repro.harness.chaos import (
+    CrashScheduleExplorer, is_recovery_point, main, parse_schedule_id,
+    schedule_id,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_summary():
+    return CrashScheduleExplorer(seed=0, quick=True).explore()
+
+
+# -- schedule ids -------------------------------------------------------------
+
+def test_schedule_id_round_trips():
+    schedule = (("server.commit.before_force", 2),
+                ("recovery.undo.scan", 1))
+    sid = schedule_id(7, schedule)
+    assert sid == "s7:server.commit.before_force@2+recovery.undo.scan@1"
+    assert parse_schedule_id(sid) == (7, schedule)
+    assert parse_schedule_id(schedule_id(3, ())) == (3, ())
+
+
+def test_schedule_id_rejects_junk():
+    with pytest.raises(ValueError):
+        parse_schedule_id("no-seed-prefix")
+    with pytest.raises(ValueError):
+        parse_schedule_id("s0:not.a.crashpoint@1")
+
+
+# -- the quick sweep ----------------------------------------------------------
+
+def test_quick_sweep_has_no_violations(quick_summary):
+    assert quick_summary.violations == []
+
+
+def test_quick_sweep_census_reaches_most_crashpoints(quick_summary):
+    # Everything but the offline-bootstrap point is reached by the
+    # script (the plan attaches after formatting, by design).
+    censused = set(quick_summary.census)
+    assert "server.bootstrap.before_format" not in censused
+    assert len(censused) >= len(CRASHPOINTS) - 1
+
+
+def test_quick_sweep_every_schedule_fired(quick_summary):
+    for result in quick_summary.results:
+        assert result.fired, result.schedule_id
+        assert result.exhausted, result.schedule_id
+
+
+def test_quick_sweep_includes_nested_recovery_schedules(quick_summary):
+    nested = [r for r in quick_summary.results if len(r.schedule) > 1]
+    assert len(nested) >= 3
+    for result in nested:
+        assert all(is_recovery_point(point) for point, _hit in result.schedule)
+    # At least the recovery-pass scans crash twice: once mid-script,
+    # once again during the recovery from that crash.
+    double_fired = [r for r in nested if len(r.fired) == 2]
+    assert double_fired, "no nested schedule fired both legs"
+
+
+def test_classified_outcomes_are_decisive(quick_summary):
+    for result in quick_summary.results:
+        for label, outcome in result.outcomes.items():
+            assert outcome in ("committed", "rolled-back", "aborted",
+                               "no-writes"), (result.schedule_id, label)
+
+
+# -- replay determinism -------------------------------------------------------
+
+def test_replay_is_byte_identical(quick_summary):
+    explorer = CrashScheduleExplorer(seed=0)
+    # One mid-script crash and one nested recovery crash.
+    fired = [r for r in quick_summary.results if r.fired]
+    targets = [fired[0]]
+    targets.extend(r for r in fired if len(r.schedule) > 1)
+    for original in targets[:3]:
+        replayed = explorer.replay(original.schedule_id)
+        assert replayed.digest == original.digest
+        assert replayed.fired == original.fired
+        assert replayed.outcomes == original.outcomes
+
+
+def test_replay_honors_the_seed_in_the_id():
+    result = CrashScheduleExplorer(seed=0).replay(
+        "s5:server.commit.before_force@1")
+    assert result.schedule_id.startswith("s5:")
+    assert result.violations == []
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_list_prints_schedule_ids(capsys):
+    assert main(["--quick", "--list"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    for line in lines:
+        seed, schedule = parse_schedule_id(line)
+        assert seed == 0
+        assert schedule
+
+
+def test_cli_replay_reports_stable_digest(capsys, quick_summary):
+    sid = next(r.schedule_id for r in quick_summary.results if r.fired)
+    assert main(["--replay", sid]) == 0
+    out = capsys.readouterr().out
+    assert "stable across replays" in out
+
+
+def test_cli_sweep_writes_json_report(tmp_path, capsys):
+    report = tmp_path / "chaos.json"
+    assert main(["--quick", "--budget", "2",
+                 "--out", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out
+    data = json.loads(report.read_text(encoding="utf-8"))
+    assert data["violations"] == []
+    assert data["schedules_explored"] == 2
+    assert len(data["results"]) == 2

@@ -1,0 +1,102 @@
+"""Crashes around the checkpoint's master-record update (section 2.5.2).
+
+The master-record write is the checkpoint's commit point: a crash on
+either side of it must leave *a* reachable checkpoint — the previous
+one before the update, the new one after — and restart recovery from
+that checkpoint must reproduce every committed value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import CrashPointReached, FaultPlan
+from repro.harness.invariants import assert_invariants
+from repro.harness.oracle import CommittedStateOracle, verify_durability
+from repro.workloads.generator import seed_table
+from tests.conftest import make_system
+
+
+def _commit(system, client_id, oracle, rid, value):
+    client = system.client(client_id)
+    txn = client.begin()
+    client.update(txn, rid, value)
+    client.commit(txn)
+    oracle.note_committed_update(rid, value)
+
+
+@pytest.mark.parametrize("point, master_moves", [
+    ("server.checkpoint.before_force", False),
+    ("server.checkpoint.before_master", False),
+    ("server.checkpoint.after_master", True),
+])
+def test_crash_around_master_update_leaves_a_reachable_checkpoint(
+        point, master_moves):
+    system = make_system()
+    oracle = CommittedStateOracle()
+    rids = seed_table(system, "C1", "t", 4, 2)
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+
+    # Checkpoint #1 completes normally and becomes the master's target.
+    _commit(system, "C1", oracle, rids[0], ("a", 1))
+    system.server.take_checkpoint()
+    old_master = system.server._master["server_ckpt_begin_addr"]
+
+    # More committed work, then checkpoint #2 dies at the seam.
+    _commit(system, "C2", oracle, rids[1], ("a", 2))
+    plan = FaultPlan(seed=0, schedule=((point, 1),))
+    system.attach_faults(plan)
+    with pytest.raises(CrashPointReached):
+        system.server.take_checkpoint()
+
+    new_master = system.server._master["server_ckpt_begin_addr"]
+    if master_moves:
+        assert new_master != old_master
+    else:
+        assert new_master == old_master
+
+    # The schedule is spent: the crash-and-restart below runs clean.
+    assert plan.schedule_exhausted
+    system.crash_all()
+    system.restart_all()
+
+    verify_durability(oracle, system, "server")
+    assert_invariants(system)
+    # The recovered complex still commits new work.
+    _commit(system, "C1", oracle, rids[2], ("post", 3))
+    assert system.current_value(rids[2]) == ("post", 3)
+
+
+def test_crash_before_client_checkpoint_master_update():
+    """Same seam, client-checkpoint flavor (section 2.6.1): a crash
+    before the client-checkpoint master update leaves client recovery
+    anchored at the *previous* client checkpoint."""
+    system = make_system()
+    oracle = CommittedStateOracle()
+    rids = seed_table(system, "C1", "t", 4, 2)
+    for index, rid in enumerate(rids):
+        oracle.note_committed_insert(rid, ("init", index))
+    c1 = system.client("C1")
+
+    _commit(system, "C1", oracle, rids[0], ("b", 1))
+    c1.take_checkpoint()
+    old_anchor = system.server._master["client_ckpts"]["C1"]
+
+    _commit(system, "C1", oracle, rids[1], ("b", 2))
+    plan = FaultPlan(
+        seed=0, schedule=(("server.client_checkpoint.before_master", 1),))
+    system.attach_faults(plan)
+    with pytest.raises(CrashPointReached):
+        c1.take_checkpoint()
+    assert system.server._master["client_ckpts"]["C1"] == old_anchor
+
+    # The client (whose checkpoint RPC died mid-flight) crashes; the
+    # server recovers it from the previous checkpoint.
+    system.crash_client("C1")
+    system.reconnect_client("C1")
+
+    verify_durability(oracle, system, "server")
+    assert_invariants(system)
+    _commit(system, "C1", oracle, rids[2], ("post", 3))
+    assert system.current_value(rids[2]) == ("post", 3)

@@ -8,4 +8,5 @@ class Mutator:
 
     def unguarded_flush(self):
         bcb = self.pool.get(7)
+        self.faults.crashpoint("flush.before_write")
         self.disk.write_page(bcb.page)  # lint:expect REC002

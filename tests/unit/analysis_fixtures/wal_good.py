@@ -11,6 +11,7 @@ class Mutator:
 
     def guarded_flush(self):
         bcb = self.pool.get(7)
+        self.faults.crashpoint("flush.before_write")
         self.log.force(bcb.force_addr)
         self.disk.write_page(bcb.page)
 

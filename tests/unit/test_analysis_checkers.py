@@ -37,9 +37,9 @@ GOOD_FIXTURES = [p for p in ALL_FIXTURES if p.stem.endswith("_good")]
 
 def test_fixture_inventory():
     # One good/bad pair per checker family.
-    assert len(BAD_FIXTURES) == 6
-    assert len(GOOD_FIXTURES) == 6
-    assert len(ALL_FIXTURES) == 12
+    assert len(BAD_FIXTURES) == 7
+    assert len(GOOD_FIXTURES) == 7
+    assert len(ALL_FIXTURES) == 14
 
 
 @pytest.mark.parametrize("path", ALL_FIXTURES, ids=lambda p: p.stem)

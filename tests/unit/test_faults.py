@@ -1,0 +1,198 @@
+"""Unit tests for the fault plane (``repro.faults``).
+
+Covers the determinism contracts the chaos explorer builds on: seeded
+namespace streams, crash-schedule arming with per-leg hit resets, torn
+writes, bounded transient-I/O bursts, partial log flushes, and the
+consistency of the :data:`CRASHPOINTS` manifest with the source tree.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.errors import TransientIOError
+from repro.faults import (
+    CRASHPOINTS, MAX_IO_RETRIES, CrashPointReached, FaultPlan, io_retry,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+# -- namespaced randomness ----------------------------------------------------
+
+def test_namespace_streams_are_cached_and_independent():
+    plan = FaultPlan(seed=42)
+    disk = plan.rng("disk")
+    assert plan.rng("disk") is disk
+    log = plan.rng("log")
+    assert [disk.random() for _ in range(4)] != \
+        [log.random() for _ in range(4)]
+
+
+def test_same_seed_replays_the_same_draws():
+    draws_a = [FaultPlan(seed=9).rng("disk").random() for _ in range(3)]
+    draws_b = [FaultPlan(seed=9).rng("disk").random() for _ in range(3)]
+    assert draws_a == draws_b
+    assert draws_a != [FaultPlan(seed=10).rng("disk").random()
+                       for _ in range(3)]
+
+
+def test_explicit_seed_gives_bare_integer_parity():
+    """The transport namespace must draw exactly like Random(seed) —
+    the FaultyTransport parity contract."""
+    plan = FaultPlan(seed=42)
+    stream = plan.rng("transport", seed=42)
+    reference = random.Random(42)
+    assert [stream.random() for _ in range(8)] == \
+        [reference.random() for _ in range(8)]
+
+
+# -- crashpoints --------------------------------------------------------------
+
+def test_unarmed_crashpoints_only_count():
+    plan = FaultPlan(seed=0)
+    for _ in range(3):
+        plan.crashpoint("server.commit.before_force")
+    plan.crashpoint("disk.write.before")
+    assert plan.crashpoints_hit == 4
+    assert plan.hit_counts() == {"server.commit.before_force": 3,
+                                 "disk.write.before": 1}
+    assert plan.schedule_exhausted
+    assert plan.faults_injected == 0
+
+
+def test_armed_crashpoint_fires_at_the_scheduled_hit():
+    plan = FaultPlan(seed=0, schedule=(("a.b.c", 2),))
+    plan.crashpoint("a.b.c")          # hit 1: not yet
+    plan.crashpoint("other.point.x")  # different site: never
+    with pytest.raises(CrashPointReached) as exc_info:
+        plan.crashpoint("a.b.c")      # hit 2: fires
+    assert exc_info.value.point == "a.b.c"
+    assert exc_info.value.leg == 0
+    assert plan.schedule_exhausted
+    assert plan.faults_injected == 1
+    # Once exhausted, the site is inert again.
+    plan.crashpoint("a.b.c")
+
+
+def test_nested_legs_reset_per_leg_hit_counts():
+    plan = FaultPlan(seed=0, schedule=(("p.q.r", 2), ("p.q.r", 2)))
+    plan.crashpoint("p.q.r")
+    with pytest.raises(CrashPointReached) as first:
+        plan.crashpoint("p.q.r")
+    assert first.value.leg == 0
+    assert not plan.schedule_exhausted
+    # Leg 1 starts counting from zero again.
+    plan.crashpoint("p.q.r")
+    with pytest.raises(CrashPointReached) as second:
+        plan.crashpoint("p.q.r")
+    assert second.value.leg == 1
+    assert plan.schedule_exhausted
+    # The census is cumulative across legs.
+    assert plan.hit_counts() == {"p.q.r": 4}
+
+
+def test_crashpoint_is_not_a_plain_exception():
+    """Broad ``except Exception`` shims must never swallow a crash."""
+    assert issubclass(CrashPointReached, BaseException)
+    assert not issubclass(CrashPointReached, Exception)
+
+
+def test_schedule_and_burst_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(schedule=(("x.y.z", 0),))
+    with pytest.raises(ValueError):
+        FaultPlan(io_error_burst=MAX_IO_RETRIES)
+
+
+# -- disk faults --------------------------------------------------------------
+
+def test_torn_write_at_tears_exactly_the_kth_write():
+    plan = FaultPlan(seed=0, torn_write_at=2)
+    assert plan.torn_write_len(7, 100) is None
+    assert plan.torn_write_len(7, 100) == 50
+    assert plan.torn_write_len(7, 100) is None
+    assert plan.torn_writes == 1
+    assert plan.faults_injected == 1
+
+
+def test_io_error_burst_bounds_consecutive_failures():
+    plan = FaultPlan(seed=0, io_error_rate=1.0, io_error_burst=2)
+    with pytest.raises(TransientIOError):
+        plan.maybe_io_error("disk.write", 7)
+    with pytest.raises(TransientIOError):
+        plan.maybe_io_error("disk.write", 7)
+    # The burst bound forces success on the third consecutive attempt.
+    plan.maybe_io_error("disk.write", 7)
+
+
+def test_io_retry_converges_and_counts_retries():
+    plan = FaultPlan(seed=0, io_error_rate=1.0, io_error_burst=2)
+
+    def attempt() -> str:
+        plan.maybe_io_error("archive.write", 3)
+        return "done"
+
+    assert io_retry(plan, attempt, "archive.write") == "done"
+    assert plan.io_retries == 2
+
+
+def test_io_retry_without_plan_is_a_plain_call():
+    assert io_retry(None, lambda: 5, "disk.write") == 5
+
+
+# -- log faults ---------------------------------------------------------------
+
+def test_partial_flush_is_bounded_and_deterministic():
+    survivors = FaultPlan(seed=3, partial_flush_rate=1.0) \
+        .partial_flush_frames(8)
+    assert 1 <= survivors <= 8
+    assert FaultPlan(seed=3, partial_flush_rate=1.0) \
+        .partial_flush_frames(8) == survivors
+    assert FaultPlan(seed=3).partial_flush_frames(8) == 0
+    assert FaultPlan(seed=3, partial_flush_rate=1.0) \
+        .partial_flush_frames(0) == 0
+
+
+# -- tracing ------------------------------------------------------------------
+
+class _Tracer:
+    def __init__(self):
+        self.events = []
+
+    def instant(self, category, name, component, **args):
+        self.events.append((category, name, args))
+
+
+def test_faults_emit_tracer_instants():
+    tracer = _Tracer()
+    plan = FaultPlan(seed=0, torn_write_at=1, tracer=tracer,
+                     schedule=(("a.b.c", 1),))
+    plan.torn_write_len(7, 100)
+    with pytest.raises(CrashPointReached):
+        plan.crashpoint("a.b.c")
+    names = [name for _category, name, _args in tracer.events]
+    assert names == ["torn_write", "crashpoint"]
+    assert all(category == "fault" for category, _n, _a in tracer.events)
+
+
+# -- the CRASHPOINTS manifest -------------------------------------------------
+
+def test_manifest_names_follow_the_convention():
+    assert len(set(CRASHPOINTS)) == len(CRASHPOINTS)
+    for point in CRASHPOINTS:
+        assert len(point.split(".")) >= 3, point
+
+
+def test_manifest_matches_the_instrumented_sources():
+    """Every crashpoint named in the source tree is in the manifest and
+    vice versa — the same closed-loop check OBS001 gives counters."""
+    pattern = re.compile(r'\.crashpoint\(\s*"([^"]+)"', re.S)
+    found = set()
+    for path in sorted(SRC.rglob("*.py")):
+        found.update(pattern.findall(path.read_text(encoding="utf-8")))
+    assert found == set(CRASHPOINTS)
