@@ -13,17 +13,53 @@ RPC003 — no code may call a registered handler *directly* on
 bypass the (sender, request_id) dedup cache, so a retried message would
 execute twice.  (Harness/test orchestration on other receivers is
 deliberately out of scope.)
+
+RPC004 — in a function that builds a :class:`BatchEnvelope`, every
+``Envelope``/``BatchEnvelope`` constructed must take its ``request_id``
+from a fresh ``next_request_id()`` call (directly, or via a local name
+assigned from one).  A literal, reused, or derived id breaks the
+per-sub-call exactly-once guarantee batching promises: two sub-calls
+sharing an id would alias each other in the dedup cache.
+
+RPC005 — no code may invoke a handler by subscripting a ``_handlers``
+table (``self._handlers[m](...)``): that is the dispatcher-internal
+storage, and calling through it skips the (sender, request_id) dedup
+cache — the tempting shortcut when hand-rolling a batch fan-out loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+import ast
+from typing import Dict, Iterator, Set
 
 from repro.analysis.checkers.base import Checker
 from repro.analysis.findings import Finding
 from repro.analysis.project import (
-    FunctionScope, Project, call_name, call_receiver, string_args,
+    FunctionScope, Project, call_name, call_receiver, dotted_name,
+    string_args,
 )
+
+
+def _request_id_value(call: ast.Call) -> ast.AST | None:
+    """The expression bound to ``request_id`` (keyword or first arg)."""
+    for kw in call.keywords:
+        if kw.arg == "request_id":
+            return kw.value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+def _fresh_id_names(scope: FunctionScope) -> Set[str]:
+    """Local names assigned directly from a ``next_request_id()`` call."""
+    names: Set[str] = set()
+    for node in ast.walk(scope.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call) \
+                and call_name(node.value) == "next_request_id":
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
 
 
 class RpcHygieneChecker(Checker):
@@ -33,13 +69,49 @@ class RpcHygieneChecker(Checker):
                   "handler silently wins)",
         "RPC003": "registered handler invoked directly on self.server, "
                   "bypassing request-id dedup",
+        "RPC004": "batched envelope built without a fresh "
+                  "next_request_id() request id",
+        "RPC005": "handler invoked through a _handlers table subscript, "
+                  "bypassing request-id dedup",
     }
 
     def check_function(self, scope: FunctionScope,
                        project: Project) -> Iterator[Finding]:
         seen: Dict[str, int] = {}
-        for call in scope.calls():
+        calls = list(scope.calls())
+        builds_batch = any(call_name(c) == "BatchEnvelope" for c in calls)
+        fresh_names = _fresh_id_names(scope) if builds_batch else set()
+        for call in calls:
             name = call_name(call)
+            if builds_batch and name in ("Envelope", "BatchEnvelope"):
+                value = _request_id_value(call)
+                fresh = (
+                    isinstance(value, ast.Call)
+                    and call_name(value) == "next_request_id"
+                ) or (
+                    isinstance(value, ast.Name) and value.id in fresh_names
+                )
+                if not fresh:
+                    yield self.found(
+                        scope, call, "RPC004",
+                        f"{name}(...) in a batch-building scope does not "
+                        "take request_id from next_request_id()",
+                        "give every batched sub-envelope its own fresh "
+                        "id: request_id=network.next_request_id() — "
+                        "shared or derived ids alias in the dedup cache",
+                    )
+            if isinstance(call.func, ast.Subscript):
+                table = dotted_name(call.func.value)
+                if table is not None and \
+                        table.rsplit(".", 1)[-1] == "_handlers":
+                    yield self.found(
+                        scope, call, "RPC005",
+                        f"{table}[...](...) invokes a handler around the "
+                        "dispatcher; a retried RPC would execute twice",
+                        "route the envelope through dispatcher.dispatch() "
+                        "so the (sender, request_id) dedup cache applies",
+                    )
+                continue
             if name == "call":
                 literals = string_args(call)
                 if literals and literals[0] not in project.registered_rpc:

@@ -206,6 +206,14 @@ class SystemConfig:
     rpc_backoff_base: float = 1.0
     #: Simulated units a stub waits before treating an exchange as lost.
     rpc_timeout: float = 10.0
+    #: Coalesce back-to-back RPCs on the same edge into one
+    #: :class:`repro.net.rpc.BatchEnvelope` exchange (today: the commit
+    #: path's log-ship + force pair).  Every sub-call keeps its own
+    #: request id, charge, span, and dedup entry, so traffic counters
+    #: are unchanged; only caller-side per-call overhead is amortized.
+    #: Off by default so crashpoint placement between the coalesced
+    #: calls and the default-config RPC ordering stay bit-identical.
+    rpc_batching: bool = False
     #: Keep the last N delivery attempts in a ring-buffer trace
     #: (rendered by ``tools.logdump.message_trace``; 0 disables).
     message_trace_depth: int = 0

@@ -66,7 +66,7 @@ from repro.locking.llm import LocalLockManager
 from repro.locking.lock_modes import LockMode
 from repro.net.messages import MsgType
 from repro.net.network import Network
-from repro.net.rpc import RpcDispatcher
+from repro.net.rpc import BatchCall, RpcDispatcher
 from repro.records.heap import RecordId, decode_value, encode_value
 from repro.storage.buffer_pool import BufferControlBlock, BufferPool
 from repro.storage.page import Page, PageKind
@@ -640,11 +640,30 @@ class Client:
             prev_lsn=txn.last_lsn,
         ))
         txn.last_lsn = commit_lsn
-        self._ship_log_records()
-        if self.faults is not None:
-            self.faults.crashpoint("client.commit.before_force", self.tracer)
-        flushed = self.rpc.call("force_log_for_commit", MsgType.COMMIT_REQUEST,
-                                payload=txn.txn_id, args=(txn.txn_id,))
+        batch = self.log.unshipped()
+        if self.config.rpc_batching and self.faults is None and batch:
+            # Coalesce the commit's ship + force pair into one batched
+            # exchange on the client->server edge.  Disabled whenever a
+            # fault plan is attached: the before_force crashpoint sits
+            # between the two calls, and batching would skip it.
+            shipped, forced = self.rpc.call_batch((
+                BatchCall("receive_log_records", MsgType.LOG_SHIP,
+                          payload=batch, args=(batch,)),
+                BatchCall("force_log_for_commit", MsgType.COMMIT_REQUEST,
+                          payload=txn.txn_id, args=(txn.txn_id,)),
+            ))
+            assigned, ship_flushed = shipped
+            self.log.note_shipped(assigned)
+            self.log.prune_stable(ship_flushed)
+            flushed = forced
+        else:
+            self._ship_log_records()
+            if self.faults is not None:
+                self.faults.crashpoint("client.commit.before_force",
+                                       self.tracer)
+            flushed = self.rpc.call("force_log_for_commit",
+                                    MsgType.COMMIT_REQUEST,
+                                    payload=txn.txn_id, args=(txn.txn_id,))
         self.log.prune_stable(flushed)
         if self.faults is not None:
             self.faults.crashpoint("client.commit.before_end", self.tracer)

@@ -144,9 +144,24 @@ class Server:
         #: Connected clients, by id (duck-typed Client objects).
         self._clients: Dict[str, Any] = {}
         #: Which clients cache a copy of each page (coherency tracking).
+        #: Maintained through :meth:`_note_caching`, which avoids the
+        #: throwaway-set-per-call cost of ``setdefault`` on the page
+        #: request hot path.
         self._caching: Dict[int, Set[str]] = {}
         #: Per-client interaction counter driving the Max_LSN piggyback.
         self._interactions: Dict[str, int] = {}
+        #: Callback-suppression memo, populated only when lock caching
+        #: is off: resources a holder's reduce-callback confirmed it
+        #: still locally needs.  With caching off a holder's local need
+        #: can only shrink through an event the server witnesses (an
+        #: RPC from the holder, or server-side recovery of it), so a
+        #: memoized answer stays exact until :meth:`_interaction` or a
+        #: ``glm.release_all`` clears it — and re-asking in between is
+        #: a pure waste (the reduce-callback RPC storm under hot-key
+        #: contention).  With caching *on* the memo must stay empty:
+        #: local need then shrinks silently at transaction end, and a
+        #: stale "still needed" answer would strand waiters.
+        self._lock_needed_memo: Dict[str, Set[Any]] = {}
         #: Address of each client's last complete checkpoint's Begin
         #: record — part of the stable master record.
         self._master: Dict[str, Any] = {
@@ -180,6 +195,7 @@ class Server:
         self.wal_forces = 0
         self.pages_served = 0
         self.callbacks_sent = 0
+        self.callbacks_suppressed = 0
         self.invalidations_sent = 0
         self.piggybacks_sent = 0
         self.commit_forces = 0
@@ -314,6 +330,18 @@ class Server:
         if self.crashed:
             raise NodeUnavailableError(self.node_id)
 
+    def _note_caching(self, page_id: int, client_id: str) -> None:
+        """Record that ``client_id`` caches ``page_id``.
+
+        Every page request hits this; the get-then-create keeps the
+        steady state (token set exists) free of the throwaway ``set()``
+        that ``setdefault`` would allocate per call.
+        """
+        tokens = self._caching.get(page_id)
+        if tokens is None:
+            tokens = self._caching[page_id] = set()
+        tokens.add(client_id)
+
     def _interaction(self, client_id: str) -> None:
         """Count a client interaction; piggyback LSN sync periodically.
 
@@ -322,6 +350,10 @@ class Server:
         synchronous call doubles as the acknowledgement that lets the
         tracker raise the client's floor.
         """
+        # Any RPC from the client may have shrunk its local lock needs
+        # (commit, rollback, release); its memoized callback answers
+        # are stale from here on.
+        self._lock_needed_memo.pop(client_id, None)
         period = self.config.max_lsn_sync_period
         count = self._interactions.get(client_id, 0) + 1
         self._interactions[client_id] = count
@@ -477,7 +509,7 @@ class Server:
         self._demote_update_owner(page_id, requester=client_id, release=False)
         self.glm.acquire_p_lock(client_id, page_id, LockMode.S)
         bcb = self._current_page_bcb(page_id)
-        self._caching.setdefault(page_id, set()).add(client_id)
+        self._note_caching(page_id, client_id)
         if cached_lsn is not None and cached_lsn >= bcb.page.page_lsn:
             return None
         self.pages_served += 1
@@ -512,7 +544,9 @@ class Server:
                                                payload=page_id,
                                                args=(page_id,))
             self.glm.release_p_lock(holder, page_id)
-            self._caching.setdefault(page_id, set()).discard(holder)
+            tokens = self._caching.get(page_id)
+            if tokens is not None:
+                tokens.discard(holder)
         self.glm.acquire_p_lock(client_id, page_id, LockMode.X)
         self.glm.note_update_grant(page_id, self.log.end_of_log_addr)
         self._caching[page_id] = {client_id}
@@ -549,6 +583,17 @@ class Server:
         try:
             return self.glm.acquire(client_id, resource, mode)
         except LockConflictError as conflict:
+            memoize = not self.config.llm_cache_locks
+            if memoize:
+                # If any conflicting holder already confirmed (since its
+                # last interaction) that it still needs this resource,
+                # its hold cannot have shrunk — the retry below would
+                # fail regardless, so skip the whole callback round.
+                for holder in conflict.holders:
+                    still_needed = self._lock_needed_memo.get(holder)
+                    if still_needed is not None and resource in still_needed:
+                        self.callbacks_suppressed += 1
+                        raise
             for holder in conflict.holders:
                 if holder not in self._clients or not self.network.is_up(holder):
                     # A failed client's locks are released by its
@@ -565,6 +610,11 @@ class Server:
                     self.glm.release(holder, resource)
                 else:
                     self.glm.downgrade(holder, resource, needed)
+                    if memoize:
+                        memo = self._lock_needed_memo.get(holder)
+                        if memo is None:
+                            memo = self._lock_needed_memo[holder] = set()
+                        memo.add(resource)
             # Retry: the conflict may persist (a local holder genuinely
             # needs an incompatible mode), in which case it propagates.
             return self.glm.acquire(client_id, resource, mode)
@@ -764,7 +814,7 @@ class Server:
             page, dirty=True, rec_lsn=rec_lsn, rec_addr=rec_addr,
             force_addr=force_addr, covered_addr=self.log.end_of_log_addr,
         )
-        self._caching.setdefault(page.page_id, set()).add(client_id)
+        self._note_caching(page.page_id, client_id)
         forwarded = self._forwarded_dirty.get(page.page_id)
         if forwarded is not None and page.page_lsn >= forwarded[2]:
             # The server now holds a version at least as new as the one
@@ -801,7 +851,7 @@ class Server:
         bcb.covered_addr = max(bcb.covered_addr, self.log.end_of_log_addr)
         self.materializations += 1
         self.records_replayed_for_materialize += applied
-        self._caching.setdefault(page_id, set()).add(client_id)
+        self._note_caching(page_id, client_id)
         forwarded = self._forwarded_dirty.get(page_id)
         if forwarded is not None and bcb.page.page_lsn >= forwarded[2]:
             del self._forwarded_dirty[page_id]
@@ -1005,6 +1055,7 @@ class Server:
         self.log.crash()
         self._caching.clear()
         self._interactions.clear()
+        self._lock_needed_memo.clear()
         self._rec_addr_floor.clear()
         self._forwarded_dirty.clear()
         self.crashed = True
@@ -1172,11 +1223,12 @@ class Server:
                 logical, p_locks, cached = client.report_lock_state()
                 self.glm.reinstall_client_locks(client_id, logical, p_locks)
                 for page_id in cached:
-                    self._caching.setdefault(page_id, set()).add(client_id)
+                    self._note_caching(page_id, client_id)
                 client.server_restarted(self.log.flushed_addr)
             else:
                 self._stash_indoubt(client_id, analysis)
                 self.glm.release_all(client_id)
+                self._lock_needed_memo.pop(client_id, None)
                 self.tracker.forget_client(client_id)
 
         report = RecoveryReport(
@@ -1329,6 +1381,7 @@ class Server:
         # The failed client's lock and cache footprints disappear.
         self.glm.release_all(client_id)
         self.glm.release_all_p_locks(client_id)
+        self._lock_needed_memo.pop(client_id, None)
         for caching in self._caching.values():
             caching.discard(client_id)
         self.tracker.drop_transactions_of(client_id)

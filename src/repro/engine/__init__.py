@@ -1,0 +1,21 @@
+"""Event-driven transaction execution engine (see ``repro.engine.core``)."""
+
+from repro.engine.core import (
+    Engine,
+    ScheduledTxn,
+    ScheduleResult,
+    TxnOutcomeKind,
+    choose_deadlock_victim,
+    execute_op,
+    victim_cost,
+)
+
+__all__ = [
+    "Engine",
+    "ScheduledTxn",
+    "ScheduleResult",
+    "TxnOutcomeKind",
+    "choose_deadlock_victim",
+    "execute_op",
+    "victim_cost",
+]

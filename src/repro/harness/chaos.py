@@ -26,9 +26,12 @@ is attached only *after* offline bootstrap/seeding: the sweep models
 crashes of a formatted, operating complex (bootstrap is the offline
 formatting step; its crashpoint is exercised by dedicated tests).
 
-CLI (the CI chaos-smoke job runs ``--quick``)::
+CLI (the CI chaos-smoke job runs ``--quick`` twice: once plain, once
+``--engine`` to drive the script's transactions through the
+event-driven execution engine instead of the direct client API)::
 
     python -m repro.harness.chaos --quick
+    python -m repro.harness.chaos --quick --engine
     python -m repro.harness.chaos --seed 7 --out chaos-report.json
     python -m repro.harness.chaos --replay "s7:recovery.undo.scan@1+recovery.undo.scan@1"
 """
@@ -45,6 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.config import SystemConfig
 from repro.core.coordinator import TwoPhaseCoordinator
 from repro.core.system import ClientServerSystem
+from repro.engine import Engine
 from repro.errors import ReproError
 from repro.faults import CRASHPOINTS, CrashPointReached, FaultPlan
 from repro.harness.invariants import check_all
@@ -139,9 +143,17 @@ class ScheduleResult:
 class _WorkloadRun:
     """One execution of the chaos script under one fault plan."""
 
-    def __init__(self, seed: int, schedule: Schedule) -> None:
+    def __init__(self, seed: int, schedule: Schedule,
+                 engine: bool = False) -> None:
         self.seed = seed
         self.schedule = schedule
+        #: Route the script's plain commit/rollback transactions through
+        #: the event-driven engine instead of the direct client API, so
+        #: the sweep also certifies the engine's execution path against
+        #: every crash schedule.  The specialised steps (2PC, page
+        #: allocation, explicit page shipping) stay on the direct API:
+        #: the engine's op vocabulary deliberately excludes them.
+        self.engine = engine
         self.plan = FaultPlan(seed=seed, schedule=schedule)
         self.oracle = CommittedStateOracle()
         self.live: Dict[str, _LiveTxn] = {}
@@ -166,30 +178,53 @@ class _WorkloadRun:
 
     # -- script helpers (oracle updated only on acknowledged outcomes) ----
 
+    def _run_program(self, client_id: str, label: str,
+                     writes: Dict[RecordId, Any], terminal: str) -> None:
+        """Execute one transaction through the event-driven engine.
+
+        The write set is registered in ``self.live`` *before* the run:
+        a scheduled crash can fire after any prefix of the updates, and
+        atomicity classification only needs the full intended set (all
+        present => committed, none => rolled back).  CrashPointReached
+        propagates straight out of the engine — it only absorbs lock
+        conflicts — so the explorer's crash handling is unchanged.
+        """
+        live = self.live[label] = _LiveTxn(label)
+        live.writes.update(writes)
+        program = [("update", rid, value) for rid, value in writes.items()]
+        program.append((terminal,))
+        Engine(self.system).run([(client_id, program)])
+
     def _commit(self, client_id: str, label: str,
                 writes: Dict[RecordId, Any]) -> None:
-        client = self.system.client(client_id)
-        txn = client.begin(label)
-        live = self.live[label] = _LiveTxn(label)
-        for rid, value in writes.items():
-            client.update(txn, rid, value)
-            live.writes[rid] = value
-        client.commit(txn)
-        for rid, value in live.writes.items():
+        if self.engine:
+            self._run_program(client_id, label, writes, "commit")
+        else:
+            client = self.system.client(client_id)
+            txn = client.begin(label)
+            live = self.live[label] = _LiveTxn(label)
+            for rid, value in writes.items():
+                client.update(txn, rid, value)
+                live.writes[rid] = value
+            client.commit(txn)
+        for rid, value in self.live[label].writes.items():
             self.oracle.note_committed_update(rid, value)
         self.outcomes[label] = "committed"
         del self.live[label]
 
     def _rollback(self, client_id: str, label: str,
                   writes: Dict[RecordId, Any]) -> None:
-        client = self.system.client(client_id)
-        txn = client.begin(label)
-        live = self.live[label] = _LiveTxn(label)
-        for rid, value in writes.items():
-            client.update(txn, rid, value)
-            live.writes[rid] = value
-        client.rollback(txn)
-        for rid, value in live.writes.items():
+        if self.engine:
+            self._run_program(client_id, label, writes, "abort")
+        else:
+            client = self.system.client(client_id)
+            txn = client.begin(label)
+            live = self.live[label] = _LiveTxn(label)
+            for rid, value in writes.items():
+                client.update(txn, rid, value)
+                live.writes[rid] = value
+            client.rollback(txn)
+        for rid, value in self.live[label].writes.items():
             self.oracle.note_uncommitted_value(rid, value)
         self.outcomes[label] = "rolled-back"
         del self.live[label]
@@ -409,6 +444,9 @@ class ExplorerSummary:
     quick: bool
     census: Dict[str, int]
     results: List[ScheduleResult]
+    #: Whether the script's transactions ran through the event-driven
+    #: engine (``--engine``) instead of the direct client API.
+    engine: bool = False
 
     @property
     def schedules_explored(self) -> int:
@@ -434,6 +472,7 @@ class ExplorerSummary:
         return {
             "seed": self.seed,
             "quick": self.quick,
+            "engine": self.engine,
             "schedules_explored": self.schedules_explored,
             "points_covered": self.points_covered,
             "nested_schedules": self.nested_schedules,
@@ -446,7 +485,8 @@ class ExplorerSummary:
         fired = sum(1 for r in self.results if r.fired)
         lines = [
             f"chaos sweep: seed={self.seed} "
-            f"mode={'quick' if self.quick else 'full'}",
+            f"mode={'quick' if self.quick else 'full'}"
+            f"{' executor=engine' if self.engine else ''}",
             f"  crashpoints censused : {self.points_covered}"
             f" (of {len(CRASHPOINTS)} instrumented)",
             f"  schedules explored   : {self.schedules_explored}"
@@ -466,10 +506,12 @@ class CrashScheduleExplorer:
     """Enumerate, run and replay crash schedules over the chaos script."""
 
     def __init__(self, seed: int = 0, quick: bool = False,
-                 budget: Optional[int] = None) -> None:
+                 budget: Optional[int] = None,
+                 engine: bool = False) -> None:
         self.seed = seed
         self.quick = quick
         self.budget = budget
+        self.engine = engine
         self._census: Optional[Dict[str, int]] = None
         self._explored = 0
 
@@ -536,7 +578,7 @@ class CrashScheduleExplorer:
     def replay(self, sid: str) -> ScheduleResult:
         """Re-run a schedule from its id (seed travels in the id)."""
         seed, schedule = parse_schedule_id(sid)
-        replayer = CrashScheduleExplorer(seed=seed)
+        replayer = CrashScheduleExplorer(seed=seed, engine=self.engine)
         return replayer.run_schedule(schedule)
 
     def explore(self) -> ExplorerSummary:
@@ -545,11 +587,12 @@ class CrashScheduleExplorer:
         results = [self.run_schedule(schedule)
                    for schedule in self.schedules()]
         return ExplorerSummary(seed=self.seed, quick=self.quick,
-                               census=census, results=results)
+                               census=census, results=results,
+                               engine=self.engine)
 
     def _execute(self, schedule: Schedule) -> Tuple[_WorkloadRun,
                                                     ScheduleResult]:
-        run = _WorkloadRun(self.seed, schedule)
+        run = _WorkloadRun(self.seed, schedule, engine=self.engine)
         self._explored += 1
         run.plan.schedules_explored += 1
         fired: List[Tuple[str, int]] = []
@@ -631,6 +674,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "family (the CI chaos job)")
     parser.add_argument("--budget", type=int, default=None,
                         help="cap the number of schedules run")
+    parser.add_argument("--engine", action="store_true",
+                        help="drive the script's transactions through "
+                             "the event-driven execution engine")
     parser.add_argument("--replay", metavar="SCHEDULE_ID",
                         help="re-run one schedule by id (twice, checking "
                              "the digests match) instead of sweeping")
@@ -641,7 +687,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     explorer = CrashScheduleExplorer(seed=args.seed, quick=args.quick,
-                                     budget=args.budget)
+                                     budget=args.budget,
+                                     engine=args.engine)
     if args.replay:
         first = explorer.replay(args.replay)
         second = explorer.replay(args.replay)

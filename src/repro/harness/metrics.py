@@ -63,6 +63,10 @@ class MetricsSnapshot:
     locks_avoided: int = 0
     llm_local_grants: int = 0
     glm_requests: int = 0
+    #: Reduce-callback rounds skipped because a conflicting holder had
+    #: already confirmed (since its last interaction) it still needs
+    #: the resource — only populated with lock caching off.
+    callbacks_suppressed: int = 0
 
     client_cache_hits: int = 0
     client_cache_misses: int = 0

@@ -1,58 +1,61 @@
 """Cooperative scheduler: concurrent transactions without threads.
 
 Transactions are *programs* (operation lists, see ``repro.workloads``)
-assigned to clients.  The scheduler round-robins one operation at a time
-across all runnable transactions, which interleaves them exactly the way
-the paper's concurrency discussion assumes: record locks serialize
-conflicting accesses, the update privilege serializes physical page
-modification, and everything else overlaps.
+assigned to clients.  Two executors share one program format, one lock
+conflict translation, and one deadlock-victim policy:
+
+* :class:`PollingScheduler` — the original round-robin executor: one
+  operation per runnable transaction per round, parked waiters retried
+  every round.  Kept as the baseline the engine benchmarks against and
+  as the reference semantics for parity tests.
+* :class:`Scheduler` — the classic public API, now a thin adapter over
+  the event-driven :class:`repro.engine.Engine`: a ready queue and a
+  wait set replace the per-round rescan, and lock releases wake exactly
+  the parked waiters.  Outcomes are identical; under contention the
+  engine simply skips the polling retries.
 
 Lock conflicts park the requester and feed the waits-for graph; when
 nothing can run, deadlock detection picks the cheapest victim (fewest
-logged updates), rolls it back at its client, and the rest proceed.
+logged updates, ties broken by transaction id — see
+:func:`repro.engine.core.choose_deadlock_victim`), rolls it back at its
+client, and the rest proceed.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.system import ClientServerSystem
-from repro.core.transaction import Transaction
+from repro.engine.core import (
+    Engine,
+    ScheduledTxn,
+    ScheduleResult,
+    TxnOutcomeKind,
+    choose_deadlock_victim,
+    execute_op,
+    victim_cost,
+)
 from repro.errors import LockConflictError
 from repro.locking.deadlock import WaitsForGraph
 from repro.workloads.generator import Op, Program
 
-
-class TxnOutcomeKind(enum.Enum):
-    COMMITTED = "committed"
-    ABORTED = "aborted"
-    DEADLOCK_VICTIM = "deadlock-victim"
-
-
-@dataclass
-class ScheduledTxn:
-    name: str
-    client_id: str
-    program: Program
-    txn: Optional[Transaction] = None
-    next_op: int = 0
-    waiting: bool = False
-    outcome: Optional[TxnOutcomeKind] = None
+__all__ = [
+    "PollingScheduler",
+    "ScheduledTxn",
+    "ScheduleResult",
+    "Scheduler",
+    "TxnOutcomeKind",
+]
 
 
-@dataclass
-class ScheduleResult:
-    committed: int = 0
-    aborted: int = 0
-    deadlock_victims: int = 0
-    rounds: int = 0
-    outcomes: Dict[str, TxnOutcomeKind] = field(default_factory=dict)
+class PollingScheduler:
+    """Round-robin cooperative executor with deadlock resolution.
 
-
-class Scheduler:
-    """Round-robin cooperative executor with deadlock resolution."""
+    The legacy execution model: every round visits every unfinished
+    transaction and attempts one operation, including transactions
+    already known to be blocked (their retry is what eventually
+    observes the lock release).  O(all transactions) per round.
+    """
 
     def __init__(self, system: ClientServerSystem) -> None:
         self.system = system
@@ -101,6 +104,7 @@ class Scheduler:
         client = self.system.client(scheduled.client_id)
         if scheduled.txn is None:
             scheduled.txn = client.begin()
+        scheduled.steps += 1
         op = scheduled.program[scheduled.next_op]
         try:
             self._execute(client, scheduled, op)
@@ -113,28 +117,7 @@ class Scheduler:
         return True
 
     def _execute(self, client, scheduled: ScheduledTxn, op: Op) -> None:
-        txn = scheduled.txn
-        kind = op[0]
-        if kind == "read":
-            client.read(txn, op[1])
-        elif kind == "update":
-            client.update(txn, op[1], op[2])
-        elif kind == "insert":
-            client.insert(txn, op[1], op[2])
-        elif kind == "delete":
-            client.delete(txn, op[1])
-        elif kind == "savepoint":
-            client.savepoint(txn, op[1])
-        elif kind == "rollback_to":
-            client.rollback(txn, savepoint=op[1])
-        elif kind == "commit":
-            client.commit(txn)
-            scheduled.outcome = TxnOutcomeKind.COMMITTED
-        elif kind == "abort":
-            client.rollback(txn)
-            scheduled.outcome = TxnOutcomeKind.ABORTED
-        else:
-            raise ValueError(f"unknown op {op!r}")
+        execute_op(client, scheduled, op)
 
     # -- waits-for bookkeeping ----------------------------------------------------
 
@@ -179,14 +162,8 @@ class Scheduler:
             self._node_name(t): t for t in txns
             if t.txn is not None and t.outcome is None
         }
-
-        def cost(name: str) -> int:
-            scheduled = by_txn_id.get(name)
-            if scheduled is None or scheduled.txn is None:
-                return 1 << 30  # never pick nodes we cannot abort
-            return scheduled.txn.updates_logged
-
-        victim_name = self.graph.choose_victim(cycle, cost)
+        victim_name = choose_deadlock_victim(
+            self.graph, cycle, victim_cost(by_txn_id))
         victim = by_txn_id.get(victim_name)
         if victim is None:
             raise RuntimeError(f"deadlock victim {victim_name} is not schedulable")
@@ -195,3 +172,19 @@ class Scheduler:
         client.rollback(victim.txn)
         victim.outcome = TxnOutcomeKind.DEADLOCK_VICTIM
         self.graph.remove_node(victim_name)
+
+
+class Scheduler(PollingScheduler):
+    """The classic scheduler API, executed by the event-driven engine.
+
+    Construction and the step-level helpers (``_step``,
+    ``_break_deadlock``, ``graph``) remain the polling implementation —
+    harness code that drives single steps by hand keeps working — but
+    :meth:`run` hands the whole schedule to
+    :class:`repro.engine.Engine`, so experiments and baselines get the
+    ready-queue/wait-set execution path without any call-site change.
+    """
+
+    def run(self, assignments: Sequence[Tuple[str, Program]],
+            max_rounds: int = 100_000) -> ScheduleResult:
+        return Engine(self.system).run(assignments, max_rounds=max_rounds)

@@ -31,6 +31,13 @@ class LockEntry:
     #: variant (no client checkpoints): the log address from which a
     #: failed holder's updates to this page must be redone.
     rec_addr: LogAddr = NULL_ADDR
+    #: Holder count per mode (the classic "group mode" summary).  Lets
+    #: :meth:`LockTable.acquire` decide grant/conflict by scanning the
+    #: handful of distinct modes instead of every holder — the
+    #: difference between O(modes) and O(crowd) when thousands of
+    #: readers share one hot resource.  Maintained only by LockTable's
+    #: own mutators; counts may keep zero-valued keys.
+    mode_counts: Dict[LockMode, int] = field(default_factory=dict)
 
     def max_mode(self) -> Optional[LockMode]:
         modes = list(self.holders.values())
@@ -48,6 +55,13 @@ class LockTable:
     def __init__(self, name: str = "locks") -> None:
         self.name = name
         self._entries: Dict[Resource, LockEntry] = {}
+        #: Per-owner index of held resources (dict used as an ordered
+        #: set: keys in acquisition order).  Makes ``release_all`` and
+        #: ``resources_held_by`` proportional to the owner's own locks
+        #: instead of a scan over every entry in the table — the
+        #: difference between O(txn footprint) and O(live lock space)
+        #: on every transaction termination.
+        self._by_owner: Dict[str, Dict[Resource, None]] = {}
         self.requests = 0
         self.grants = 0
         self.conflicts = 0
@@ -70,14 +84,34 @@ class LockTable:
             self._entries[resource] = entry
         held = entry.holders.get(owner)
         target = mode if held is None else supremum(held, mode)
-        blockers = tuple(
-            other for other, other_mode in entry.holders.items()
-            if other != owner and not compatible(other_mode, target)
-        )
-        if blockers:
+        # Grant/conflict decision over the group-mode summary: O(distinct
+        # modes), not O(holders).  The owner's own current mode is
+        # excluded (conversion never conflicts with itself).
+        conflicting = False
+        for other_mode, count in entry.mode_counts.items():
+            if other_mode is held:
+                count -= 1
+            if count > 0 and not compatible(other_mode, target):
+                conflicting = True
+                break
+        if conflicting:
+            # Slow path, only on an actual conflict: enumerate the
+            # blockers in acquisition order for the waits-for edges.
+            blockers = [other for other, other_mode in entry.holders.items()
+                        if other != owner and not compatible(other_mode, target)]
             self.conflicts += 1
-            raise LockConflictError(resource, target.value, blockers)
+            raise LockConflictError(resource, target.value, tuple(blockers))
         entry.holders[owner] = target
+        counts = entry.mode_counts
+        if held is None:
+            owned = self._by_owner.get(owner)
+            if owned is None:
+                owned = self._by_owner[owner] = {}
+            owned[resource] = None
+        elif held is not target:
+            counts[held] -= 1
+        if held is not target:
+            counts[target] = counts.get(target, 0) + 1
         self.grants += 1
         return target
 
@@ -95,22 +129,26 @@ class LockTable:
         entry = self._entries.get(resource)
         if entry is None or owner not in entry.holders:
             raise LockNotHeldError(f"{owner} holds no lock on {resource!r}")
-        del entry.holders[owner]
+        entry.mode_counts[entry.holders.pop(owner)] -= 1
+        self._unindex(owner, resource)
         self.releases += 1
         if not entry.holders and entry.rec_addr == NULL_ADDR:
             del self._entries[resource]
 
     def release_all(self, owner: str) -> List[Resource]:
-        """Release every lock held by ``owner``; returns the resources."""
+        """Release every lock held by ``owner``; returns the resources
+        in acquisition order."""
+        owned = self._by_owner.pop(owner, None)
+        if not owned:
+            return []
         released = []
-        for resource in list(self._entries):
+        for resource in owned:
             entry = self._entries[resource]
-            if owner in entry.holders:
-                del entry.holders[owner]
-                self.releases += 1
-                released.append(resource)
-                if not entry.holders and entry.rec_addr == NULL_ADDR:
-                    del self._entries[resource]
+            entry.mode_counts[entry.holders.pop(owner)] -= 1
+            self.releases += 1
+            released.append(resource)
+            if not entry.holders and entry.rec_addr == NULL_ADDR:
+                del self._entries[resource]
         return released
 
     def downgrade(self, owner: str, resource: Resource, mode: LockMode) -> None:
@@ -118,7 +156,11 @@ class LockTable:
         entry = self._entries.get(resource)
         if entry is None or owner not in entry.holders:
             raise LockNotHeldError(f"{owner} holds no lock on {resource!r}")
-        entry.holders[owner] = mode
+        previous = entry.holders[owner]
+        if previous is not mode:
+            entry.holders[owner] = mode
+            entry.mode_counts[previous] -= 1
+            entry.mode_counts[mode] = entry.mode_counts.get(mode, 0) + 1
 
     # -- inspection ---------------------------------------------------------------
 
@@ -135,10 +177,8 @@ class LockTable:
         return dict(entry.holders) if entry is not None else {}
 
     def resources_held_by(self, owner: str) -> List[Resource]:
-        return [
-            resource for resource, entry in self._entries.items()
-            if owner in entry.holders
-        ]
+        owned = self._by_owner.get(owner)
+        return list(owned) if owned is not None else []
 
     def entries(self) -> Iterator[LockEntry]:
         return iter(self._entries.values())
@@ -161,3 +201,13 @@ class LockTable:
     def clear(self) -> None:
         """Server crash: the lock table is volatile and disappears."""
         self._entries.clear()
+        self._by_owner.clear()
+
+    # -- internal -------------------------------------------------------------
+
+    def _unindex(self, owner: str, resource: Resource) -> None:
+        owned = self._by_owner.get(owner)
+        if owned is not None:
+            owned.pop(resource, None)
+            if not owned:
+                del self._by_owner[owner]

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NodeUnavailableError
 from repro.net.messages import MESSAGE_OVERHEAD, MsgType, payload_size
 from repro.net.rpc import (
+    BatchEnvelope,
     DeliveryOutcome,
     Envelope,
     MessageDroppedError,
@@ -259,6 +260,49 @@ class Network:
             raise
         self._end_rpc_span(span_id, "ok")
         return response
+
+    def call_batch(self, batch: BatchEnvelope) -> List[Optional[Response]]:
+        """Deliver every sub-envelope of one batched exchange.
+
+        Availability is checked once for the whole batch — one edge,
+        one exchange — and each sub-envelope then travels the normal
+        delivery path: its own transport plan, its own rpc span, its
+        own request-leg charge, and individual dispatcher dedup.
+        Counters and fault behavior are therefore identical to N
+        individual calls; only the caller-side per-call overhead is
+        amortized.  A sub-exchange that lost a leg yields ``None`` in
+        its slot; the stub retries just that envelope.
+        """
+        if not self.is_up(batch.src):
+            raise NodeUnavailableError(batch.src)
+        if not self.is_up(batch.dst):
+            raise NodeUnavailableError(batch.dst)
+        responses: List[Optional[Response]] = []
+        for sub in batch.calls:
+            if self.tracer is None:
+                try:
+                    responses.append(self._deliver(sub, 0))
+                except MessageDroppedError:
+                    responses.append(None)
+                continue
+            span_id = self.tracer.begin(
+                "rpc", sub.method, sub.src, dst=sub.dst,
+                msg_type=sub.msg_type.value,
+                request_id=sub.request_id, attempt=0,
+                batch_id=batch.request_id,
+            )
+            try:
+                response: Optional[Response] = self._deliver(sub, 0)
+            except MessageDroppedError as exc:
+                self._end_rpc_span(span_id, f"drop-{exc.leg}")
+                response = None
+            except Exception:
+                self._end_rpc_span(span_id, "error")
+                raise
+            else:
+                self._end_rpc_span(span_id, "ok")
+            responses.append(response)
+        return responses
 
     def _end_rpc_span(self, span_id: int, outcome: str) -> None:
         """Close an rpc span, linking it to the ring-buffer trace entry

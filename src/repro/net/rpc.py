@@ -52,7 +52,9 @@ from __future__ import annotations
 import enum
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
 
 from repro.errors import NodeUnavailableError, ReproError
 
@@ -116,6 +118,39 @@ class Envelope:
     #: Charged exchanges count messages and bytes; uncharged ones are
     #: piggybacks riding an already-counted exchange.
     charge: bool = True
+
+
+@dataclass(frozen=True)
+class BatchCall:
+    """One sub-request of a batched exchange, before it gets a wire id."""
+
+    method: str
+    msg_type: Any               # MsgType; Any avoids an import cycle
+    payload: Any = None
+    args: Tuple[Any, ...] = ()
+    charge: bool = True
+
+
+@dataclass(frozen=True)
+class BatchEnvelope:
+    """N sub-requests traveling one ``src -> dst`` edge as one exchange.
+
+    Batching amortizes the per-exchange caller overhead (stub lookup,
+    availability checks, the retry-loop frame) over every call on the
+    same edge; the *accounting* is deliberately not amortized.  Each
+    sub-envelope keeps its own request id, flows through the
+    destination dispatcher's ``(sender, request_id)`` dedup cache
+    individually, is charged as its own request leg, and gets its own
+    rpc span — so traffic counters, exactly-once semantics, and traces
+    are bit-for-bit what N individual calls would have produced.  The
+    batch wrapper itself is free: it models call coalescing, not a new
+    message type.
+    """
+
+    request_id: int
+    src: str
+    dst: str
+    calls: Tuple[Envelope, ...]
 
 
 @dataclass
@@ -296,17 +331,71 @@ class RpcStub:
         budget is exhausted without a completed exchange.
         """
         network = self._network
-        policy: RetryPolicy = network.retry
         envelope = Envelope(
             request_id=network.next_request_id(),
             src=self.src, dst=self.dst, msg_type=msg_type,
             method=method, payload=payload,
             args=args if args is not None else (), charge=charge,
         )
-        attempt = 0
+        response = self._exchange(envelope)
+        if not response.ok:
+            assert response.error is not None
+            raise response.error
+        return response.result
+
+    def call_batch(self, calls: Sequence[BatchCall]) -> List[Any]:
+        """Dispatch several calls on this edge as one batched exchange.
+
+        Each :class:`BatchCall` becomes a sub-envelope with its own
+        fresh request id; the whole batch travels through
+        :meth:`Network.call_batch` so every sub-call is planned,
+        traced, charged, and deduplicated exactly like an individual
+        :meth:`call`.  A sub-call whose leg was lost is retried here,
+        alone, with its original envelope (same request id — the dedup
+        cache makes the retry exactly-once).
+
+        Results come back in call order.  Sub-calls are *dispatched* in
+        order too, so a failed response raises its domain error after
+        earlier sub-calls have already executed — identical to issuing
+        the same sequence of individual calls.
+        """
+        network = self._network
+        batch = BatchEnvelope(
+            request_id=network.next_request_id(),
+            src=self.src, dst=self.dst,
+            calls=tuple(
+                Envelope(
+                    request_id=network.next_request_id(),
+                    src=self.src, dst=self.dst, msg_type=call.msg_type,
+                    method=call.method, payload=call.payload,
+                    args=call.args, charge=call.charge,
+                )
+                for call in calls
+            ),
+        )
+        results: List[Any] = []
+        for sub, response in zip(batch.calls, network.call_batch(batch)):
+            if response is None:
+                # One leg of this sub-exchange was lost; fall back to
+                # the standard retry loop for just this envelope.
+                policy: RetryPolicy = network.retry
+                network.stats.note_timeout_wait(policy.timeout)
+                network.stats.note_retry(policy.backoff(0))
+                response = self._exchange(sub, attempt=1)
+            if not response.ok:
+                assert response.error is not None
+                raise response.error
+            results.append(response.result)
+        return results
+
+    def _exchange(self, envelope: Envelope, attempt: int = 0) -> Response:
+        """Retry one envelope until a response completes or the budget
+        is exhausted (then the destination is declared unavailable)."""
+        network = self._network
+        policy: RetryPolicy = network.retry
         while True:
             try:
-                response = network.call(envelope, attempt=attempt)
+                return network.call(envelope, attempt=attempt)
             except MessageDroppedError:
                 # The caller cannot tell a lost request from a lost
                 # response: both look like ``timeout`` units of silence.
@@ -316,11 +405,6 @@ class RpcStub:
                     raise NodeUnavailableError(self.dst) from None
                 network.stats.note_retry(policy.backoff(attempt))
                 attempt += 1
-                continue
-            if not response.ok:
-                assert response.error is not None
-                raise response.error
-            return response.result
 
 
 def transport_from_config(config: Any) -> Transport:

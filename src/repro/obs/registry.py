@@ -57,7 +57,8 @@ TRACKED_COUNTER_ATTRS = frozenset({
     "commit_requests", "sync_requests", "group_forces", "forces_saved",
     "client_records_received",
     # core.server.Server
-    "wal_forces", "pages_served", "callbacks_sent", "invalidations_sent",
+    "wal_forces", "pages_served", "callbacks_sent", "callbacks_suppressed",
+    "invalidations_sent",
     "piggybacks_sent", "commit_forces", "forwards", "transfer_forces",
     "materializations", "records_replayed_for_materialize",
     "serverside_undo_records",
@@ -159,6 +160,8 @@ def register_server_counters(registry: MetricsRegistry) -> None:
     registry.register("wal_forces", lambda s: s.server.wal_forces)
     registry.register("commit_forces", lambda s: s.server.commit_forces)
     registry.register("glm_requests", lambda s: s.server.glm.logical_requests)
+    registry.register("callbacks_suppressed",
+                      lambda s: s.server.callbacks_suppressed)
 
 
 def register_client_counters(registry: MetricsRegistry) -> None:

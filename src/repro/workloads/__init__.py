@@ -1,5 +1,13 @@
 """Workload generators for examples, tests and benchmarks."""
 
+from repro.workloads.driver import (
+    DriverReport,
+    DriverSpec,
+    ZipfSampler,
+    build_system,
+    generate_wave,
+    run_driver,
+)
 from repro.workloads.generator import (
     Program,
     WorkloadSpec,
@@ -11,11 +19,17 @@ from repro.workloads.generator import (
 )
 
 __all__ = [
+    "DriverReport",
+    "DriverSpec",
     "Program",
     "WorkloadSpec",
+    "ZipfSampler",
+    "build_system",
     "cad_session_programs",
     "debit_credit_programs",
     "generate_programs",
+    "generate_wave",
+    "run_driver",
     "run_program_sequential",
     "seed_table",
 ]

@@ -131,3 +131,30 @@ def test_cli_sweep_writes_json_report(tmp_path, capsys):
     assert data["violations"] == []
     assert data["schedules_explored"] == 2
     assert len(data["results"]) == 2
+
+
+# -- engine mode --------------------------------------------------------------
+
+def test_engine_sweep_recovers_cleanly():
+    """--engine drives the script's transactions through the
+    event-driven engine; the same crash schedules must still recover
+    to a consistent, operational complex."""
+    summary = CrashScheduleExplorer(seed=0, quick=True, engine=True,
+                                    budget=6).explore()
+    assert summary.engine
+    assert summary.violations == []
+    assert summary.schedules_explored == 6
+    for result in summary.results:
+        assert result.fired, result.schedule_id
+    assert summary.to_dict()["engine"] is True
+
+
+def test_engine_replay_stays_in_engine_mode(capsys):
+    assert main(["--quick", "--engine", "--budget", "1",
+                 "--list"]) == 0
+    sid = capsys.readouterr().out.strip().splitlines()[0]
+    explorer = CrashScheduleExplorer(seed=0, engine=True)
+    first = explorer.replay(sid)
+    second = explorer.replay(sid)
+    assert first.digest == second.digest
+    assert first.violations == []

@@ -1,0 +1,202 @@
+"""Engine vs legacy polling scheduler: same programs, same answers.
+
+The event-driven engine replaces the polling executor behind the
+public ``Scheduler`` facade, so its correctness bar is *parity*: for a
+given seed and program set the two executors must produce identical
+``ScheduleResult`` outcomes, and — when the schedule is conflict-free,
+where FIFO order and round-robin order visit operations identically —
+bit-identical ``metrics.snapshot()`` deltas too.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.engine import Engine, TxnOutcomeKind, choose_deadlock_victim
+from repro.harness import metrics
+from repro.harness.scheduler import PollingScheduler, Scheduler
+from repro.locking.deadlock import WaitsForGraph
+from repro.workloads.generator import seed_table
+
+
+def fresh_seeded():
+    config = SystemConfig(client_checkpoint_interval=0,
+                          server_checkpoint_interval=0)
+    system = ClientServerSystem(config, client_ids=["C1", "C2"])
+    system.bootstrap(data_pages=8, free_pages=32)
+    rids = seed_table(system, "C1", "t", 8, 4)
+    return system, rids
+
+
+def run_both(make_programs):
+    """Run the same programs through both executors on twin systems.
+
+    Returns ((engine_result, engine_delta), (polling_result,
+    polling_delta)); the two systems are built identically, so any
+    divergence is the executor's doing.
+    """
+    results = []
+    for executor in (Engine, PollingScheduler):
+        system, rids = fresh_seeded()
+        programs = make_programs(rids)
+        before = metrics.snapshot(system)
+        result = executor(system).run(programs)
+        delta = metrics.snapshot(system).minus(before)
+        results.append((result, delta))
+    return results
+
+
+class TestConflictFreeParity:
+    def disjoint_programs(self, rids):
+        return [
+            ("C1", [("update", rids[0], "a"), ("read", rids[1]),
+                    ("commit",)]),
+            ("C2", [("update", rids[8], "b"), ("update", rids[9], "b2"),
+                    ("commit",)]),
+            ("C1", [("read", rids[16]), ("update", rids[17], "c"),
+                    ("commit",)]),
+            ("C2", [("update", rids[24], "d"), ("abort",)]),
+        ]
+
+    def test_outcomes_identical(self):
+        (engine, _), (polling, _) = run_both(self.disjoint_programs)
+        assert engine == polling
+        assert engine.outcomes == polling.outcomes
+        assert engine.rounds == polling.rounds
+
+    def test_metrics_bit_identical(self):
+        """Conflict-free FIFO == round-robin: every counter matches."""
+        (_, engine_delta), (_, polling_delta) = run_both(
+            self.disjoint_programs)
+        assert engine_delta == polling_delta
+        assert engine_delta.as_dict() == polling_delta.as_dict()
+
+    def test_facade_runs_engine(self):
+        """The public Scheduler facade and a bare Engine are the same
+        executor: identical results *and* identical metrics."""
+        results = []
+        for executor in (Scheduler, Engine):
+            system, rids = fresh_seeded()
+            before = metrics.snapshot(system)
+            result = executor(system).run(self.disjoint_programs(rids))
+            results.append((result, metrics.snapshot(system).minus(before)))
+        assert results[0] == results[1]
+
+
+class TestContendedParity:
+    def test_shared_record_same_outcomes(self):
+        def programs(rids):
+            rid = rids[0]
+            return [
+                ("C1", [("update", rid, "first"), ("commit",)]),
+                ("C2", [("update", rid, "second"), ("commit",)]),
+                ("C1", [("read", rid), ("commit",)]),
+            ]
+        (engine, _), (polling, _) = run_both(programs)
+        assert engine.outcomes == polling.outcomes
+        assert engine.committed == polling.committed == 3
+
+    def test_canonical_deadlock_same_victim(self):
+        """Both executors must sacrifice the same transaction: the
+        victim policy is a pure function of (logged updates, txn id)."""
+        def programs(rids):
+            a, b = rids[0], rids[8]
+            return [
+                ("C1", [("update", a, "t1"), ("update", b, "t1"),
+                        ("commit",)]),
+                ("C2", [("update", b, "t2"), ("update", a, "t2"),
+                        ("commit",)]),
+            ]
+        (engine, _), (polling, _) = run_both(programs)
+        assert engine.deadlock_victims == polling.deadlock_victims == 1
+        assert engine.outcomes == polling.outcomes
+        victims = [name for name, kind in engine.outcomes.items()
+                   if kind is TxnOutcomeKind.DEADLOCK_VICTIM]
+        # Equal rollback cost (one logged update each), so the tie
+        # breaks on the lexically smallest transaction id — C1's
+        # earlier-begun transaction, i.e. schedule entry S0.
+        assert victims == ["S0"]
+
+    def test_upgrade_deadlock_same_victim(self):
+        def programs(rids):
+            rid = rids[0]
+            return [
+                ("C1", [("read", rid), ("update", rid, "x1"),
+                        ("commit",)]),
+                ("C2", [("read", rid), ("update", rid, "x2"),
+                        ("commit",)]),
+            ]
+        (engine, _), (polling, _) = run_both(programs)
+        assert engine.outcomes == polling.outcomes
+
+
+class TestVictimPolicy:
+    def test_choose_deadlock_victim_asserts_min_contract(self):
+        graph = WaitsForGraph()
+        graph.add_wait("T1", ["T2"])
+        graph.add_wait("T2", ["T1"])
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        costs = {"T1": 5, "T2": 3}
+        victim = choose_deadlock_victim(graph, cycle,
+                                        lambda n: costs[n])
+        assert victim == "T2"  # fewest logged updates
+
+    def test_tie_breaks_on_name(self):
+        graph = WaitsForGraph()
+        graph.add_wait("T9", ["T2"])
+        graph.add_wait("T2", ["T9"])
+        cycle = graph.find_cycle()
+        victim = choose_deadlock_victim(graph, cycle, lambda n: 0)
+        assert victim == "T2"
+
+
+# -- property: random disjoint programs ---------------------------------
+
+op_kinds = st.sampled_from(["read", "update"])
+
+
+@st.composite
+def disjoint_assignments(draw):
+    """Programs over disjoint record slices: conflict-free by
+    construction, so both executors must agree bit-for-bit."""
+    num_txns = draw(st.integers(min_value=1, max_value=4))
+    programs = []
+    for t in range(num_txns):
+        ops = []
+        num_ops = draw(st.integers(min_value=1, max_value=3))
+        for o in range(num_ops):
+            # Each transaction owns record indices t*8 .. t*8+7.
+            index = t * 8 + draw(st.integers(min_value=0, max_value=7))
+            kind = draw(op_kinds)
+            ops.append((kind, index) if kind == "read"
+                       else (kind, index, f"v{t}-{o}"))
+        terminal = draw(st.sampled_from([("commit",), ("abort",)]))
+        client = draw(st.sampled_from(["C1", "C2"]))
+        programs.append((client, ops + [terminal]))
+    return programs
+
+
+class TestPropertyParity:
+    @settings(max_examples=25, deadline=None)
+    @given(disjoint_assignments())
+    def test_random_disjoint_programs_bit_identical(self, abstract):
+        results = []
+        for executor in (Engine, PollingScheduler):
+            system, rids = fresh_seeded()
+            programs = [
+                (client, [op if op[0] in ("commit", "abort")
+                          else (op[0], rids[op[1]], *op[2:])
+                          for op in ops])
+                for client, ops in abstract
+            ]
+            before = metrics.snapshot(system)
+            result = executor(system).run(programs)
+            delta = metrics.snapshot(system).minus(before)
+            results.append((result, delta))
+        (engine, engine_delta), (polling, polling_delta) = results
+        assert engine == polling
+        assert engine_delta == polling_delta

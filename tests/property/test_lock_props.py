@@ -84,3 +84,26 @@ class TestLockTableSafety:
                             del held[key]
             except (LockConflictError, LockNotHeldError):
                 pass
+
+    @given(ops)
+    def test_mode_counts_mirror_holders(self, script):
+        """The per-entry group-mode summary (mode_counts) must stay an
+        exact histogram of holders under any grant/convert/release
+        interleaving — it is what the O(modes) admission check trusts."""
+        from collections import Counter
+        table = LockTable()
+        for op in script:
+            try:
+                if op[0] == "acquire":
+                    table.acquire(op[1], op[2], op[3])
+                elif op[0] == "release":
+                    table.release(op[1], op[2])
+                else:
+                    table.release_all(op[1])
+            except (LockConflictError, LockNotHeldError):
+                pass
+            for entry in table.entries():
+                live = {mode: count
+                        for mode, count in entry.mode_counts.items()
+                        if count}
+                assert live == Counter(entry.holders.values())

@@ -1,0 +1,32 @@
+"""Bad batching hygiene: stale/derived request ids, dedup bypass."""
+
+
+class Stub:
+    def batch_with_literal_id(self, network, payload):
+        return BatchEnvelope(
+            request_id=network.next_request_id(),
+            src="c", dst="s",
+            calls=(
+                Envelope(request_id=7, src="c", dst="s", method="ship"),  # lint:expect RPC004
+            ),
+        )
+
+    def batch_with_derived_ids(self, network, calls):
+        base = network.next_request_id()
+        return BatchEnvelope(  # lint:expect RPC004
+            request_id=base + 1,
+            src="c", dst="s",
+            calls=tuple(
+                Envelope(request_id=base + i, src="c", dst="s",  # lint:expect RPC004
+                         method=c.method)
+                for i, c in enumerate(calls)
+            ),
+        )
+
+
+class Dispatcher:
+    def fan_out(self, batch):
+        return [
+            self._handlers[sub.method](sub.src, *sub.args)  # lint:expect RPC005
+            for sub in batch.calls
+        ]
