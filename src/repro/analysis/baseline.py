@@ -36,6 +36,7 @@ def load_baseline(path: Path) -> Set[str]:
 
 def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
     entries = sorted({f.fingerprint for f in findings})
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(_HEADER + "".join(e + "\n" for e in entries),
                     encoding="utf-8")
     return len(entries)

@@ -7,9 +7,11 @@ from typing import Dict, List
 from repro.analysis.checkers.base import Checker, run_checkers
 from repro.analysis.checkers.crash_scopes import CrashScopeChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.lock_order import LockOrderChecker
 from repro.analysis.checkers.observability import ObservabilityChecker
 from repro.analysis.checkers.ordering import OrderingChecker
 from repro.analysis.checkers.pairing import PairingChecker
+from repro.analysis.checkers.reachability import ReachabilityChecker
 from repro.analysis.checkers.rpc_hygiene import RpcHygieneChecker
 from repro.analysis.checkers.wal import WalChecker
 
@@ -17,7 +19,7 @@ __all__ = [
     "Checker", "run_checkers", "all_checkers", "all_rules",
     "WalChecker", "PairingChecker", "OrderingChecker",
     "DeterminismChecker", "RpcHygieneChecker", "ObservabilityChecker",
-    "CrashScopeChecker",
+    "CrashScopeChecker", "LockOrderChecker", "ReachabilityChecker",
 ]
 
 
@@ -30,6 +32,8 @@ def all_checkers() -> List[Checker]:
         RpcHygieneChecker(),
         ObservabilityChecker(),
         CrashScopeChecker(),
+        LockOrderChecker(),
+        ReachabilityChecker(),
     ]
 
 

@@ -23,7 +23,12 @@ class Checker:
 
     def check_function(self, scope: FunctionScope,
                        project: Project) -> Iterator[Finding]:
-        raise NotImplementedError
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Project-wide pass for interprocedural rules; runs once per
+        checker after every function scope has been visited."""
+        return iter(())
 
     def found(self, scope: FunctionScope, node: ast.AST, rule_id: str,
               message: str, fix_hint: str = "") -> Finding:
@@ -43,4 +48,6 @@ def run_checkers(checkers: List[Checker], project: Project) -> List[Finding]:
     for scope in project.functions():
         for checker in checkers:
             findings.extend(checker.check_function(scope, project))
+    for checker in checkers:
+        findings.extend(checker.check_project(project))
     return sorted(findings)

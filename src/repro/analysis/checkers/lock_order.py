@@ -1,0 +1,132 @@
+"""Latch/lock acquisition-order rules over the static order graph.
+
+LOCK001 — the project-wide acquisition-order graph (see
+``repro.analysis.dataflow.lockgraph``) contains a cycle through at
+least one latch class.  Two code paths acquiring the same pair of
+resource classes in opposite orders is the deadlock seed ARIES/CSA's
+latch protocol (§latching, two-tier locking) forbids; each cycle is
+reported once, with a full call-path witness per edge.
+
+LOCK002 — a lock-table acquisition (GLM/LLM lock or P-lock request)
+while a page latch is held.  Lock waits are unbounded (another client
+holds the lock), latches must be short-duration; waiting on a lock
+under a latch inverts the protocol's latch-before-lock duration
+hierarchy.  Sites where this is deliberate and convoy-safe carry an
+inline ``# lint: allow[LOCK002]`` with the argument why.
+
+Self-loops (page latch while a page latch is held) are excluded from
+LOCK001: intra-class ordering is instance-level, which is the runtime
+sanitizer's half of the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.dataflow.lockgraph import (
+    LockOrderGraph, OrderEdge, build_lockgraph,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.sanitizer import LATCH_PAGE, LOCK_LOGICAL, LOCK_PHYSICAL
+
+
+def _relpath_allows(project: Project, edge: OrderEdge, rule_id: str) -> bool:
+    for module in project.modules:
+        if module.relpath == edge.path:
+            return module.allowed_at(edge.line, rule_id)
+    return False
+
+
+class LockOrderChecker(Checker):
+    RULES = {
+        "LOCK001": "latch/lock acquisition-order cycle across call paths "
+                   "(deadlock seed)",
+        "LOCK002": "lock-table acquisition while a page latch is held "
+                   "(unbounded wait under a short-duration latch)",
+    }
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_lockgraph(project)
+        yield from self._check_latch_then_lock(project, graph)
+        yield from self._check_cycles(project, graph)
+
+    # -- LOCK002 ----------------------------------------------------------
+
+    def _check_latch_then_lock(self, project: Project,
+                               graph: LockOrderGraph) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, str]] = set()
+        for edge in graph.edges:
+            if edge.src != LATCH_PAGE:
+                continue
+            if edge.dst not in (LOCK_LOGICAL, LOCK_PHYSICAL):
+                continue
+            site = (edge.path, edge.line, edge.dst)
+            if site in seen:
+                continue
+            seen.add(site)
+            # Allowed sites still yield: the runner's inline-suppression
+            # pass turns them into *suppressed* findings, so the report
+            # accounts for every sanctioned latch-then-lock site.
+            yield Finding(
+                path=edge.path, line=edge.line, rule_id="LOCK002",
+                qualname=edge.qualname,
+                message=f"{edge.dst} acquired while {LATCH_PAGE} is held "
+                        f"({edge.detail})",
+                fix_hint="acquire the lock before pinning the page, or "
+                         "justify the site with `# lint: allow[LOCK002] "
+                         "<why the wait cannot convoy>`",
+            )
+
+    # -- LOCK001 ----------------------------------------------------------
+
+    def _check_cycles(self, project: Project,
+                      graph: LockOrderGraph) -> Iterator[Finding]:
+        by_pair: Dict[Tuple[str, str], OrderEdge] = {}
+        for edge in graph.edges:
+            if edge.src == edge.dst:
+                continue
+            if _relpath_allows(project, edge, "LOCK001"):
+                continue
+            if edge.src == LATCH_PAGE and _relpath_allows(
+                    project, edge, "LOCK002"):
+                continue  # a sanctioned latch-then-lock site cannot seed
+            by_pair.setdefault((edge.src, edge.dst), edge)
+        classes = sorted({c for pair in by_pair for c in pair})
+        for cycle in _simple_cycles(classes, set(by_pair)):
+            if LATCH_PAGE not in cycle:
+                continue
+            witness_edges = [
+                by_pair[(cycle[i], cycle[(i + 1) % len(cycle)])]
+                for i in range(len(cycle))
+            ]
+            first = min(witness_edges, key=lambda e: (e.path, e.line))
+            chain = "; ".join(
+                f"{e.src} -> {e.dst} at {e.path}:{e.line} ({e.detail})"
+                for e in witness_edges)
+            yield Finding(
+                path=first.path, line=first.line, rule_id="LOCK001",
+                qualname=first.qualname,
+                message="acquisition-order cycle "
+                        f"{' -> '.join(cycle + (cycle[0],))}: {chain}",
+                fix_hint="pick one global order for these resource classes "
+                         "and reorder the minority path (see DESIGN §12)",
+            )
+
+
+def _simple_cycles(classes: List[str],
+                   pairs: Set[Tuple[str, str]]) -> Iterator[Tuple[str, ...]]:
+    """Every simple cycle over <= 3 resource classes, canonicalized to
+    start at the lexicographically smallest node so each is seen once."""
+    for i, a in enumerate(classes):
+        for b in classes[i + 1:]:
+            if (a, b) in pairs and (b, a) in pairs:
+                yield (a, b)
+    for i, a in enumerate(classes):
+        for b in classes:
+            for c in classes:
+                if len({a, b, c}) != 3 or b <= a or c <= a:
+                    continue
+                if {(a, b), (b, c), (c, a)} <= pairs:
+                    yield (a, b, c)

@@ -1,7 +1,11 @@
 """Command-line interface: ``python -m repro.analysis [paths...]``.
 
-Exit status is 0 when no non-baselined finding exists, 1 otherwise —
-which is what the CI ``lint-protocol`` job keys off.
+Exit status is 0 when no non-suppressed finding exists, 1 otherwise —
+which is what the CI ``lint-protocol`` job keys off.  Suppression is
+inline-first (``# lint: allow[RULE] reason`` at the finding site); the
+``--baseline`` file remains as an explicit opt-in escape hatch for
+bulk-introducing the linter to a dirty tree, but is no longer picked
+up implicitly: the tree is expected to be clean.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import List, Optional
 
 from repro.analysis.baseline import save_baseline
 from repro.analysis.checkers import all_rules
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.runner import analyze
 
 
@@ -21,15 +25,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static recovery-protocol linter (WAL, fix/unfix, "
-                    "force-ordering, determinism, RPC hygiene).",
+                    "force-ordering, latch/lock order, interprocedural "
+                    "reachability, determinism, RPC hygiene).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to scan "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline file of suppressed fingerprints "
-                             "(default: ./analysis-baseline.txt when present)")
+                             "(never read implicitly; a missing file is "
+                             "treated as empty with a warning)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write all current findings to --baseline "
                              "and exit 0")
@@ -59,11 +66,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         count = save_baseline(args.baseline, result.findings)
         print(f"wrote {count} fingerprints to {args.baseline}")
         return 0
-    baseline = args.baseline
-    if baseline is None and Path("analysis-baseline.txt").exists():
-        baseline = Path("analysis-baseline.txt")
-    result = analyze(paths, baseline_path=baseline)
-    renderer = render_json if args.format == "json" else render_text
+    if args.baseline is not None and not args.baseline.exists():
+        # A missing baseline must not crash or mask findings: treat it
+        # as empty so every finding is new, and say so on stderr.
+        print(f"warning: baseline file {args.baseline} not found; "
+              "treating as empty", file=sys.stderr)
+    result = analyze(paths, baseline_path=args.baseline)
+    renderer = {"json": render_json, "sarif": render_sarif}.get(
+        args.format, render_text)
     print(renderer(result.findings, result.suppressed))
     return result.exit_code
 

@@ -1,0 +1,23 @@
+"""Interprocedural dataflow for the protocol linter.
+
+Everything here is derived lazily from a loaded
+:class:`repro.analysis.project.Project` and cached on it, so the
+per-function checkers and the project-wide checkers share one call
+graph, one summary fixpoint, and one acquisition-order graph per run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.callgraph import CallGraph, build_callgraph
+from repro.analysis.dataflow.lockgraph import (
+    LockOrderGraph, OrderEdge, build_lockgraph,
+)
+from repro.analysis.dataflow.summaries import (
+    ReachSummaries, Witness, WitnessStep, compute_summaries,
+)
+
+__all__ = [
+    "CallGraph", "build_callgraph",
+    "LockOrderGraph", "OrderEdge", "build_lockgraph",
+    "ReachSummaries", "Witness", "WitnessStep", "compute_summaries",
+]

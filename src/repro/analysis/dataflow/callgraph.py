@@ -1,0 +1,156 @@
+"""Project-wide call graph over bare-name and RPC-string edges.
+
+Python's dynamism rules out sound points-to analysis, so the graph is
+the same over-approximation the force-set fixpoint already uses, made
+explicit and reusable: a call resolves to every in-project function
+with the same bare name, narrowed to the receiver's own class when the
+receiver is ``self``, and RPC indirection (``stub.call("name", ...)``)
+resolves its string-literal arguments the same way.  Over-resolution is
+kept in check by a stoplist of generic names and a candidate cap —
+a bare name matched by too many definitions carries no information and
+would only manufacture false paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.project import (
+    FunctionScope, Project, call_name, call_receiver, string_args,
+)
+
+#: Bare names too generic to resolve: stdlib/container idioms that would
+#: alias unrelated project methods and manufacture false call paths.
+STOPLIST: Set[str] = {
+    # container / string idioms
+    "get", "put", "pop", "add", "append", "extend", "remove", "discard",
+    "clear", "copy", "update", "items", "keys", "values", "index",
+    "insert", "sort", "reverse", "count", "join", "split", "strip",
+    "startswith", "endswith", "replace", "encode", "decode", "setdefault",
+    "read", "close", "open", "flush", "seek", "send", "recv",
+    "run", "start", "stop", "reset", "next", "step", "tick",
+    "main", "register", "call", "format",
+    # builtins that shadow project methods (range -> BTree.range, ...)
+    "range", "len", "print", "min", "max", "sum", "sorted", "list",
+    "set", "dict", "tuple", "str", "int", "repr", "isinstance",
+    "enumerate", "zip", "type", "getattr", "setattr", "hasattr", "id",
+    # Page methods that share names with the Client transaction API;
+    # resolving `page.insert_record(...)` to Client.insert_record would
+    # invent lock acquisitions under every page latch.
+    "insert_record", "modify_record", "delete_record",
+}
+
+#: A bare name matched by more than this many definitions is noise.
+MAX_CANDIDATES = 6
+
+
+def _scope_key(scope: FunctionScope) -> str:
+    return f"{scope.module.relpath}::{scope.qualname}"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: caller scope -> callee scope at a line."""
+
+    caller: str      #: scope key of the calling function
+    callee: str      #: scope key of the (possibly over-approximated) target
+    line: int        #: call line in the caller
+    via: str         #: bare callee name, or the RPC string for indirection
+
+
+@dataclass
+class CallGraph:
+    """Scopes, resolved call sites, and caller/callee indexes."""
+
+    scopes: Dict[str, FunctionScope] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+    _out: Dict[str, List[CallSite]] = field(default_factory=dict)
+    _in: Dict[str, List[CallSite]] = field(default_factory=dict)
+
+    def callees(self, key: str) -> List[CallSite]:
+        return self._out.get(key, [])
+
+    def callers(self, key: str) -> List[CallSite]:
+        return self._in.get(key, [])
+
+    def roots(self, project: Project) -> List[str]:
+        """Entry points: RPC-registered handlers plus every scope no
+        in-project code calls (tests and drivers call those)."""
+        out: List[str] = []
+        for key, scope in self.scopes.items():
+            if scope.name in project.registered_rpc or not self._in.get(key):
+                out.append(key)
+        return sorted(out)
+
+    def qualname(self, key: str) -> str:
+        return self.scopes[key].qualname
+
+    def relpath(self, key: str) -> str:
+        return self.scopes[key].module.relpath
+
+
+def _class_prefix(qualname: str) -> Optional[str]:
+    if "." in qualname:
+        return qualname.rsplit(".", 1)[0]
+    return None
+
+
+def _resolve(call: ast.Call, scope: FunctionScope,
+             by_bare: Dict[str, List[str]],
+             graph: CallGraph) -> Iterator[Tuple[str, str]]:
+    """Yield (callee key, via-name) pairs for one call expression."""
+    name = call_name(call)
+    if name is None:
+        return
+    if name == "call":
+        # RPC indirection: the method-name string is the real callee.
+        for literal in string_args(call):
+            if literal in STOPLIST:
+                continue
+            candidates = by_bare.get(literal, [])
+            if 0 < len(candidates) <= MAX_CANDIDATES:
+                for key in candidates:
+                    yield key, literal
+        return
+    if name in STOPLIST:
+        return
+    candidates = by_bare.get(name, [])
+    if not candidates or len(candidates) > MAX_CANDIDATES:
+        return
+    if call_receiver(call) == "self":
+        prefix = _class_prefix(scope.qualname)
+        own = [k for k in candidates
+               if graph.scopes[k].module is scope.module
+               and _class_prefix(graph.scopes[k].qualname) == prefix]
+        if own:
+            candidates = own
+    for key in candidates:
+        yield key, name
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    cached = project.cache.get("callgraph")
+    if isinstance(cached, CallGraph):
+        return cached
+    graph = CallGraph()
+    by_bare: Dict[str, List[str]] = {}
+    for scope in project.functions():
+        key = _scope_key(scope)
+        graph.scopes[key] = scope
+        by_bare.setdefault(scope.name, []).append(key)
+    for key, scope in graph.scopes.items():
+        seen: Set[Tuple[str, int]] = set()
+        for call in scope.calls():
+            for callee, via in _resolve(call, scope, by_bare, graph):
+                if (callee, call.lineno) in seen or callee == key:
+                    continue
+                seen.add((callee, call.lineno))
+                site = CallSite(caller=key, callee=callee,
+                                line=call.lineno, via=via)
+                graph.sites.append(site)
+                graph._out.setdefault(key, []).append(site)
+                graph._in.setdefault(callee, []).append(site)
+    project.cache["callgraph"] = graph
+    return graph

@@ -1,0 +1,233 @@
+"""Static latch/lock acquisition-order graph (LOCK001 / LOCK002).
+
+Resources are tracked at class granularity — the same three classes the
+runtime sanitizer uses (``latch.page``, ``lock.logical``,
+``lock.physical``), which is what makes the static graph comparable to
+the dynamically observed one.  For every scope the builder walks the
+statement tree keeping a held-set:
+
+* a latch name (``fix``/``fixed``/``latch*``) used as a ``with`` item
+  is held for the body; a bare ``fix(...)`` call is held for the rest
+  of its block (or until an ``unfix`` in the same block);
+* a lock acquisition (``acquire``/``acquire_p_lock``; receiver naming
+  "physical" selects the physical class) is held to the end of the
+  scope, matching the long-duration locks of the protocol;
+* a call site contributes every resource class its callee transitively
+  acquires (call-graph closure), so an order edge spans function
+  boundaries and carries the full call-path witness.
+
+Each acquisition while something is held records an edge
+``held-class -> acquired-class`` with its site; cycle detection and the
+latch-then-lock rule read the edge list, and the cross-check test
+compares ``class_edges()`` against ``Sanitizer.observed_edges()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow.callgraph import CallGraph, build_callgraph
+from repro.analysis.project import (
+    FunctionScope, Project, call_name, call_receiver,
+)
+from repro.sanitizer import LATCH_PAGE, LOCK_LOGICAL, LOCK_PHYSICAL
+
+#: Call names that take a page latch (buffer-pool pin).
+LATCH_ACQUIRE_NAMES = {"fix", "fixed", "latch", "latch_shared",
+                       "latch_exclusive"}
+#: Call names that release a bare page latch within a block.
+LATCH_RELEASE_NAMES = {"unfix", "unlatch"}
+#: Call names that take a lock-table lock.
+LOCK_ACQUIRE_NAMES = {"acquire", "acquire_p_lock"}
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``src`` held while ``dst`` is acquired, at one source site."""
+
+    src: str         #: resource class already held
+    dst: str         #: resource class being acquired
+    path: str        #: module relpath of the acquiring site
+    line: int        #: line of the acquiring call
+    qualname: str    #: scope containing the site
+    detail: str      #: human-readable witness (call chain for closures)
+
+
+@dataclass
+class LockOrderGraph:
+    edges: List[OrderEdge] = field(default_factory=list)
+
+    def class_edges(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset((e.src, e.dst) for e in self.edges)
+
+
+def _local_acquires(call: ast.Call) -> Optional[str]:
+    """Resource class this call acquires directly, if any."""
+    name = call_name(call)
+    receiver = call_receiver(call) or ""
+    if name in LATCH_ACQUIRE_NAMES:
+        return LATCH_PAGE
+    if name in LOCK_ACQUIRE_NAMES:
+        if name == "acquire_p_lock" or "physical" in receiver:
+            return LOCK_PHYSICAL
+        return LOCK_LOGICAL
+    return None
+
+
+def _closure(graph: CallGraph) -> Dict[str, Dict[str, str]]:
+    """scope key -> {resource class -> witness chain} it may acquire,
+    directly or through any resolvable callee."""
+    acquires: Dict[str, Dict[str, str]] = {}
+    for key, scope in graph.scopes.items():
+        local: Dict[str, str] = {}
+        for call in scope.calls():
+            cls = _local_acquires(call)
+            if cls is not None and cls not in local:
+                local[cls] = (f"{scope.qualname}:{call.lineno} "
+                              f"{call_name(call)}()")
+        acquires[key] = local
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(graph.scopes):
+            mine = acquires[key]
+            for site in graph.callees(key):
+                for cls, chain in acquires.get(site.callee, {}).items():
+                    if cls not in mine:
+                        mine[cls] = (f"{graph.qualname(key)}:{site.line} "
+                                     f"calls {site.via}() -> {chain}")
+                        changed = True
+    return acquires
+
+
+@dataclass(frozen=True)
+class _Held:
+    cls: str
+    detail: str
+
+
+class _ScopeWalker:
+    """Statement-order walk of one scope, emitting order edges."""
+
+    def __init__(self, scope: FunctionScope, graph: CallGraph, key: str,
+                 closure: Dict[str, Dict[str, str]]) -> None:
+        self.scope = scope
+        self.graph = graph
+        self.key = key
+        self.closure = closure
+        self.edges: List[OrderEdge] = []
+        #: locks held to scope end
+        self.scope_held: List[_Held] = []
+        #: callee classes by call line, precomputed from resolved sites
+        self.site_classes: Dict[int, List[Tuple[str, str]]] = {}
+        for site in graph.callees(key):
+            for cls, chain in closure.get(site.callee, {}).items():
+                self.site_classes.setdefault(site.line, []).append(
+                    (cls, f"calls {site.via}() -> {chain}"))
+
+    def walk(self) -> List[OrderEdge]:
+        self._walk_body(list(ast.iter_child_nodes(self.scope.node)), [])
+        return self.edges
+
+    # -- internals --------------------------------------------------------
+
+    def _emit(self, held: List[_Held], cls: str, line: int,
+              detail: str) -> None:
+        for prior in self.scope_held + held:
+            if prior.cls == cls and prior.detail == detail:
+                continue
+            self.edges.append(OrderEdge(
+                src=prior.cls, dst=cls,
+                path=self.scope.module.relpath, line=line,
+                qualname=self.scope.qualname,
+                detail=f"holding {prior.detail}; {detail}"))
+
+    def _events(self, node: ast.AST) -> Iterator[Tuple[int, str, str, str]]:
+        """(line, kind, class, detail) for every call under ``node``,
+        skipping nested function definitions (their own scopes)."""
+        seen_sites: Set[Tuple[int, str]] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not isinstance(sub, ast.Call):
+                continue
+            name = call_name(sub) or ""
+            cls = _local_acquires(sub)
+            if cls is not None:
+                yield (sub.lineno, "acquire", cls, f"{name}() directly")
+            elif name in LATCH_RELEASE_NAMES:
+                yield (sub.lineno, "release-latch", LATCH_PAGE, name)
+            for ccls, detail in self.site_classes.get(sub.lineno, []):
+                if (sub.lineno, ccls) in seen_sites:
+                    continue
+                seen_sites.add((sub.lineno, ccls))
+                yield (sub.lineno, "closure", ccls, detail)
+
+    def _apply_event(self, held: List[_Held], line: int, kind: str,
+                     cls: str, detail: str) -> None:
+        if kind == "release-latch":
+            for index in range(len(held) - 1, -1, -1):
+                if held[index].cls == LATCH_PAGE:
+                    del held[index]
+                    break
+            return
+        self._emit(held, cls, line, detail)
+        if cls == LATCH_PAGE:
+            # A callee's pins are balanced inside the callee; only a
+            # direct acquisition latches on behalf of this scope.
+            if kind == "acquire":
+                held.append(_Held(cls, f"{detail} at line {line}"))
+        else:
+            # Locks are long-duration: whether taken directly or by any
+            # callee, the caller holds them for the rest of the scope.
+            self.scope_held.append(_Held(cls, f"{detail} at line {line}"))
+
+    def _walk_body(self, body: List[ast.AST], held: List[_Held]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                entered: List[_Held] = []
+                for item in stmt.items:
+                    for event in sorted(self._events(item.context_expr)):
+                        line, kind, cls, detail = event
+                        if kind == "acquire" and cls == LATCH_PAGE:
+                            self._emit(held + entered, cls, line, detail)
+                            entered.append(
+                                _Held(cls, f"{detail} at line {line}"))
+                        else:
+                            self._apply_event(held + entered, line, kind,
+                                              cls, detail)
+                self._walk_body(list(stmt.body), held + entered)
+                continue
+            blocks = [getattr(stmt, attr) for attr in
+                      ("body", "orelse", "finalbody")
+                      if getattr(stmt, attr, None)]
+            if blocks:
+                header_nodes = [n for n in ast.iter_child_nodes(stmt)
+                                if not isinstance(n, ast.stmt)]
+                for node in header_nodes:
+                    for event in sorted(self._events(node)):
+                        self._apply_event(held, *event)
+                for block in blocks:
+                    self._walk_body(list(block), held)
+            else:
+                for event in sorted(self._events(stmt)):
+                    self._apply_event(held, *event)
+
+
+def build_lockgraph(project: Project) -> LockOrderGraph:
+    cached = project.cache.get("lockgraph")
+    if isinstance(cached, LockOrderGraph):
+        return cached
+    callgraph = build_callgraph(project)
+    closure = _closure(callgraph)
+    graph = LockOrderGraph()
+    for key in sorted(callgraph.scopes):
+        walker = _ScopeWalker(callgraph.scopes[key], callgraph, key, closure)
+        graph.edges.extend(walker.walk())
+    project.cache["lockgraph"] = graph
+    return graph

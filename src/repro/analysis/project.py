@@ -20,11 +20,18 @@ Pass two hands each checker one :class:`FunctionScope` at a time.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 TRACKED_MODULES = ("random", "time", "datetime")
+
+#: Inline suppression: ``# lint: allow[REC002,WAL100] offline format``.
+#: The comment suppresses the named rules on its own line and, when it
+#: stands alone, on the line below; on a ``def`` line it sanctions the
+#: whole scope for interprocedural summary purposes.
+ALLOW_COMMENT = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9_, ]+)\]")
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -105,6 +112,8 @@ class Module:
     module_aliases: Dict[str, str] = field(default_factory=dict)
     #: names imported *from* tracked modules: alias -> "module.attr"
     member_aliases: Dict[str, str] = field(default_factory=dict)
+    #: 1-based line -> rule ids allowed there via ``# lint: allow[...]``
+    allows: Dict[int, Set[str]] = field(default_factory=dict)
 
     def functions(self) -> Iterator[FunctionScope]:
         """Yield every function with a class-qualified name."""
@@ -118,6 +127,25 @@ class Module:
                 yield from self._walk(child, prefix=f"{qualname}.")
             elif isinstance(child, ast.ClassDef):
                 yield from self._walk(child, prefix=f"{prefix}{child.name}.")
+
+    def collect_allows(self, source: str) -> None:
+        """Record every ``# lint: allow[RULES]`` comment by line.
+
+        A comment that is the whole line (nothing but the suppression)
+        also covers the next line, so allows can sit above long
+        statements without blowing the line-length budget.
+        """
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = ALLOW_COMMENT.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            self.allows.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                self.allows.setdefault(lineno + 1, set()).update(rules)
+
+    def allowed_at(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.allows.get(line, ())
 
     def collect_aliases(self) -> None:
         for node in ast.walk(self.tree):
@@ -143,6 +171,9 @@ class Project:
     registered_rpc: Set[str] = field(default_factory=set)
     #: (module, scope qualname, name, line) per register() call
     register_sites: List[Tuple[Module, str, str, int]] = field(default_factory=list)
+    #: per-run memo for derived artifacts (call graph, summaries, ...)
+    #: so checkers sharing one Project share one fixpoint each.
+    cache: Dict[str, object] = field(default_factory=dict, repr=False)
 
     def functions(self) -> Iterator[FunctionScope]:
         for module in self.modules:
@@ -162,6 +193,7 @@ class Project:
                 relpath = path.relative_to(base).as_posix()
                 module = Module(path=path, relpath=relpath, tree=tree)
                 module.collect_aliases()
+                module.collect_allows(source)
                 project.modules.append(module)
         project._collect_force_set()
         project._collect_rpc_registry()

@@ -1,10 +1,11 @@
-"""Programmatic entry point: load sources, run checkers, apply baseline."""
+"""Programmatic entry point: load sources, run checkers, apply
+inline suppressions and the (optional) baseline file."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import load_baseline, split_by_baseline
 from repro.analysis.checkers import all_checkers, run_checkers
@@ -14,8 +15,9 @@ from repro.analysis.project import Project
 
 @dataclass
 class AnalysisResult:
-    findings: List[Finding] = field(default_factory=list)    #: non-baselined
-    suppressed: List[Finding] = field(default_factory=list)  #: baselined
+    findings: List[Finding] = field(default_factory=list)    #: actionable
+    suppressed: List[Finding] = field(default_factory=list)  #: baselined or
+    #: inline-allowed
 
     @property
     def ok(self) -> bool:
@@ -26,10 +28,34 @@ class AnalysisResult:
         return 0 if self.ok else 1
 
 
+def _split_by_allows(project: Project, findings: List[Finding],
+                     ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (kept, inline-allowed).
+
+    Inline allows win over everything: a ``# lint: allow[RULE]`` on the
+    finding's line (or standing alone on the line above) suppresses it
+    before the baseline is even consulted, so a fingerprint that is both
+    inline-allowed and baselined counts once, as inline-allowed.
+    """
+    by_relpath = {module.relpath: module for module in project.modules}
+    kept: List[Finding] = []
+    allowed: List[Finding] = []
+    for finding in findings:
+        module = by_relpath.get(finding.path)
+        if module is not None and module.allowed_at(finding.line,
+                                                    finding.rule_id):
+            allowed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, allowed
+
+
 def analyze(paths: Sequence[Path],
             baseline_path: Optional[Path] = None) -> AnalysisResult:
     project = Project.load([Path(p) for p in paths])
     findings = run_checkers(all_checkers(), project)
+    findings, inline_allowed = _split_by_allows(project, findings)
     baseline = load_baseline(baseline_path) if baseline_path else set()
     new, suppressed = split_by_baseline(findings, baseline)
-    return AnalysisResult(findings=new, suppressed=suppressed)
+    return AnalysisResult(findings=new,
+                          suppressed=sorted(suppressed + inline_allowed))

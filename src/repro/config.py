@@ -223,6 +223,14 @@ class SystemConfig:
     #: costs one pointer comparison (the CI bench gate holds it ≤ 3%).
     trace_enabled: bool = False
 
+    #: Build and attach a :class:`repro.sanitizer.Sanitizer` to every
+    #: latch/lock/log hook of the complex.  The sanitizer raises
+    #: :class:`repro.sanitizer.SanitizerViolation` on latch/lock order
+    #: inversions, unpaired fixes at operation exit, and unforced-log
+    #: page externalization.  Off by default: an unattached hook costs
+    #: one pointer comparison (the CI bench gate holds it ≤ 5%).
+    sanitizer: bool = False
+
     #: The unified fault plane (``repro.faults``): one seeded plan that
     #: drives *all* injection — transport drops/delays, torn page
     #: writes, transient I/O errors, partial log flushes, and armed

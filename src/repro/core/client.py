@@ -74,6 +74,7 @@ from repro.storage.page import Page, PageKind
 if TYPE_CHECKING:
     from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
+    from repro.sanitizer import Sanitizer
 
 #: Hook for logical undo of index operations: (record, page_supplier) ->
 #: UndoEffect on the page where the key currently lives.
@@ -145,6 +146,9 @@ class Client:
         self.tracer: Optional["Tracer"] = None
         #: Attached by the owning complex; ``None`` disables injection.
         self.faults: Optional["FaultPlan"] = None
+        #: Attached by the owning complex; ``None`` disables the runtime
+        #: latch/lock-order sanitizer (repro.sanitizer).
+        self.sanitizer: Optional["Sanitizer"] = None
 
         server.connect_client(self)
 
@@ -560,6 +564,7 @@ class Client:
                 if self.faults is not None:
                     self.faults.crashpoint(
                         "client.alloc.between_smp_and_format", self.tracer)
+                # lint: allow[LOCK002] SMP-first order: the data-page P-lock RPC under the SMP pin
                 page = self._ensure_update_privilege(page_id)
                 meta_image = None
                 if initial_meta:
@@ -579,17 +584,25 @@ class Client:
         The SMP update's LSN is forced above the dead page's final LSN
         (section 2.3), so any future reallocation — by any system —
         formats the page with a still-higher LSN.
+
+        Privilege and pin order is SMP-first, the same global order
+        :meth:`allocate_page` uses — acquiring the pair in the opposite
+        order here is the latch-deadlock seed LOCK001 and the runtime
+        sanitizer exist to catch.  The dead page needs no pin at all:
+        its ``page_lsn`` is read off the privileged Page object
+        immediately, before anything else could evict or re-admit it.
         """
         from repro.storage import space_map as sm
         self._require_up()
         txn.require_active()
-        page = self._ensure_update_privilege(page_id)
         smp_id = self.layout.smp_for(page_id)
         bit = self.layout.bit_for(page_id)
-        # Pin the dead page: privileging the SMP may otherwise evict it,
-        # and the deallocate record's lsn_floor reads page.page_lsn.
-        with self.pool.fixed(page_id):
-            smp = self._ensure_update_privilege(smp_id)
+        smp = self._ensure_update_privilege(smp_id)
+        # Pin the SMP: privileging the dead page below may otherwise
+        # evict the SMP frame before the update is applied.
+        with self.pool.fixed(smp_id):
+            # lint: allow[LOCK002] SMP-first order: the dead-page P-lock RPC under the SMP pin
+            page = self._ensure_update_privilege(page_id)
             self.apply_logged_update(
                 txn, smp, UpdateOp.SMP_DEALLOCATE, slot=bit,
                 before=bytes([sm.ALLOCATED]), after=bytes([sm.FREE]),
@@ -820,6 +833,10 @@ class Client:
     def _finish_transaction(self, txn: Transaction) -> None:
         self.llm.release_transaction(txn.txn_id)
         self.txns.remove(txn.txn_id)
+        if self.sanitizer is not None:
+            # Transaction termination ends the acquisition span: no pin
+            # may outlive the transaction that took it.
+            self.sanitizer.on_span_exit(self.client_id)
 
     def _after_termination(self) -> None:
         """Commit-time cache policy: ESM-CS purges everything."""

@@ -69,6 +69,7 @@ from repro.storage.space_map import SpaceMapLayout
 
 if TYPE_CHECKING:
     from repro.obs.tracer import Tracer
+    from repro.sanitizer import Sanitizer
 
 
 @dataclass
@@ -216,6 +217,9 @@ class Server:
         self.tracer: Optional["Tracer"] = None
         #: Attached by the owning complex; ``None`` disables injection.
         self.faults: Optional[FaultPlan] = None
+        #: Attached by the owning complex; ``None`` disables the runtime
+        #: WAL sanitizer (repro.sanitizer).
+        self.sanitizer: Optional["Sanitizer"] = None
 
     # ------------------------------------------------------------------
     # RPC dispatch table (what clients may invoke on the server)
@@ -259,6 +263,7 @@ class Server:
     # Bootstrap
     # ------------------------------------------------------------------
 
+    # lint: allow[WAL100] offline formatting: the database predates its first log record
     def bootstrap(self, data_pages: int, free_pages: int = 0) -> List[int]:
         """Create an initial database: ``data_pages`` allocated DATA pages
         plus capacity for ``free_pages`` future allocations.
@@ -286,6 +291,7 @@ class Server:
                 sm.format_smp(smp, self.layout.coverage)
             elif len(allocated) < data_pages:
                 page = Page(page_id, PageKind.DATA, self.config.page_size)
+                # lint: allow[REC001] offline format: no log exists before first use
                 page.format(PageKind.DATA)
                 self._disk_write(page)
                 assert smp is not None
@@ -304,6 +310,9 @@ class Server:
         plane's deterministic transient-I/O policy."""
         if self.faults is not None:
             self.faults.crashpoint("disk.write.before", self.tracer)
+        if self.sanitizer is not None:
+            self.sanitizer.on_page_externalize(page.page_id, page.page_lsn)
+        # lint: allow[REC002] write funnel: callers force first (WAL100 checks them)
         io_retry(self.faults, lambda: self.disk.write_page(page),
                  "disk.write")
 

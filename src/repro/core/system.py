@@ -23,6 +23,7 @@ from repro.net.network import Network
 from repro.net.rpc import retry_policy_from_config, transport_from_config
 from repro.obs.tracer import Tracer
 from repro.records.heap import RecordId, decode_value
+from repro.sanitizer import Sanitizer
 from repro.storage.page import Page
 
 
@@ -45,10 +46,15 @@ class ClientServerSystem:
         #: Present only when fault injection is on; same attachment
         #: pattern as the tracer.
         self.faults: Optional[FaultPlan] = None
+        #: Present only when the runtime latch/lock-order sanitizer is
+        #: on; same attachment pattern as the tracer.
+        self.sanitizer: Optional[Sanitizer] = None
         if self.config.trace_enabled:
             self.attach_tracer(Tracer())
         if self.config.fault_plan is not None:
             self.attach_faults(self.config.fault_plan)
+        if self.config.sanitizer:
+            self.attach_sanitizer(Sanitizer())
         self._tables: Dict[str, List[int]] = {}
         self._page_table: Dict[int, str] = {}
         self._free_pool: List[int] = []
@@ -108,6 +114,32 @@ class ClientServerSystem:
         client.faults = self.faults
         client.pool.faults = self.faults
 
+    # -- runtime sanitizer -------------------------------------------------
+
+    def attach_sanitizer(self, sanitizer: Sanitizer) -> None:
+        """Attach ``sanitizer`` to every latch/lock/log hook of the complex.
+
+        The mirror of :meth:`attach_tracer`: attachment IS the enable
+        switch, so a complex without a sanitizer pays one pointer
+        comparison per hook.  One instance watches the whole complex —
+        the acquisition-order memory must span actors to catch an
+        inversion split across two clients.
+        """
+        self.sanitizer = sanitizer
+        self.server.sanitizer = sanitizer
+        self.server.pool.sanitizer = sanitizer
+        self.server.log.stable.sanitizer = sanitizer
+        self.server.glm.logical.sanitizer = sanitizer
+        self.server.glm.physical.sanitizer = sanitizer
+        for client in self.clients.values():
+            self._attach_client_sanitizer(client)
+
+    def _attach_client_sanitizer(self, client: Client) -> None:
+        assert self.sanitizer is not None
+        client.sanitizer = self.sanitizer
+        client.pool.sanitizer = self.sanitizer
+        client.llm.local.sanitizer = self.sanitizer
+
     # -- topology ----------------------------------------------------------
 
     def add_client(self, client_id: str) -> Client:
@@ -120,6 +152,8 @@ class ClientServerSystem:
             self._attach_client_tracer(client)
         if self.faults is not None:
             self._attach_client_faults(client)
+        if self.sanitizer is not None:
+            self._attach_client_sanitizer(client)
         return client
 
     def client(self, client_id: str) -> Client:

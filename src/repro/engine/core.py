@@ -255,6 +255,11 @@ class Engine:
         except LockConflictError as conflict:
             self._park(scheduled, conflict)
             return
+        sanitizer = self.system.sanitizer
+        if sanitizer is not None:
+            # Each completed operation ends the client's acquisition
+            # span: a pin surviving it would span arbitrary other work.
+            sanitizer.on_span_exit(scheduled.client_id)
         self._tick += 1
         self.graph.clear_waiter(scheduled.txn.txn_id)
         scheduled.waiting = False
@@ -290,6 +295,11 @@ class Engine:
 
     def _park(self, scheduled: ScheduledTxn,
               conflict: LockConflictError) -> None:
+        sanitizer = self.system.sanitizer
+        if sanitizer is not None:
+            # The conflict unwind released every pin; a latch still held
+            # here would sit across the whole wait.
+            sanitizer.on_park(scheduled.client_id)
         scheduled.waiting = True
         assert scheduled.txn is not None
         waiter = scheduled.txn.txn_id
@@ -362,6 +372,9 @@ class Engine:
         waiters parked under its id and under its client's id (cached
         global locks become relinquishable once the client is idle)."""
         scheduled.end_tick = self._tick
+        sanitizer = self.system.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_span_exit(scheduled.client_id)
         if scheduled.txn is not None:
             self.graph.remove_node(scheduled.txn.txn_id)
             self._wake(scheduled.txn.txn_id)

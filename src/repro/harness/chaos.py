@@ -144,7 +144,7 @@ class _WorkloadRun:
     """One execution of the chaos script under one fault plan."""
 
     def __init__(self, seed: int, schedule: Schedule,
-                 engine: bool = False) -> None:
+                 engine: bool = False, sanitizer: bool = False) -> None:
         self.seed = seed
         self.schedule = schedule
         #: Route the script's plain commit/rollback transactions through
@@ -160,12 +160,16 @@ class _WorkloadRun:
         self.outcomes: Dict[str, str] = {}
         # Small pools force steals and evictions; manual checkpoints
         # keep the script in charge of every seam it exercises.
+        # ``sanitizer`` arms the runtime latch/lock-order sanitizer for
+        # the whole run; a violation is a BaseException and fails the
+        # schedule loudly rather than becoming a recorded violation.
         config = SystemConfig(
             client_buffer_frames=6,
             server_buffer_frames=6,
             client_checkpoint_interval=0,
             server_checkpoint_interval=0,
             max_lsn_sync_period=4,
+            sanitizer=sanitizer,
         )
         self.system = ClientServerSystem(config, client_ids=("C1", "C2"))
         self.system.bootstrap(data_pages=6, free_pages=8)
@@ -507,11 +511,12 @@ class CrashScheduleExplorer:
 
     def __init__(self, seed: int = 0, quick: bool = False,
                  budget: Optional[int] = None,
-                 engine: bool = False) -> None:
+                 engine: bool = False, sanitizer: bool = False) -> None:
         self.seed = seed
         self.quick = quick
         self.budget = budget
         self.engine = engine
+        self.sanitizer = sanitizer
         self._census: Optional[Dict[str, int]] = None
         self._explored = 0
 
@@ -578,7 +583,8 @@ class CrashScheduleExplorer:
     def replay(self, sid: str) -> ScheduleResult:
         """Re-run a schedule from its id (seed travels in the id)."""
         seed, schedule = parse_schedule_id(sid)
-        replayer = CrashScheduleExplorer(seed=seed, engine=self.engine)
+        replayer = CrashScheduleExplorer(seed=seed, engine=self.engine,
+                                         sanitizer=self.sanitizer)
         return replayer.run_schedule(schedule)
 
     def explore(self) -> ExplorerSummary:
@@ -592,7 +598,8 @@ class CrashScheduleExplorer:
 
     def _execute(self, schedule: Schedule) -> Tuple[_WorkloadRun,
                                                     ScheduleResult]:
-        run = _WorkloadRun(self.seed, schedule, engine=self.engine)
+        run = _WorkloadRun(self.seed, schedule, engine=self.engine,
+                           sanitizer=self.sanitizer)
         self._explored += 1
         run.plan.schedules_explored += 1
         fired: List[Tuple[str, int]] = []
@@ -677,6 +684,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--engine", action="store_true",
                         help="drive the script's transactions through "
                              "the event-driven execution engine")
+    parser.add_argument("--sanitizer", action="store_true",
+                        help="arm the runtime latch/lock-order sanitizer "
+                             "for every schedule (a violation aborts the "
+                             "sweep with a traceback)")
     parser.add_argument("--replay", metavar="SCHEDULE_ID",
                         help="re-run one schedule by id (twice, checking "
                              "the digests match) instead of sweeping")
@@ -688,7 +699,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     explorer = CrashScheduleExplorer(seed=args.seed, quick=args.quick,
                                      budget=args.budget,
-                                     engine=args.engine)
+                                     engine=args.engine,
+                                     sanitizer=args.sanitizer)
     if args.replay:
         first = explorer.replay(args.replay)
         second = explorer.replay(args.replay)

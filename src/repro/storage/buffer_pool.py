@@ -30,6 +30,7 @@ from repro.storage.page import Page
 if TYPE_CHECKING:
     from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
+    from repro.sanitizer import Sanitizer
 
 
 @dataclass
@@ -73,6 +74,9 @@ class BufferPool:
         self.tracer: Optional["Tracer"] = None
         #: Attached by the owning complex; ``None`` disables injection.
         self.faults: Optional["FaultPlan"] = None
+        #: Attached by the owning complex; ``None`` disables the runtime
+        #: latch/lock-order sanitizer (repro.sanitizer).
+        self.sanitizer: Optional["Sanitizer"] = None
         self._frames: Dict[int, BufferControlBlock] = {}
         self._tick = 0
         self.hits = 0
@@ -212,6 +216,8 @@ class BufferPool:
         self._frames[page_id].fix_count += 1
         if self.tracer is not None:
             self.tracer.instant("buf", "fix", self.name, page_id=page_id)
+        if self.sanitizer is not None:
+            self.sanitizer.on_fix(self.name, page_id)
 
     def unfix(self, page_id: int) -> None:
         bcb = self._frames[page_id]
@@ -220,6 +226,8 @@ class BufferPool:
         bcb.fix_count -= 1
         if self.tracer is not None:
             self.tracer.instant("buf", "unfix", self.name, page_id=page_id)
+        if self.sanitizer is not None:
+            self.sanitizer.on_unfix(self.name, page_id)
 
     def fixed(self, page_id: int) -> "_PinGuard":
         """Pin a resident page for the duration of a ``with`` block.
@@ -264,6 +272,8 @@ class BufferPool:
     def clear(self) -> None:
         """Crash: all volatile frames disappear."""
         self._frames.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.on_pool_clear(self.name)
 
     def reset_counters(self) -> None:
         self.hits = 0

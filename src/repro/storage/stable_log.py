@@ -51,6 +51,7 @@ from repro.errors import LogRecordNotFoundError
 if TYPE_CHECKING:
     from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
+    from repro.sanitizer import Sanitizer
 
 #: Bytes of framing charged per record (the stored length prefix).
 FRAME_OVERHEAD = 8
@@ -81,6 +82,9 @@ class StableLog:
         self.tracer: Optional["Tracer"] = None
         #: Attached by the owning complex; ``None`` disables injection.
         self.faults: Optional["FaultPlan"] = None
+        #: Attached by the owning complex; ``None`` disables the runtime
+        #: WAL sanitizer (repro.sanitizer).
+        self.sanitizer: Optional["Sanitizer"] = None
         self.appends = 0
         self.forces = 0
         self.bytes_appended = 0
@@ -106,6 +110,9 @@ class StableLog:
             self.tracer.instant("log", "append", "server", addr=addr,
                                 lsn=int(record.lsn),
                                 nbytes=len(frame) + FRAME_OVERHEAD)
+        if self.sanitizer is not None:
+            self.sanitizer.on_log_append(int(record.lsn),
+                                         addr + FRAME_OVERHEAD + len(frame))
         return addr
 
     def force(self, up_to_addr: Optional[LogAddr] = None) -> None:
@@ -128,6 +135,8 @@ class StableLog:
         if self.tracer is not None:
             self.tracer.instant("log", "force", "server",
                                 flushed_addr=target)
+        if self.sanitizer is not None:
+            self.sanitizer.on_log_force(target)
 
     def _frame_end(self, addr: LogAddr) -> LogAddr:
         index = bisect.bisect_left(self._index, addr)
@@ -383,3 +392,5 @@ class StableLog:
         # Post-crash appends reuse the truncated tail's addresses; drop
         # any cached decodes for them.
         self._decoded.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.on_log_crash(self._flushed_addr)

@@ -1,0 +1,14 @@
+"""Bad crashpoint reachability: the entry point reaches a durable
+write with no crashpoint anywhere on the call path, so the crash
+explorer can never fail the transition.  The helper suppresses the
+per-function rule (REC030) — REC040 is the caller-side generalization."""
+
+
+class Archiver:
+    def snapshot_page(self, addr):
+        self._copy_out(addr)  # lint:expect REC040
+
+    def _copy_out(self, addr):
+        self.log.force(addr)
+        # lint: allow[REC030] instrumented by every production caller
+        self.archive.backup_from_disk(self.disk, addr)

@@ -1,0 +1,14 @@
+"""Good crashpoint reachability: the entry point instruments the path
+before calling into the (REC030-suppressed) durable-write helper."""
+
+
+class Archiver:
+    def snapshot_page(self, addr):
+        if self.faults is not None:
+            self.faults.crashpoint("archive.before_copy")
+        self._copy_out(addr)
+
+    def _copy_out(self, addr):
+        self.log.force(addr)
+        # lint: allow[REC030] instrumented by every production caller
+        self.archive.backup_from_disk(self.disk, addr)

@@ -1,0 +1,13 @@
+"""Bad latch/lock order: a lock wait under a latch, and two paths that
+acquire the latch/lock pair in opposite orders (a deadlock seed)."""
+
+
+class Mover:
+    def lock_under_latch(self):
+        with self.pool.fixed(1):
+            self.glm.acquire("C1", ("t", 1), "X")  # lint:expect LOCK001  # lint:expect LOCK002
+
+    def latch_under_lock(self):
+        self.glm.acquire("C1", ("t", 1), "X")
+        with self.pool.fixed(2):
+            self.page.read_record(0)

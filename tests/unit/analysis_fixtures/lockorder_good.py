@@ -1,0 +1,14 @@
+"""Good latch/lock order: every path locks first, latches second, so
+the acquisition-order graph is acyclic and no wait happens under a pin."""
+
+
+class Mover:
+    def read_path(self):
+        self.glm.acquire("C1", ("t", 1), "S")
+        with self.pool.fixed(1):
+            self.page.read_record(0)
+
+    def write_path(self):
+        self.glm.acquire("C1", ("t", 2), "X")
+        with self.pool.fixed(2):
+            self.page.read_record(1)

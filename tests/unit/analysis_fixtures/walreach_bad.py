@@ -1,0 +1,16 @@
+"""Bad interprocedural WAL: the entry point reaches the disk-write
+funnel with no log force anywhere on the call path.  The funnel itself
+is sanctioned for the per-function rule (REC002) — caller-side
+enforcement is exactly what WAL100 exists for."""
+
+
+class Checkpointer:
+    def checkpoint(self):
+        bcb = self.pool.bcb_for(7)
+        self._write_out(bcb)  # lint:expect WAL100
+
+    def _write_out(self, bcb):
+        if self.faults is not None:
+            self.faults.crashpoint("flush.before_write")
+        # lint: allow[REC002] funnel: callers must force first
+        self.disk.write_page(bcb.page)

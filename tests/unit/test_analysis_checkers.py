@@ -37,10 +37,11 @@ GOOD_FIXTURES = [p for p in ALL_FIXTURES if p.stem.endswith("_good")]
 
 def test_fixture_inventory():
     # One good/bad pair per checker family, plus the batching pair
-    # exercising the RPC checker's RPC004/RPC005 rules.
-    assert len(BAD_FIXTURES) == 8
-    assert len(GOOD_FIXTURES) == 8
-    assert len(ALL_FIXTURES) == 16
+    # exercising the RPC checker's RPC004/RPC005 rules, plus the three
+    # interprocedural pairs (lock order, WAL reach, crashpoint reach).
+    assert len(BAD_FIXTURES) == 11
+    assert len(GOOD_FIXTURES) == 11
+    assert len(ALL_FIXTURES) == 22
 
 
 @pytest.mark.parametrize("path", ALL_FIXTURES, ids=lambda p: p.stem)
