@@ -12,6 +12,7 @@ from repro.analysis.checkers.observability import ObservabilityChecker
 from repro.analysis.checkers.ordering import OrderingChecker
 from repro.analysis.checkers.pairing import PairingChecker
 from repro.analysis.checkers.reachability import ReachabilityChecker
+from repro.analysis.checkers.recovery_engines import RecoveryEngineChecker
 from repro.analysis.checkers.rpc_hygiene import RpcHygieneChecker
 from repro.analysis.checkers.wal import WalChecker
 
@@ -20,6 +21,7 @@ __all__ = [
     "WalChecker", "PairingChecker", "OrderingChecker",
     "DeterminismChecker", "RpcHygieneChecker", "ObservabilityChecker",
     "CrashScopeChecker", "LockOrderChecker", "ReachabilityChecker",
+    "RecoveryEngineChecker",
 ]
 
 
@@ -34,6 +36,7 @@ def all_checkers() -> List[Checker]:
         CrashScopeChecker(),
         LockOrderChecker(),
         ReachabilityChecker(),
+        RecoveryEngineChecker(),
     ]
 
 

@@ -36,6 +36,7 @@ from repro.core.log_records import (
     CommitRecord,
     CompensationRecord,
     EndRecord,
+    FrameHeader,
     LogRecord,
     PrepareRecord,
     UpdateRecord,
@@ -119,6 +120,46 @@ class GlobalTransactionTracker:
         elif isinstance(record, CommitRecord):
             txn.state = "committed"
         elif isinstance(record, EndRecord):
+            self._txns.pop(txn_id, None)
+
+    def observe_header(self, header: FrameHeader, addr: LogAddr) -> None:
+        """``observe`` from a decoded frame header alone.
+
+        Every field the tracker reads lives in the filterable frame
+        prefix, so restart analysis can feed the tracker without
+        materializing each record — the full decode was a large share
+        of restart wall-clock on long logs.  Must stay in lockstep with
+        ``observe``.
+        """
+        floor = self._floors.get(header.client_id, NULL_LSN)
+        if header.lsn > floor:
+            self._floors[header.client_id] = header.lsn
+        txn_id = header.txn_id
+        if txn_id is None:
+            return
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            txn = TrackedTransaction(txn_id, header.client_id)
+            self._txns[txn_id] = txn
+        tag = header.type_tag
+        if tag == "UPD" or tag == "CLR":
+            if txn.first_lsn == NULL_LSN:
+                txn.first_lsn = header.lsn
+            txn.last_lsn = header.lsn
+            txn.records.append((header.lsn, addr))
+            if header.page_id >= 0:
+                table = self.table_resolver(header.page_id)
+                if table is not None:
+                    txn.tables.add(table)
+            if tag == "CLR":
+                txn.undo_next_lsn = header.undo_next_lsn
+            elif not header.redo_only:
+                txn.undo_next_lsn = header.lsn
+        elif tag == "PRE":
+            txn.state = "prepared"
+        elif tag == "CMT":
+            txn.state = "committed"
+        elif tag == "END":
             self._txns.pop(txn_id, None)
 
     def reinstall(self, txn_id: str, client_id: str, state: str,

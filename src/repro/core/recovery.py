@@ -43,6 +43,7 @@ from repro.core.log_records import (
     CompensationRecord,
     EndCheckpointRecord,
     EndRecord,
+    FrameHeader,
     LogRecord,
     TxnOutcome,
     UpdateRecord,
@@ -127,6 +128,8 @@ def analysis_pass(
     rebuild_log_bookkeeping: bool = False,
     observer: Optional[Callable[[LogRecord, LogAddr], None]] = None,
     faults: Optional[FaultPlan] = None,
+    header_sink: Optional[Callable[[LogAddr, "FrameHeader"], None]] = None,
+    header_observer: Optional[Callable[["FrameHeader", LogAddr], None]] = None,
 ) -> AnalysisResult:
     """Scan [start_addr, end) rebuilding the DPL and transaction table.
 
@@ -137,19 +140,29 @@ def analysis_pass(
     lost.  ``observer`` sees every scanned record (the server uses it to
     rebuild its global transaction tracker).  ``faults`` arms the
     per-record crashpoint that lets the explorer kill recovery itself
-    mid-scan (restart must be restartable, section 2.5).
+    mid-scan (restart must be restartable, section 2.5).  ``header_sink``
+    sees every ``(addr, header)`` the scan visits — the hook that lets a
+    fused recovery engine collect redo candidates during analysis
+    instead of paying a second header scan over the same range.
+    ``header_observer`` is the cheap form of ``observer``: it sees every
+    ``(header, addr)`` without the full-record decode, which is all the
+    transaction tracker needs; when both are given the header form wins.
     """
     result = AnalysisResult(end_addr=log.end_of_log_addr)
     for addr, header in log.scan_headers(start_addr):
         if faults is not None:
             faults.crashpoint("recovery.analysis.scan")
+        if header_sink is not None:
+            header_sink(addr, header)
         result.records_scanned += 1
         result.records_by_client[header.client_id] = (
             result.records_by_client.get(header.client_id, 0) + 1
         )
         if rebuild_log_bookkeeping:
             log.observe_during_restart(header.client_id, header.lsn, addr)
-        if observer is not None:
+        if header_observer is not None:
+            header_observer(header, addr)
+        elif observer is not None:
             observer(log.read_at(addr), addr)
         tag = header.type_tag
         if tag == "ECP":

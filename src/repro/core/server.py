@@ -41,10 +41,8 @@ from repro.core.recovery import (
     AnalysisResult,
     LogicalUndoHandler,
     RestartTxn,
-    analysis_pass,
-    redo_pass,
-    undo_pass,
 )
+from repro.recovery.engines import RecoveryContext, make_engine
 from repro.core.server_log import ServerLogManager
 from repro.errors import (
     LockConflictError,
@@ -85,6 +83,10 @@ class RecoveryReport:
     clrs_written: int = 0
     txns_rolled_back: int = 0
     dpl_size: int = 0
+    #: Which recovery engine ran (``SystemConfig.recovery_engine``).
+    engine: str = "serial"
+    #: Why a non-serial engine fell back to the serial passes, if it did.
+    fallback: Optional[str] = None
 
     @property
     def total_log_records_processed(self) -> int:
@@ -1143,76 +1145,51 @@ class Server:
         # with its checkpoints instead of rescanning.)
         for addr, header in self.log.scan_headers(0, start_addr):
             self.log.observe_during_restart(header.client_id, header.lsn, addr)
-        analysis_span = 0
-        if tracer is not None:
-            analysis_span = tracer.begin("recovery", "analysis", "server",
-                                         start_addr=start_addr)
-        if self.faults is not None:
-            self.faults.crashpoint("server.restart.before_analysis", tracer)
-        analysis = analysis_pass(
-            self.log, start_addr,
-            rebuild_log_bookkeeping=True,
-            observer=self.tracker.observe,
-            faults=self.faults,
-        )
-        if tracer is not None:
-            tracer.end(
-                analysis_span,
-                records_scanned=analysis.records_scanned,
-                by_client=dict(sorted(analysis.records_by_client.items())),
-                dpl_size=len(analysis.dpl),
-                redo_addr=analysis.redo_addr,
-                end_addr=analysis.end_addr,
-            )
-        # Re-seed the tracker with in-progress transactions whose records
-        # all precede the checkpoint (known only via the checkpoint's
-        # transaction table) — Commit_LSN safety for surviving clients.
-        for txn in analysis.txns.values():
-            if txn.state in ("active", "prepared"):
-                self.tracker.reinstall(
-                    txn.txn_id, txn.client_id, txn.state,
-                    txn.first_lsn, txn.last_lsn, txn.undo_next_lsn,
+
+        def _after_analysis(analysis: AnalysisResult) -> None:
+            # Re-seed the tracker with in-progress transactions whose
+            # records all precede the checkpoint (known only via the
+            # checkpoint's transaction table) — Commit_LSN safety for
+            # surviving clients.
+            for txn in analysis.txns.values():
+                if txn.state in ("active", "prepared"):
+                    self.tracker.reinstall(
+                        txn.txn_id, txn.client_id, txn.state,
+                        txn.first_lsn, txn.last_lsn, txn.undo_next_lsn,
+                    )
+            for page_id, rec_addr in analysis.dpl.items():
+                self._rec_addr_floor[page_id] = min(
+                    self._rec_addr_floor.get(page_id, rec_addr), rec_addr
                 )
-        for page_id, rec_addr in analysis.dpl.items():
-            self._rec_addr_floor[page_id] = min(
-                self._rec_addr_floor.get(page_id, rec_addr), rec_addr
-            )
-        pages = _ServerPageAccess(self)
-        redo_span = 0
-        if tracer is not None:
-            redo_span = tracer.begin("recovery", "redo", "server",
-                                     redo_addr=analysis.redo_addr)
-        if self.faults is not None:
-            self.faults.crashpoint("server.restart.before_redo", tracer)
-        redo = redo_pass(self.log, analysis, pages, faults=self.faults)
-        if tracer is not None:
-            tracer.end(
-                redo_span,
-                records_scanned=redo.records_scanned,
-                records_considered=redo.records_considered,
-                pages_redone=redo.redos_applied,
-                by_client=dict(sorted(redo.applied_by_client.items())),
-            )
-        losers = {
-            txn_id: txn for txn_id, txn in analysis.losers().items()
-            if txn.client_id == SERVER_ID or txn.client_id in failed_clients
-        }
-        undo_span = 0
-        if tracer is not None:
-            undo_span = tracer.begin("recovery", "undo", "server",
-                                     losers=len(losers))
-        if self.faults is not None:
-            self.faults.crashpoint("server.restart.before_undo", tracer)
-        undo = undo_pass(self.log, losers, pages, _ServerClrWriter(self),
-                         self.logical_undo_handler, faults=self.faults)
-        if tracer is not None:
-            tracer.end(
-                undo_span,
-                records_scanned=undo.records_scanned,
-                clrs_written=undo.clrs_written,
-                txns_rolled_back=undo.txns_rolled_back,
-                by_client=dict(sorted(undo.clrs_by_client.items())),
-            )
+
+        def _restart_losers(
+            losers: Dict[str, RestartTxn]) -> Dict[str, RestartTxn]:
+            return {
+                txn_id: txn for txn_id, txn in losers.items()
+                if txn.client_id == SERVER_ID or txn.client_id in failed_clients
+            }
+
+        engine = make_engine(self.config.recovery_engine,
+                             self.config.recovery_partitions)
+        result = engine.run(RecoveryContext(
+            log=self.log,
+            pages=_ServerPageAccess(self),
+            clr_writer=_ServerClrWriter(self),
+            kind="server-restart",
+            crashpoint_prefix="server.restart",
+            analysis_scan_start=start_addr,
+            rebuild_log_bookkeeping=True,
+            header_observer=self.tracker.observe_header,
+            analysis_faults=self.faults,
+            logical_undo=self.logical_undo_handler,
+            faults=self.faults,
+            tracer=tracer,
+            analysis_span_attrs={"start_addr": start_addr},
+            after_analysis=_after_analysis,
+            loser_filter=_restart_losers,
+            partitions=self.config.recovery_partitions,
+        ))
+        analysis, redo, undo = result.analysis, result.redo, result.undo
         self.log.force()
 
         # Rebuild the volatile lock table and coherency map from the
@@ -1250,6 +1227,8 @@ class Server:
             clrs_written=undo.clrs_written,
             txns_rolled_back=undo.txns_rolled_back,
             dpl_size=len(analysis.dpl),
+            engine=result.engine,
+            fallback=result.fallback,
         )
         self.last_recovery = report
         self.recovery_reports.append(report)
@@ -1292,83 +1271,57 @@ class Server:
         self._require_up()
         tracer = self.tracer
         root_span = 0
-        analysis_span = 0
         if tracer is not None:
             root_span = tracer.begin("recovery", "client-recovery", "server",
                                      client=client_id)
-            analysis_span = tracer.begin("recovery", "analysis", "server",
-                                         client=client_id)
-        if self.faults is not None:
-            self.faults.crashpoint("server.client_recovery.before_analysis",
-                                   tracer)
-        if self.config.client_recovery_info is ClientRecoveryInfo.CLIENT_CHECKPOINTS:
-            analysis = self._client_analysis_from_checkpoint(client_id)
-        else:
-            analysis = self._client_analysis_from_lock_table(client_id)
-        if tracer is not None:
-            tracer.end(
-                analysis_span,
-                records_scanned=analysis.records_scanned,
-                by_client=dict(sorted(analysis.records_by_client.items())),
-                dpl_size=len(analysis.dpl),
-                redo_addr=analysis.redo_addr,
-                end_addr=analysis.end_addr,
-            )
 
-        pages = _ServerPageAccess(self)
-        # Pages whose forwarded dirty versions died with this client must
-        # be rebuilt from ALL clients' records — the previous owner's
-        # updates never reached the server's copy either.  This must
-        # happen BEFORE the client-filtered redo: applying the failed
-        # client's records onto a version missing its predecessor's
-        # updates would stamp a page_LSN that masks them forever.
-        forwarded_redos = 0
-        for page_id in sorted(self._forwarded_dirty):
-            rec_addr, holder, _version = self._forwarded_dirty[page_id]
-            if holder != client_id:
-                continue
-            page = self._page_for_recovery(page_id)
-            forwarded_redos += self._roll_page_forward(page, rec_addr)
-            self._mark_recovered_dirty(page_id, rec_addr)
-            del self._forwarded_dirty[page_id]
-        redo_span = 0
-        if tracer is not None:
-            redo_span = tracer.begin("recovery", "redo", "server",
-                                     client=client_id,
-                                     redo_addr=analysis.redo_addr)
-        if self.faults is not None:
-            self.faults.crashpoint("server.client_recovery.before_redo",
-                                   tracer)
-        redo = redo_pass(self.log, analysis, pages, client_filter={client_id},
-                         faults=self.faults)
-        redo.redos_applied += forwarded_redos
-        if tracer is not None:
-            tracer.end(
-                redo_span,
-                records_scanned=redo.records_scanned,
-                records_considered=redo.records_considered,
-                pages_redone=redo.redos_applied,
-                forwarded_redos=forwarded_redos,
-                by_client=dict(sorted(redo.applied_by_client.items())),
-            )
-        losers = analysis.losers()
-        undo_span = 0
-        if tracer is not None:
-            undo_span = tracer.begin("recovery", "undo", "server",
-                                     client=client_id, losers=len(losers))
-        if self.faults is not None:
-            self.faults.crashpoint("server.client_recovery.before_undo",
-                                   tracer)
-        undo = undo_pass(self.log, losers, pages, _ServerClrWriter(self),
-                         self.logical_undo_handler, faults=self.faults)
-        if tracer is not None:
-            tracer.end(
-                undo_span,
-                records_scanned=undo.records_scanned,
-                clrs_written=undo.clrs_written,
-                txns_rolled_back=undo.txns_rolled_back,
-                by_client=dict(sorted(undo.clrs_by_client.items())),
-            )
+        def _rebuild_forwarded() -> int:
+            # Pages whose forwarded dirty versions died with this client
+            # must be rebuilt from ALL clients' records — the previous
+            # owner's updates never reached the server's copy either.
+            # This must happen BEFORE the client-filtered redo: applying
+            # the failed client's records onto a version missing its
+            # predecessor's updates would stamp a page_LSN that masks
+            # them forever.
+            forwarded_redos = 0
+            for page_id in sorted(self._forwarded_dirty):
+                rec_addr, holder, _version = self._forwarded_dirty[page_id]
+                if holder != client_id:
+                    continue
+                page = self._page_for_recovery(page_id)
+                forwarded_redos += self._roll_page_forward(page, rec_addr)
+                self._mark_recovered_dirty(page_id, rec_addr)
+                del self._forwarded_dirty[page_id]
+            return forwarded_redos
+
+        ctx = RecoveryContext(
+            log=self.log,
+            pages=_ServerPageAccess(self),
+            clr_writer=_ServerClrWriter(self),
+            kind="client-recovery",
+            crashpoint_prefix="server.client_recovery",
+            client_filter={client_id},
+            logical_undo=self.logical_undo_handler,
+            faults=self.faults,
+            tracer=tracer,
+            span_attrs={"client": client_id},
+            pre_redo=_rebuild_forwarded,
+            partitions=self.config.recovery_partitions,
+        )
+        if self.config.client_recovery_info is ClientRecoveryInfo.CLIENT_CHECKPOINTS:
+            # Section 2.6.1: a real analysis scan from the client's last
+            # complete checkpoint (historically armed with no faults).
+            ctx.analysis_scan_start = self._master["client_ckpts"].get(
+                client_id, 0)
+        else:
+            # Section 2.6.2: no scan at all — the GLM lock table and the
+            # global tracker supply the analysis tables directly.
+            ctx.analysis_supplier = (
+                lambda: self._client_analysis_from_lock_table(client_id))
+        engine = make_engine(self.config.recovery_engine,
+                             self.config.recovery_partitions)
+        result = engine.run(ctx)
+        analysis, redo, undo = result.analysis, result.redo, result.undo
         self.log.force()
 
         # In-doubt info kept for the reconnecting client (section 2.6.1):
@@ -1417,6 +1370,8 @@ class Server:
             clrs_written=undo.clrs_written,
             txns_rolled_back=undo.txns_rolled_back,
             dpl_size=len(analysis.dpl),
+            engine=result.engine,
+            fallback=result.fallback,
         )
         self.last_recovery = report
         self.recovery_reports.append(report)
@@ -1424,10 +1379,6 @@ class Server:
             tracer.end(root_span,
                        total_records=report.total_log_records_processed)
         return report
-
-    def _client_analysis_from_checkpoint(self, client_id: str) -> AnalysisResult:
-        start_addr = self._master["client_ckpts"].get(client_id, 0)
-        return analysis_pass(self.log, start_addr, client_filter={client_id})
 
     def _client_analysis_from_lock_table(self, client_id: str) -> AnalysisResult:
         """Section 2.6.2: DPL = pages under the client's update-privilege

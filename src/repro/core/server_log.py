@@ -233,6 +233,24 @@ class ServerLogManager:
         # qualifying record is yet to arrive.
         return self.stable.end_of_log_addr
 
+    def addr_of_lsn(self, client_id: str, lsn: LSN) -> Optional[LogAddr]:
+        """Exact address of the record a client wrote with this LSN.
+
+        The chain-walking recovery engines use this to jump an undo
+        chain (expected UndoNxtLSN -> record address) instead of the
+        serial backward scan: LSNs within one system are unique and
+        monotonic, so the pair lists answer with one binary search.
+        Returns ``None`` when the pair is unknown (conservative callers
+        fall back to the scanning undo pass).
+        """
+        lsns = self._pair_lsns.get(client_id)
+        if not lsns:
+            return None
+        index = bisect.bisect_left(lsns, lsn)
+        if index < len(lsns) and lsns[index] == lsn:
+            return self._pair_addrs[client_id][index]
+        return None
+
     def force_addr_for_client(self, client_id: str) -> LogAddr:
         """Conservative ForceAddr for a dirty page arriving from a client:
         the address of the most recent log record received from it."""

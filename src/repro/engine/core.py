@@ -306,10 +306,16 @@ class Engine:
         targets = self._translate_holders(conflict)
         self.graph.add_wait(waiter, targets)
         self._parked[waiter] = scheduled
-        # The waits-for graph gets every edge (cycle detection needs
-        # them) but the wake index gets only the *youngest* blocker:
-        # behind a crowd of k shared holders, parking under all k means
-        # k wake-retry-repark rounds (each one an O(k) conflict), an
+        # Edges are built *here*, per park, not deferred to the stall:
+        # crowds are smallest at park time (holders accumulate as a wave
+        # progresses), and a stall — where every live transaction is
+        # parked at once — is exactly when re-translating each waiter's
+        # crowd would be at its most expensive.  Measured at 3k clients,
+        # a stall-time rebuild more than doubled total run time.  The
+        # waits-for graph gets every edge (cycle detection needs them)
+        # but the wake index gets only the *youngest* blocker: behind a
+        # crowd of k shared holders, parking under all k means k
+        # wake-retry-repark rounds (each one an O(k) conflict), an
         # O(k^2) drain.  Holders complete roughly in acquisition order,
         # so the youngest is the best single predictor of "the crowd is
         # gone"; a waiter whose chosen blocker outlives the real one is

@@ -138,12 +138,22 @@ class LockConflictError(LockError):
     """
 
     def __init__(self, resource: object, requested: str, holders: tuple) -> None:
-        super().__init__(
-            f"lock on {resource!r} in mode {requested} conflicts with holders {holders}"
-        )
+        # No message built here: conflicts are control flow on the hot
+        # path (caught and turned into waits), and behind a hot shared
+        # lock ``holders`` can be thousands of owners — formatting them
+        # eagerly on every conflict is an O(crowd) tax nobody reads.
+        super().__init__()
         self.resource = resource
         self.requested = requested
         self.holders = holders
+
+    def __str__(self) -> str:
+        shown = ", ".join(repr(h) for h in self.holders[:8])
+        more = len(self.holders) - 8
+        if more > 0:
+            shown += f", ... {more} more"
+        return (f"lock on {self.resource!r} in mode {self.requested} "
+                f"conflicts with holders ({shown})")
 
 
 class DeadlockError(LockError):

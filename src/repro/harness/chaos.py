@@ -126,6 +126,10 @@ class ScheduleResult:
     hit_counts: Dict[str, int]
     #: sha256 over the canonical run outcome; replays must match.
     digest: str
+    #: sha256 over only the *user-visible* outcome (outcomes, violations,
+    #: final values) — the slice that must be identical across recovery
+    #: engines, which legitimately differ in crashpoint hit counts.
+    durability_digest: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -137,6 +141,7 @@ class ScheduleResult:
             "outcomes": dict(sorted(self.outcomes.items())),
             "violations": list(self.violations),
             "digest": self.digest,
+            "durability_digest": self.durability_digest,
         }
 
 
@@ -144,7 +149,8 @@ class _WorkloadRun:
     """One execution of the chaos script under one fault plan."""
 
     def __init__(self, seed: int, schedule: Schedule,
-                 engine: bool = False, sanitizer: bool = False) -> None:
+                 engine: bool = False, sanitizer: bool = False,
+                 recovery_engine: str = "serial") -> None:
         self.seed = seed
         self.schedule = schedule
         #: Route the script's plain commit/rollback transactions through
@@ -170,6 +176,7 @@ class _WorkloadRun:
             server_checkpoint_interval=0,
             max_lsn_sync_period=4,
             sanitizer=sanitizer,
+            recovery_engine=recovery_engine,
         )
         self.system = ClientServerSystem(config, client_ids=("C1", "C2"))
         self.system.bootstrap(data_pages=6, free_pages=8)
@@ -451,6 +458,8 @@ class ExplorerSummary:
     #: Whether the script's transactions ran through the event-driven
     #: engine (``--engine``) instead of the direct client API.
     engine: bool = False
+    #: Which recovery engine every schedule's recoveries ran under.
+    recovery_engine: str = "serial"
 
     @property
     def schedules_explored(self) -> int:
@@ -477,6 +486,7 @@ class ExplorerSummary:
             "seed": self.seed,
             "quick": self.quick,
             "engine": self.engine,
+            "recovery_engine": self.recovery_engine,
             "schedules_explored": self.schedules_explored,
             "points_covered": self.points_covered,
             "nested_schedules": self.nested_schedules,
@@ -490,7 +500,8 @@ class ExplorerSummary:
         lines = [
             f"chaos sweep: seed={self.seed} "
             f"mode={'quick' if self.quick else 'full'}"
-            f"{' executor=engine' if self.engine else ''}",
+            f"{' executor=engine' if self.engine else ''}"
+            f"{'' if self.recovery_engine == 'serial' else ' recovery=' + self.recovery_engine}",
             f"  crashpoints censused : {self.points_covered}"
             f" (of {len(CRASHPOINTS)} instrumented)",
             f"  schedules explored   : {self.schedules_explored}"
@@ -511,12 +522,14 @@ class CrashScheduleExplorer:
 
     def __init__(self, seed: int = 0, quick: bool = False,
                  budget: Optional[int] = None,
-                 engine: bool = False, sanitizer: bool = False) -> None:
+                 engine: bool = False, sanitizer: bool = False,
+                 recovery_engine: str = "serial") -> None:
         self.seed = seed
         self.quick = quick
         self.budget = budget
         self.engine = engine
         self.sanitizer = sanitizer
+        self.recovery_engine = recovery_engine
         self._census: Optional[Dict[str, int]] = None
         self._explored = 0
 
@@ -584,7 +597,8 @@ class CrashScheduleExplorer:
         """Re-run a schedule from its id (seed travels in the id)."""
         seed, schedule = parse_schedule_id(sid)
         replayer = CrashScheduleExplorer(seed=seed, engine=self.engine,
-                                         sanitizer=self.sanitizer)
+                                         sanitizer=self.sanitizer,
+                                         recovery_engine=self.recovery_engine)
         return replayer.run_schedule(schedule)
 
     def explore(self) -> ExplorerSummary:
@@ -594,12 +608,14 @@ class CrashScheduleExplorer:
                    for schedule in self.schedules()]
         return ExplorerSummary(seed=self.seed, quick=self.quick,
                                census=census, results=results,
-                               engine=self.engine)
+                               engine=self.engine,
+                               recovery_engine=self.recovery_engine)
 
     def _execute(self, schedule: Schedule) -> Tuple[_WorkloadRun,
                                                     ScheduleResult]:
         run = _WorkloadRun(self.seed, schedule, engine=self.engine,
-                           sanitizer=self.sanitizer)
+                           sanitizer=self.sanitizer,
+                           recovery_engine=self.recovery_engine)
         self._explored += 1
         run.plan.schedules_explored += 1
         fired: List[Tuple[str, int]] = []
@@ -628,6 +644,8 @@ class CrashScheduleExplorer:
         sid = schedule_id(self.seed, schedule)
         digest = _digest(sid, fired, script_completed, run.outcomes,
                          violations, final_values, run.plan)
+        durability = _durability_digest(sid, run.outcomes, violations,
+                                        final_values)
         result = ScheduleResult(
             schedule_id=sid,
             schedule=schedule,
@@ -638,6 +656,7 @@ class CrashScheduleExplorer:
             violations=violations,
             hit_counts=run.plan.hit_counts(),
             digest=digest,
+            durability_digest=durability,
         )
         return run, result
 
@@ -665,6 +684,101 @@ def _digest(sid: str, fired: List[Tuple[str, int]], script_completed: bool,
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def _durability_digest(sid: str, outcomes: Dict[str, str],
+                       violations: List[str],
+                       final_values: List[Tuple[str, str]]) -> str:
+    """sha256 over the engine-independent slice of a run's outcome.
+
+    The full ``_digest`` pins fault-plan counters and crashpoint hit
+    counts, which legitimately differ between recovery engines (they
+    fire per-record crashpoints on different scan shapes).  What must
+    NOT differ is what the complex *decided*: transaction outcomes,
+    violations, and the recovered values.  Matrix mode compares exactly
+    this slice across engines, schedule id by schedule id.
+    """
+    payload = {
+        "schedule_id": sid,
+        "outcomes": dict(sorted(outcomes.items())),
+        "violations": list(violations),
+        "final_values": [list(pair) for pair in final_values],
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Engine matrix
+# ---------------------------------------------------------------------------
+
+def run_engine_matrix(seed: int = 0, quick: bool = False,
+                      budget: Optional[int] = None, engine: bool = False,
+                      sanitizer: bool = False) -> Dict[str, Any]:
+    """The same sweep under every recovery engine; durability must agree.
+
+    Each engine gets its own census and enumeration (its crashpoint
+    shapes differ), then every schedule id two engines have in common
+    must carry identical durability digests — same transaction
+    outcomes, same violations (none), same recovered values.
+    """
+    from repro.recovery.engines import ENGINE_NAMES
+
+    summaries: Dict[str, ExplorerSummary] = {}
+    for name in ENGINE_NAMES:
+        explorer = CrashScheduleExplorer(seed=seed, quick=quick,
+                                         budget=budget, engine=engine,
+                                         sanitizer=sanitizer,
+                                         recovery_engine=name)
+        summaries[name] = explorer.explore()
+    baseline = summaries["serial"]
+    base_durability = {r.schedule_id: r.durability_digest
+                       for r in baseline.results}
+    mismatches: List[str] = []
+    compared = 0
+    for name, summary in summaries.items():
+        if name == "serial":
+            continue
+        for result in summary.results:
+            expected = base_durability.get(result.schedule_id)
+            if expected is None:
+                continue
+            compared += 1
+            if result.durability_digest != expected:
+                mismatches.append(
+                    f"{name}: {result.schedule_id} durability diverges "
+                    f"from serial")
+    violations = [v for s in summaries.values() for v in s.violations]
+    return {
+        "seed": seed,
+        "quick": quick,
+        "schedules_compared": compared,
+        "mismatches": mismatches,
+        "violations": violations,
+        "engines": {name: summary.to_dict()
+                    for name, summary in summaries.items()},
+    }
+
+
+def render_matrix_text(report: Dict[str, Any]) -> str:
+    lines = [
+        f"chaos engine matrix: seed={report['seed']} "
+        f"mode={'quick' if report['quick'] else 'full'}",
+    ]
+    for name, summary in report["engines"].items():
+        lines.append(
+            f"  {name:12s}: {summary['schedules_explored']} schedules, "
+            f"{len(summary['violations'])} violations")
+    lines.append(f"  durability digests compared across engines: "
+                 f"{report['schedules_compared']}")
+    for mismatch in report["mismatches"]:
+        lines.append(f"    FAIL {mismatch}")
+    for violation in report["violations"]:
+        lines.append(f"    FAIL {violation}")
+    if not report["mismatches"] and not report["violations"]:
+        lines.append("  all engines recovered every schedule to the "
+                     "identical durable state")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -688,6 +802,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="arm the runtime latch/lock-order sanitizer "
                              "for every schedule (a violation aborts the "
                              "sweep with a traceback)")
+    parser.add_argument("--recovery-engine", default="serial",
+                        choices=["serial", "partitioned", "redo_only",
+                                 "matrix"],
+                        help="recovery engine for every recovery in the "
+                             "sweep; 'matrix' sweeps under all three and "
+                             "requires identical durability digests")
     parser.add_argument("--replay", metavar="SCHEDULE_ID",
                         help="re-run one schedule by id (twice, checking "
                              "the digests match) instead of sweeping")
@@ -697,10 +817,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the JSON report here")
     args = parser.parse_args(argv)
 
+    if args.recovery_engine == "matrix" and not args.replay and not args.list:
+        report = run_engine_matrix(seed=args.seed, quick=args.quick,
+                                   budget=args.budget, engine=args.engine,
+                                   sanitizer=args.sanitizer)
+        print(render_matrix_text(report))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            print(f"report written to {args.out}")
+        return 0 if not report["mismatches"] and not report["violations"] \
+            else 1
+
+    recovery_engine = ("serial" if args.recovery_engine == "matrix"
+                       else args.recovery_engine)
     explorer = CrashScheduleExplorer(seed=args.seed, quick=args.quick,
                                      budget=args.budget,
                                      engine=args.engine,
-                                     sanitizer=args.sanitizer)
+                                     sanitizer=args.sanitizer,
+                                     recovery_engine=recovery_engine)
     if args.replay:
         first = explorer.replay(args.replay)
         second = explorer.replay(args.replay)

@@ -1,0 +1,23 @@
+"""Pluggable recovery engines (serial / partitioned / redo_only)."""
+
+from repro.recovery.engines import (
+    ENGINE_NAMES,
+    EngineResult,
+    PartitionedRecoveryEngine,
+    RecoveryContext,
+    RecoveryEngine,
+    RedoOnlyRecoveryEngine,
+    SerialRecoveryEngine,
+    make_engine,
+)
+
+__all__ = [
+    "ENGINE_NAMES",
+    "EngineResult",
+    "PartitionedRecoveryEngine",
+    "RecoveryContext",
+    "RecoveryEngine",
+    "RedoOnlyRecoveryEngine",
+    "SerialRecoveryEngine",
+    "make_engine",
+]

@@ -1,0 +1,738 @@
+"""Pluggable recovery engines: serial, partitioned-parallel, redo-only.
+
+``Server.restart`` (section 2.7) and ``recover_failed_client``
+(sections 2.6.1/2.6.2) no longer hard-code the three-pass scan: they
+build a :class:`RecoveryContext` describing *what* must be recovered and
+hand it to the engine named by ``SystemConfig.recovery_engine``:
+
+* ``serial`` — the paper's analysis/redo/undo passes, byte-identical to
+  the historical inline code (same spans, same crashpoints, same scan
+  counts, same log bytes).
+* ``partitioned`` — fuses analysis and redo-candidate collection into a
+  single header-level pass, splits redo into page-id partitions whose
+  supplementary pre-checkpoint scans are pruned to the partition's
+  minimum DPL RecAddr, and resolves undo chains by exact LSN→address
+  lookup (``ServerLogManager.addr_of_lsn``) grouped per loser client
+  instead of a full backward scan.  Partitions run as deterministic
+  worker units in partition-index order and undo work is applied through
+  a canonical merge in descending record-address order — exactly the
+  order the serial backward scan visits — so page images *and* the
+  emitted CLR/End stream are byte-identical to ``serial``.
+* ``redo_only`` — the single-pass design of Sauer & Härder (arXiv
+  1409.3682): committed history is replayed forward and loser updates
+  are treated as never-redone, skipping both their page application and
+  the whole undo scan.  Repeating history stays sound because the
+  engine still emits the losers' CLR/End stream into the log (without
+  touching pages): a future restart either redoes update+CLR (net
+  before-image) or neither.  Applicability gates fall back to the
+  serial passes whenever skipping would be unsound: prepared (in-doubt)
+  transactions present, a loser update already externalized to the
+  page image, pending logical undo, a prior partial rollback, or an
+  unresolvable chain.
+
+Engines reach pages only through :class:`RecoveryPageAccess` and emit
+log records only through :class:`ClrWriter` (lint rule REC060 enforces
+both), so every implementation inherits the server's WAL and
+dirty-tracking discipline unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.apply import (
+    apply_clr_redo,
+    apply_redo,
+    physical_undo_effect,
+    redo_needed,
+)
+from repro.core.log_records import CompensationRecord, FrameHeader, UpdateRecord
+from repro.core.lsn import LogAddr, NULL_LSN
+from repro.core.recovery import (
+    AnalysisResult,
+    ClrWriter,
+    LogicalUndoHandler,
+    RecoveryPageAccess,
+    RedoStats,
+    RestartTxn,
+    UndoStats,
+    _finish_rollback,
+    _undo_one,
+    analysis_pass,
+    redo_pass,
+    undo_pass,
+)
+from repro.core.server_log import ServerLogManager
+from repro.errors import RecoveryInvariantError
+from repro.faults import FaultPlan
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+
+#: The selectable engine names, in canonical comparison order.
+ENGINE_NAMES = ("serial", "partitioned", "redo_only")
+
+
+@dataclass
+class RecoveryContext:
+    """Everything one recovery run needs, independent of the engine.
+
+    The server builds one per ``restart`` / ``recover_failed_client``
+    call; hooks carry the between-pass bookkeeping that used to be
+    inlined (tracker reinstall after analysis, forwarded-dirty rebuild
+    before redo, the restart loser filter).
+    """
+
+    log: ServerLogManager
+    pages: RecoveryPageAccess
+    clr_writer: ClrWriter
+    #: ``"server-restart"`` or ``"client-recovery"``.
+    kind: str
+    #: Crashpoint namespace: ``server.restart`` / ``server.client_recovery``.
+    crashpoint_prefix: str
+    #: Where the analysis scan starts (``None`` when a supplier below
+    #: provides the analysis without scanning — the 2.6.2 GLM variant).
+    analysis_scan_start: Optional[LogAddr] = None
+    analysis_supplier: Optional[Callable[[], AnalysisResult]] = None
+    client_filter: Optional[Set[str]] = None
+    rebuild_log_bookkeeping: bool = False
+    observer: Optional[Callable] = None
+    #: Header-only observer (preferred): sees ``(header, addr)`` per
+    #: scanned record without the full decode.
+    header_observer: Optional[Callable] = None
+    #: Faults armed for the analysis scan specifically (client recovery
+    #: historically scans analysis unarmed; restart arms it).
+    analysis_faults: Optional[FaultPlan] = None
+    logical_undo: Optional[LogicalUndoHandler] = None
+    faults: Optional[FaultPlan] = None
+    tracer: Optional["Tracer"] = None
+    #: Attributes stamped on every pass span (e.g. ``client=C1``).
+    span_attrs: Dict[str, object] = field(default_factory=dict)
+    #: Extra attributes for the analysis span only (e.g. ``start_addr``).
+    analysis_span_attrs: Dict[str, object] = field(default_factory=dict)
+    after_analysis: Optional[Callable[[AnalysisResult], None]] = None
+    #: Runs between analysis and redo; returns redos applied out of band
+    #: (the forwarded-dirty rebuild of client recovery).
+    pre_redo: Optional[Callable[[], int]] = None
+    loser_filter: Optional[
+        Callable[[Dict[str, RestartTxn]], Dict[str, RestartTxn]]
+    ] = None
+    partitions: int = 4
+
+
+@dataclass
+class EngineResult:
+    """What an engine run produced, for the server's RecoveryReport."""
+
+    engine: str
+    analysis: AnalysisResult
+    redo: RedoStats
+    undo: UndoStats
+    forwarded_redos: int = 0
+    #: Set when ``redo_only``/``partitioned`` had to run the serial
+    #: passes instead (applicability gate failed); names the gate.
+    fallback: Optional[str] = None
+
+
+class RecoveryEngine:
+    """Interface: one complete recovery run over a context."""
+
+    name = "abstract"
+
+    def run(self, ctx: RecoveryContext) -> EngineResult:
+        raise NotImplementedError
+
+
+class _ChainLookupMiss(Exception):
+    """An undo chain LSN had no known address; fall back to scanning."""
+
+
+# ---------------------------------------------------------------------------
+# Shared pass plumbing (spans + crashpoints in the historical order)
+# ---------------------------------------------------------------------------
+
+def _fire_before(ctx: RecoveryContext, pass_name: str) -> None:
+    """Arm the per-pass crashpoint with its literal manifest name.
+
+    The CRASHPOINTS manifest is closed-loop against literal call sites,
+    so the names are spelled out per (flavor, pass) rather than built
+    from ``ctx.crashpoint_prefix``.
+    """
+    if ctx.faults is None:
+        return
+    restart = ctx.crashpoint_prefix == "server.restart"
+    if pass_name == "analysis":
+        if restart:
+            ctx.faults.crashpoint("server.restart.before_analysis",
+                                  ctx.tracer)
+        else:
+            ctx.faults.crashpoint("server.client_recovery.before_analysis",
+                                  ctx.tracer)
+    elif pass_name == "redo":
+        if restart:
+            ctx.faults.crashpoint("server.restart.before_redo", ctx.tracer)
+        else:
+            ctx.faults.crashpoint("server.client_recovery.before_redo",
+                                  ctx.tracer)
+    else:
+        if restart:
+            ctx.faults.crashpoint("server.restart.before_undo", ctx.tracer)
+        else:
+            ctx.faults.crashpoint("server.client_recovery.before_undo",
+                                  ctx.tracer)
+
+
+def _run_analysis(ctx: RecoveryContext,
+                  header_sink: Optional[Callable[[LogAddr, FrameHeader], None]]
+                  ) -> AnalysisResult:
+    if ctx.analysis_supplier is not None:
+        return ctx.analysis_supplier()
+    assert ctx.analysis_scan_start is not None
+    return analysis_pass(
+        ctx.log, ctx.analysis_scan_start,
+        client_filter=ctx.client_filter,
+        rebuild_log_bookkeeping=ctx.rebuild_log_bookkeeping,
+        observer=ctx.observer,
+        faults=ctx.analysis_faults,
+        header_sink=header_sink,
+        header_observer=ctx.header_observer,
+    )
+
+
+def _analysis_phase(engine: RecoveryEngine, ctx: RecoveryContext,
+                    header_sink: Optional[
+                        Callable[[LogAddr, FrameHeader], None]]
+                    ) -> AnalysisResult:
+    tracer = ctx.tracer
+    span = 0
+    if tracer is not None:
+        attrs: Dict[str, object] = dict(ctx.span_attrs)
+        attrs.update(ctx.analysis_span_attrs)
+        if engine.name != "serial":
+            attrs["engine"] = engine.name
+        span = tracer.begin("recovery", "analysis", "server", **attrs)
+    _fire_before(ctx, "analysis")
+    analysis = _run_analysis(ctx, header_sink)
+    if tracer is not None:
+        tracer.end(
+            span,
+            records_scanned=analysis.records_scanned,
+            by_client=dict(sorted(analysis.records_by_client.items())),
+            dpl_size=len(analysis.dpl),
+            redo_addr=analysis.redo_addr,
+            end_addr=analysis.end_addr,
+        )
+    if ctx.after_analysis is not None:
+        ctx.after_analysis(analysis)
+    return analysis
+
+
+def _redo_phase(engine: RecoveryEngine, ctx: RecoveryContext,
+                analysis: AnalysisResult,
+                redo_fn: Callable[[], RedoStats]) -> Tuple[RedoStats, int]:
+    tracer = ctx.tracer
+    forwarded = ctx.pre_redo() if ctx.pre_redo is not None else 0
+    span = 0
+    if tracer is not None:
+        attrs = dict(ctx.span_attrs)
+        attrs["redo_addr"] = analysis.redo_addr
+        if engine.name != "serial":
+            attrs["engine"] = engine.name
+        span = tracer.begin("recovery", "redo", "server", **attrs)
+    _fire_before(ctx, "redo")
+    redo = redo_fn()
+    redo.redos_applied += forwarded
+    if tracer is not None:
+        end_attrs: Dict[str, object] = {
+            "records_scanned": redo.records_scanned,
+            "records_considered": redo.records_considered,
+            "pages_redone": redo.redos_applied,
+        }
+        if ctx.pre_redo is not None:
+            end_attrs["forwarded_redos"] = forwarded
+        end_attrs["by_client"] = dict(sorted(redo.applied_by_client.items()))
+        tracer.end(span, **end_attrs)
+    return redo, forwarded
+
+
+def _undo_phase(engine: RecoveryEngine, ctx: RecoveryContext,
+                losers: Dict[str, RestartTxn],
+                undo_fn: Callable[[], UndoStats]) -> UndoStats:
+    tracer = ctx.tracer
+    span = 0
+    if tracer is not None:
+        attrs = dict(ctx.span_attrs)
+        attrs["losers"] = len(losers)
+        if engine.name != "serial":
+            attrs["engine"] = engine.name
+        span = tracer.begin("recovery", "undo", "server", **attrs)
+    _fire_before(ctx, "undo")
+    undo = undo_fn()
+    if tracer is not None:
+        tracer.end(
+            span,
+            records_scanned=undo.records_scanned,
+            clrs_written=undo.clrs_written,
+            txns_rolled_back=undo.txns_rolled_back,
+            by_client=dict(sorted(undo.clrs_by_client.items())),
+        )
+    return undo
+
+
+def _select_losers(ctx: RecoveryContext,
+                   analysis: AnalysisResult) -> Dict[str, RestartTxn]:
+    losers = analysis.losers()
+    if ctx.loser_filter is not None:
+        losers = ctx.loser_filter(losers)
+    return losers
+
+
+# ---------------------------------------------------------------------------
+# Serial: the historical three passes behind the interface
+# ---------------------------------------------------------------------------
+
+class SerialRecoveryEngine(RecoveryEngine):
+    """The paper's passes, byte-identical to the pre-engine inline code."""
+
+    name = "serial"
+
+    def run(self, ctx: RecoveryContext) -> EngineResult:
+        analysis = _analysis_phase(self, ctx, header_sink=None)
+        redo, forwarded = _redo_phase(
+            self, ctx, analysis,
+            lambda: redo_pass(ctx.log, analysis, ctx.pages,
+                              client_filter=ctx.client_filter,
+                              faults=ctx.faults),
+        )
+        losers = _select_losers(ctx, analysis)
+        undo = _undo_phase(
+            self, ctx, losers,
+            lambda: undo_pass(ctx.log, losers, ctx.pages, ctx.clr_writer,
+                              ctx.logical_undo, faults=ctx.faults),
+        )
+        return EngineResult(self.name, analysis, redo, undo, forwarded)
+
+
+# ---------------------------------------------------------------------------
+# Candidate collection shared by the fused engines
+# ---------------------------------------------------------------------------
+
+class _CandidateCollector:
+    """Redo candidates gathered during (or after) the analysis scan.
+
+    A candidate is any redoable record that passes the client filter;
+    the DPL RecAddr filter can only run once analysis has finished, so
+    it is applied at partition time.
+    """
+
+    def __init__(self, client_filter: Optional[Set[str]]) -> None:
+        self.client_filter = client_filter
+        self.fused: List[Tuple[LogAddr, FrameHeader]] = []
+        #: Headers examined by supplementary scans (redo-pass work the
+        #: fused analysis scan did NOT already cover).
+        self._supplementary_scanned = 0
+
+    def sink(self, addr: LogAddr, header: FrameHeader) -> None:
+        if not header.is_redoable() or header.page_id < 0:
+            return
+        if (self.client_filter is not None
+                and header.client_id not in self.client_filter):
+            return
+        self.fused.append((addr, header))
+
+    def supplementary(self, log: ServerLogManager, from_addr: LogAddr,
+                      to_addr: LogAddr) -> List[Tuple[LogAddr, FrameHeader]]:
+        out: List[Tuple[LogAddr, FrameHeader]] = []
+        for addr, header in log.scan_headers(from_addr, to_addr):
+            self._supplementary_scanned += 1
+            if not header.is_redoable() or header.page_id < 0:
+                continue
+            if (self.client_filter is not None
+                    and header.client_id not in self.client_filter):
+                continue
+            out.append((addr, header))
+        return out
+
+
+def _collect_candidates(ctx: RecoveryContext, analysis: AnalysisResult,
+                        collector: _CandidateCollector, fused: bool,
+                        partitions: int
+                        ) -> Tuple[List[List[Tuple[LogAddr, FrameHeader]]],
+                                   int]:
+    """Partitioned candidate lists (ascending address within each).
+
+    With a fused analysis scan the candidates for ``[start, end)`` are
+    already collected; only the pre-checkpoint range
+    ``[RecAddr_min, start)`` needs one supplementary scan, starting at
+    the global minimum DPL RecAddr below the checkpoint and routed to
+    partitions with each partition pruned to its own minimum (a record
+    older than every RecAddr of its partition's pages cannot pass the
+    DPL filter, so it is dropped without a header materialization in
+    the partition worker).  Without a fused scan (analysis came from a
+    supplier) the supplementary scan covers the whole redo range.
+    """
+    parts: List[List[Tuple[LogAddr, FrameHeader]]] = [
+        [] for _ in range(partitions)
+    ]
+    if fused:
+        base = ctx.analysis_scan_start
+        assert base is not None
+        if analysis.redo_addr < base:
+            part_start: Dict[int, LogAddr] = {}
+            for page_id, rec_addr in analysis.dpl.items():
+                if rec_addr >= base:
+                    continue
+                p = page_id % partitions
+                if p not in part_start or rec_addr < part_start[p]:
+                    part_start[p] = rec_addr
+            for addr, header in collector.supplementary(
+                    ctx.log, min(part_start.values()), base):
+                p = header.page_id % partitions
+                if p in part_start and addr >= part_start[p]:
+                    parts[p].append((addr, header))
+        for addr, header in collector.fused:
+            parts[header.page_id % partitions].append((addr, header))
+    else:
+        for addr, header in collector.supplementary(
+                ctx.log, analysis.redo_addr, analysis.end_addr):
+            parts[header.page_id % partitions].append((addr, header))
+    return parts, collector._supplementary_scanned
+
+
+def _apply_candidates(ctx: RecoveryContext, analysis: AnalysisResult,
+                      items: List[Tuple[LogAddr, FrameHeader]],
+                      stats: RedoStats,
+                      skip: Optional[Set[str]] = None) -> None:
+    """Apply one partition's candidates in ascending address order.
+
+    Identical filtering to :func:`redo_pass`: DPL membership with
+    ``RecAddr <= addr``, then ``page_LSN < LSN``.  ``skip`` names loser
+    transactions whose non-NTA updates are treated as never-redone
+    (the redo-only engine).
+    """
+    dpl = analysis.dpl
+    for addr, header in items:
+        if ctx.faults is not None:
+            ctx.faults.crashpoint("recovery.redo.scan")
+        rec_addr = dpl.get(header.page_id)
+        if rec_addr is None or addr < rec_addr:
+            continue
+        if (skip is not None and header.txn_id in skip
+                and not header.redo_only):
+            continue
+        stats.records_considered += 1
+        page = ctx.pages.fetch(header.page_id)
+        if not redo_needed(page, header.lsn):
+            continue
+        record = ctx.log.read_at(addr)
+        if isinstance(record, UpdateRecord):
+            apply_redo(page, record)
+        else:
+            assert isinstance(record, CompensationRecord)
+            apply_clr_redo(page, record)
+        ctx.pages.mark_dirty(header.page_id, rec_addr)
+        stats.redos_applied += 1
+        stats.applied_by_client[header.client_id] = (
+            stats.applied_by_client.get(header.client_id, 0) + 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Chain-walking undo shared by partitioned and redo-only
+# ---------------------------------------------------------------------------
+
+#: One undo-chain position: (addr, header, txn_id).
+_ChainItem = Tuple[LogAddr, FrameHeader, str]
+
+
+def _resolve_chains(ctx: RecoveryContext, losers: Dict[str, RestartTxn]
+                    ) -> List[_ChainItem]:
+    """Walk every loser's UndoNxtLSN chain via exact address lookups.
+
+    Chains are resolved per loser (the per-client partitioning of undo
+    work — each chain is one client's records by construction), then
+    the caller merges them in descending address order, which is
+    exactly the order the serial backward scan would visit the same
+    records.  Raises :class:`_ChainLookupMiss` when an LSN has no known
+    address — the caller falls back to the scanning undo pass.
+    """
+    items: List[_ChainItem] = []
+    for txn_id, txn in losers.items():
+        lsn = txn.undo_next_lsn
+        while lsn != NULL_LSN:
+            addr = ctx.log.addr_of_lsn(txn.client_id, lsn)
+            if addr is None:
+                raise _ChainLookupMiss(f"{txn.client_id}:{lsn}")
+            header = ctx.log.header_at(addr)
+            if header.txn_id != txn_id:
+                raise RecoveryInvariantError(
+                    f"undo chain of {txn_id} resolved lsn {lsn} to a record "
+                    f"of {header.txn_id}"
+                )
+            items.append((addr, header, txn_id))
+            if header.is_clr():
+                lsn = header.undo_next_lsn
+            elif header.is_update():
+                lsn = header.prev_lsn
+            else:
+                raise RecoveryInvariantError(
+                    f"undo chain of {txn_id} points at non-undoable "
+                    f"{header.type_name} (lsn {header.lsn})"
+                )
+    items.sort(key=lambda item: item[0], reverse=True)
+    return items
+
+
+def _chain_undo(ctx: RecoveryContext, losers: Dict[str, RestartTxn],
+                items: List[_ChainItem], apply_pages: bool) -> UndoStats:
+    """Undo the merged chain items in descending address order.
+
+    With ``apply_pages`` this produces the byte-identical CLR/End stream
+    and page images of the serial undo pass (the partitioned engine);
+    without it, CLRs and Ends are emitted but no page is touched and the
+    CLR LSN is raised above the never-applied update's LSN so a future
+    restart redoes update-then-CLR in order (the redo-only engine).
+    """
+    stats = UndoStats()
+    expected: Dict[str, int] = {}
+    last_lsn: Dict[str, int] = {}
+    for txn_id, txn in losers.items():
+        if txn.undo_next_lsn != NULL_LSN:
+            expected[txn_id] = txn.undo_next_lsn
+            last_lsn[txn_id] = txn.last_lsn
+    for txn_id in list(losers):
+        if txn_id not in expected:
+            _finish_rollback(ctx.clr_writer, losers[txn_id],
+                             losers[txn_id].last_lsn)
+            stats.txns_rolled_back += 1
+    for addr, header, txn_id in items:
+        if ctx.faults is not None:
+            ctx.faults.crashpoint("recovery.undo.scan")
+        stats.records_scanned += 1
+        txn = losers[txn_id]
+        if header.is_clr():
+            expected[txn_id] = header.undo_next_lsn
+        elif header.redo_only:
+            expected[txn_id] = header.prev_lsn
+        else:
+            record = ctx.log.read_at(addr)
+            assert isinstance(record, UpdateRecord)
+            if apply_pages:
+                clr_lsn = _undo_one(record, ctx.pages, ctx.clr_writer, txn,
+                                    last_lsn[txn_id], ctx.logical_undo)
+            else:
+                clr_lsn = _emit_unapplied_clr(ctx, record, txn,
+                                              last_lsn[txn_id])
+            last_lsn[txn_id] = clr_lsn
+            expected[txn_id] = record.prev_lsn
+            stats.clrs_written += 1
+            stats.clrs_by_client[txn.client_id] = (
+                stats.clrs_by_client.get(txn.client_id, 0) + 1
+            )
+        if expected[txn_id] == NULL_LSN:
+            del expected[txn_id]
+            _finish_rollback(ctx.clr_writer, txn, last_lsn[txn_id])
+            stats.txns_rolled_back += 1
+    if expected:
+        raise RecoveryInvariantError(
+            f"undo could not resolve chains for {sorted(expected)}; "
+            "the prefix property was violated"
+        )
+    return stats
+
+
+def _emit_unapplied_clr(ctx: RecoveryContext, record: UpdateRecord,
+                        txn: RestartTxn, prev_lsn: int) -> int:
+    """Log the CLR for a never-redone loser update without applying it.
+
+    The CLR LSN must exceed the (never-applied) update's LSN: a future
+    restart that redoes both must order update before CLR, and the
+    server clock after a crash has only observed re-appended records —
+    possibly none as new as this loser.
+    """
+    effect = physical_undo_effect(record)
+    page = ctx.pages.fetch(effect.page_id)
+    clr_lsn = ctx.clr_writer.next_lsn(max(page.page_lsn, record.lsn))
+    clr = CompensationRecord(
+        lsn=clr_lsn,
+        client_id=txn.client_id,
+        txn_id=txn.txn_id,
+        prev_lsn=prev_lsn,
+        undo_next_lsn=record.prev_lsn,
+        page_id=effect.page_id,
+        op=effect.op,
+        slot=effect.slot,
+        after=effect.after,
+        key=effect.key,
+    )
+    ctx.clr_writer.append(clr)
+    return clr_lsn
+
+
+# ---------------------------------------------------------------------------
+# Partitioned: fused scan + pruned partition scans + chain-walk undo
+# ---------------------------------------------------------------------------
+
+class PartitionedRecoveryEngine(RecoveryEngine):
+    """Deterministic partition workers; results identical to serial."""
+
+    name = "partitioned"
+
+    def __init__(self, partitions: int = 4) -> None:
+        self.partitions = max(1, partitions)
+
+    def run(self, ctx: RecoveryContext) -> EngineResult:
+        collector = _CandidateCollector(ctx.client_filter)
+        fused = ctx.analysis_supplier is None
+        analysis = _analysis_phase(
+            self, ctx, header_sink=collector.sink if fused else None)
+        fallback: Optional[str] = None
+
+        def _redo() -> RedoStats:
+            stats = RedoStats()
+            parts, scanned = _collect_candidates(
+                ctx, analysis, collector, fused, self.partitions)
+            stats.records_scanned = scanned
+            tracer = ctx.tracer
+            for p, items in enumerate(parts):
+                pspan = 0
+                if tracer is not None:
+                    pspan = tracer.begin(
+                        "recovery", "redo-partition", "server",
+                        **ctx.span_attrs, engine=self.name, partition=p,
+                        candidates=len(items),
+                    )
+                before = stats.redos_applied
+                _apply_candidates(ctx, analysis, items, stats)
+                if tracer is not None:
+                    tracer.end(pspan,
+                               redos_applied=stats.redos_applied - before)
+            return stats
+
+        redo, forwarded = _redo_phase(self, ctx, analysis, _redo)
+        losers = _select_losers(ctx, analysis)
+
+        def _undo() -> UndoStats:
+            nonlocal fallback
+            try:
+                items = _resolve_chains(ctx, losers)
+            except _ChainLookupMiss:
+                fallback = "undo-chain-lookup-miss"
+                return undo_pass(ctx.log, losers, ctx.pages, ctx.clr_writer,
+                                 ctx.logical_undo, faults=ctx.faults)
+            return _chain_undo(ctx, losers, items, apply_pages=True)
+
+        undo = _undo_phase(self, ctx, losers, _undo)
+        return EngineResult(self.name, analysis, redo, undo, forwarded,
+                            fallback=fallback)
+
+
+# ---------------------------------------------------------------------------
+# Redo-only: single forward pass, losers never redone
+# ---------------------------------------------------------------------------
+
+class RedoOnlyRecoveryEngine(RecoveryEngine):
+    """Sauer & Härder's single-pass restart, gated for applicability."""
+
+    name = "redo_only"
+
+    def run(self, ctx: RecoveryContext) -> EngineResult:
+        collector = _CandidateCollector(ctx.client_filter)
+        fused = ctx.analysis_supplier is None
+        analysis = _analysis_phase(
+            self, ctx, header_sink=collector.sink if fused else None)
+        losers = _select_losers(ctx, analysis)
+        chain_items, reason = self._gate(ctx, analysis, losers)
+
+        if reason is not None:
+            # Serial fallback: the standard redo + scanning undo over the
+            # analysis already in hand.
+            redo, forwarded = _redo_phase(
+                self, ctx, analysis,
+                lambda: redo_pass(ctx.log, analysis, ctx.pages,
+                                  client_filter=ctx.client_filter,
+                                  faults=ctx.faults),
+            )
+            undo = _undo_phase(
+                self, ctx, losers,
+                lambda: undo_pass(ctx.log, losers, ctx.pages, ctx.clr_writer,
+                                  ctx.logical_undo, faults=ctx.faults),
+            )
+            return EngineResult(self.name, analysis, redo, undo, forwarded,
+                                fallback=reason)
+
+        skip = set(losers)
+
+        def _redo() -> RedoStats:
+            stats = RedoStats()
+            parts, scanned = _collect_candidates(
+                ctx, analysis, collector, fused, partitions=1)
+            stats.records_scanned = scanned
+            _apply_candidates(ctx, analysis, parts[0], stats, skip=skip)
+            return stats
+
+        redo, forwarded = _redo_phase(self, ctx, analysis, _redo)
+        assert chain_items is not None
+        undo = _undo_phase(
+            self, ctx, losers,
+            lambda: _chain_undo(ctx, losers, chain_items, apply_pages=False),
+        )
+        return EngineResult(self.name, analysis, redo, undo, forwarded)
+
+    def _gate(self, ctx: RecoveryContext, analysis: AnalysisResult,
+              losers: Dict[str, RestartTxn]
+              ) -> Tuple[Optional[List[_ChainItem]], Optional[str]]:
+        """Check the never-redone treatment is sound; resolve chains.
+
+        Runs strictly before any page is modified, so a failed gate
+        falls back to the serial passes with nothing to unwind.
+        """
+        for txn in analysis.txns.values():
+            if txn.state == "prepared":
+                return None, "prepared-transactions-present"
+        for txn in losers.values():
+            # A loser whose newest record is not the next to undo has
+            # trailing CLRs or NTA pieces from an interrupted rollback;
+            # skipping interacts with already-applied compensation, so
+            # leave those histories to the serial passes.
+            if (txn.undo_next_lsn != NULL_LSN
+                    and txn.undo_next_lsn != txn.last_lsn):
+                return None, "loser-has-partial-rollback"
+        try:
+            items = _resolve_chains(ctx, losers)
+        except _ChainLookupMiss:
+            return None, "undo-chain-lookup-miss"
+        for addr, header, _txn_id in items:
+            if header.is_clr():
+                return None, "loser-has-partial-rollback"
+            if header.redo_only:
+                continue
+            record = ctx.log.read_at(addr)
+            assert isinstance(record, UpdateRecord)
+            if record.undo_is_logical() and ctx.logical_undo is not None:
+                return None, "logical-undo-required"
+            page = ctx.pages.fetch(header.page_id)
+            if page.page_lsn >= header.lsn:
+                # The update is already in the pre-redo image (shipped
+                # and externalized before the crash): it cannot be
+                # treated as never-redone.
+                return None, "loser-update-externalized"
+        return items, None
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+def make_engine(name: str, partitions: int = 4) -> RecoveryEngine:
+    """Engine registry keyed by ``SystemConfig.recovery_engine``."""
+    if name == "serial":
+        return SerialRecoveryEngine()
+    if name == "partitioned":
+        return PartitionedRecoveryEngine(partitions)
+    if name == "redo_only":
+        return RedoOnlyRecoveryEngine()
+    raise ValueError(
+        f"unknown recovery engine {name!r}; expected one of {ENGINE_NAMES}"
+    )

@@ -1,0 +1,30 @@
+"""Bad engine seam hygiene: effects the byte-identity harness cannot see."""
+
+
+class LeakyEngine:
+    def run(self, ctx: "RecoveryContext"):
+        for addr, header in ctx.log.scan_headers(0):
+            frame = self.pool.get_frame(header.page_id)  # lint:expect REC060
+            record = ctx.log.read_at(addr)
+            if frame.page.page_lsn < record.lsn:
+                frame.page.apply(record)
+
+    def fetches_off_seam(self, ctx: "RecoveryContext", page_id):
+        page = self.server.buffer.fetch(page_id)  # lint:expect REC060
+        ctx.pages.mark_dirty(page_id, 0)
+        return page
+
+    def emits_raw(self, ctx: "RecoveryContext", record):
+        clr = self.build_clr(record)
+        ctx.log.append_local(clr)  # lint:expect REC060
+
+    def assigns_own_lsns(self, ctx: "RecoveryContext", record):
+        clr_lsn = self.lsn_source.next_lsn(record.lsn)  # lint:expect REC060
+        clr = self.build_clr(record, clr_lsn)
+        ctx.clr_writer.append(clr)
+
+    def closure_leaks(self, ctx: "RecoveryContext"):
+        def _undo():
+            for record in ctx.log.scan(0):
+                ctx.log.force(record.lsn)  # lint:expect REC060
+        return _undo

@@ -1,0 +1,35 @@
+"""Good engine seam hygiene: pages via ctx.pages, CLRs via ctx.clr_writer."""
+
+
+class WellBehavedEngine:
+    def run(self, ctx: "RecoveryContext"):
+        undone = []
+        for addr, header in self.candidates:
+            record = ctx.log.read_at(addr)
+            page = ctx.pages.fetch(header.page_id)
+            if page.page_lsn < record.lsn:
+                page.apply(record)
+                ctx.pages.mark_dirty(header.page_id, addr)
+            undone.append(record)
+        return undone
+
+    def emit_clr(self, ctx: "RecoveryContext", record):
+        page = ctx.pages.fetch(record.page_id)
+        clr_lsn = ctx.clr_writer.next_lsn(page.page_lsn)
+        clr = self.build_clr(record, clr_lsn)
+        ctx.clr_writer.append(clr)
+
+    def closure_inherits_ctx(self, ctx: "RecoveryContext"):
+        def _redo():
+            for addr, header in ctx.log.scan_headers(0):
+                page = ctx.pages.fetch(header.page_id)
+                self.consider(page, header)
+        return _redo
+
+
+def not_engine_code(pool, log):
+    # No RecoveryContext in sight: the server-side seam implementations
+    # themselves live outside the rule's scope.
+    frame = pool.get_frame(7)
+    log.append_local(frame.page_lsn)
+    return frame

@@ -1,0 +1,123 @@
+"""Unit tests for the pluggable recovery engines (DESIGN.md section 13).
+
+The randomized equivalence contract lives in
+``tests/property/test_recovery_engine_props.py``; these tests pin the
+factory, the per-engine restart reports on one deterministic crash
+state, and the redo_only applicability gate's fallback reasons.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import ClientServerSystem
+from repro.recovery.engines import ENGINE_NAMES, make_engine
+from repro.workloads.generator import seed_table
+
+
+def build_system(engine):
+    config = SystemConfig(client_buffer_frames=4,
+                          server_buffer_frames=8,
+                          client_checkpoint_interval=0,
+                          server_checkpoint_interval=0,
+                          max_lsn_sync_period=4,
+                          recovery_engine=engine)
+    system = ClientServerSystem(config, client_ids=("C1", "C2"))
+    system.bootstrap(data_pages=4, free_pages=4)
+    rids = seed_table(system, "C1", "t", 4, 3)
+    return system, rids
+
+
+def crash_with_losers(engine):
+    """Committed history from both clients plus one stranded loser each."""
+    system, rids = build_system(engine)
+    c1, c2 = system.client("C1"), system.client("C2")
+    for i in range(6):
+        client = c1 if i % 2 == 0 else c2
+        txn = client.begin(f"ok-{i}")
+        client.update(txn, rids[i % 4], ("committed", i))
+        client.commit(txn)
+    system.server.take_checkpoint()
+    loser1, loser2 = c1.begin("loser-1"), c2.begin("loser-2")
+    c1.update(loser1, rids[4], ("loser", 1))
+    c2.update(loser2, rids[5], ("loser", 2))
+    c1._ship_log_records()
+    c2._ship_log_records()
+    system.server.log.force()
+    system.crash_all()
+    return system, rids
+
+
+class TestFactory:
+    def test_engine_names_round_trip(self):
+        for name in ENGINE_NAMES:
+            assert make_engine(name).name == name
+
+    def test_unknown_engine_lists_the_valid_names(self):
+        with pytest.raises(ValueError) as err:
+            make_engine("optimistic")
+        for name in ENGINE_NAMES:
+            assert name in str(err.value)
+
+
+class TestEnginesOnOneCrashState:
+    def test_partitioned_pages_byte_identical_to_serial(self):
+        serial_sys, rids = crash_with_losers("serial")
+        serial_report = serial_sys.restart_all()
+        part_sys, _ = crash_with_losers("partitioned")
+        part_report = part_sys.restart_all()
+
+        assert part_report.fallback is None
+        assert part_report.redos_applied == serial_report.redos_applied
+        assert part_report.clrs_written == serial_report.clrs_written
+        assert part_report.txns_rolled_back == serial_report.txns_rolled_back
+        for rid in rids:
+            serial_page = serial_sys.server_visible_page(rid.page_id)
+            part_page = part_sys.server_visible_page(rid.page_id)
+            assert part_page.page_lsn == serial_page.page_lsn
+            assert list(part_page._records) == list(serial_page._records)
+
+    def test_redo_only_skips_loser_redo_same_values(self):
+        serial_sys, rids = crash_with_losers("serial")
+        serial_report = serial_sys.restart_all()
+        ro_sys, _ = crash_with_losers("redo_only")
+        ro_report = ro_sys.restart_all()
+
+        assert ro_report.fallback is None
+        assert ro_report.txns_rolled_back == serial_report.txns_rolled_back
+        assert ro_report.clrs_written == serial_report.clrs_written
+        # The losers' updates are never applied, so redo_only redoes
+        # strictly less than serial on this corpus.
+        assert ro_report.redos_applied < serial_report.redos_applied
+        for rid in rids:
+            assert (ro_sys.server_visible_value(rid)
+                    == serial_sys.server_visible_value(rid))
+
+
+class TestRedoOnlyGate:
+    def test_prepared_transaction_forces_serial_fallback(self):
+        system, rids = build_system("redo_only")
+        c1 = system.client("C1")
+        txn = c1.begin("in-doubt")
+        c1.update(txn, rids[0], ("prepared", 1))
+        c1.prepare(txn)
+        c1._ship_log_records()
+        system.server.log.force()
+        system.crash_all()
+        report = system.restart_all()
+        assert report.fallback == "prepared-transactions-present"
+
+    def test_fallback_still_recovers_correctly(self):
+        system, rids = build_system("redo_only")
+        c1 = system.client("C1")
+        committed = c1.begin("ok")
+        c1.update(committed, rids[0], ("kept", 0))
+        c1.commit(committed)
+        prepared = c1.begin("in-doubt")
+        c1.update(prepared, rids[1], ("prepared", 1))
+        c1.prepare(prepared)
+        c1._ship_log_records()
+        system.server.log.force()
+        system.crash_all()
+        report = system.restart_all()
+        assert report.fallback == "prepared-transactions-present"
+        assert system.server_visible_value(rids[0]) == ("kept", 0)
