@@ -66,7 +66,9 @@ def run_row(clients, executor):
         "committed": report.committed,
         "aborted": report.aborted,
         "deadlock_victims": report.deadlock_victims,
+        "p50_latency_ticks": report.p50_latency_ticks(),
         "p95_latency_ticks": report.p95_latency_ticks(),
+        "p99_latency_ticks": report.p99_latency_ticks(),
         "rounds": max(report.rounds_per_wave, default=0),
     }
 

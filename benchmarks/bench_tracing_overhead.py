@@ -10,9 +10,14 @@ path produces a valid trace:
   replicas of the same hot methods with the guard lines deleted.
   ``--check`` fails unless the instrumented-disabled run is within
   :data:`MAX_DISABLED_OVERHEAD` of baseline.
-* **enabled smoke** — an E5-style client-crash run with tracing on;
-  the resulting Chrome ``trace_event`` export must pass
-  :func:`repro.obs.export.validate_chrome_trace` with zero problems.
+* **histograms-disabled gate** — the same comparison for the metrics
+  guard alone (``if self.metrics is not None`` with no hub attached),
+  gated by the same :data:`MAX_DISABLED_OVERHEAD` bound.
+* **enabled smoke** — an E5-style client-crash run with tracing and
+  metrics on; the Chrome ``trace_event`` export must pass
+  :func:`repro.obs.export.validate_chrome_trace` and the OpenMetrics
+  text must pass :func:`repro.obs.export.validate_openmetrics` with
+  zero problems.
 
 Usage::
 
@@ -27,7 +32,8 @@ import time
 from pathlib import Path
 
 from repro.core.log_records import UpdateOp, UpdateRecord, encode_record
-from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.export import (render_openmetrics, to_chrome_trace,
+                              validate_chrome_trace, validate_openmetrics)
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.page import Page, PageKind
 from repro.storage.stable_log import FRAME_OVERHEAD, StableLog, _FRAME_LEN
@@ -58,6 +64,24 @@ class _BaselineLog(StableLog):
             return
         self._flushed_addr = target
         self.forces += 1
+
+
+class _HistOnlyLog(_BaselineLog):
+    """_BaselineLog plus ONLY the histogram guard in ``force`` — isolates
+    the cost of the un-attached ``metrics`` check from the tracer's."""
+
+    def force(self, up_to_addr=None):
+        if up_to_addr is None:
+            target = self.end_of_log_addr
+        else:
+            target = self._frame_end(up_to_addr)
+        if target <= self._flushed_addr:
+            return
+        flushed_before = self._flushed_addr
+        self._flushed_addr = target
+        self.forces += 1
+        if self.metrics is not None:
+            self.metrics.log_force_bytes.observe(target - flushed_before)
 
 
 class _BaselinePool(BufferPool):
@@ -150,20 +174,50 @@ def run_disabled_gate(record_count, sweeps, rounds):
     }
 
 
+def run_hist_disabled_gate(record_count, sweeps, rounds):
+    """The histograms-disabled leg: same workload, baseline log vs a
+    replica whose ``force`` carries only the un-attached metrics guard."""
+    records = build_records(record_count)
+    pages = []
+    for page_id in range(16):
+        page = Page(page_id, PageKind.DATA)
+        page.format(PageKind.DATA)
+        pages.append(page)
+
+    guarded = make_workload(_HistOnlyLog, _BaselinePool, records, pages,
+                            sweeps)
+    baseline = make_workload(_BaselineLog, _BaselinePool, records, pages,
+                             sweeps)
+    assert guarded() == baseline(), "workload parity broken"
+
+    guarded_ns, baseline_ns = interleaved_best_ns(guarded, baseline, rounds)
+    return {
+        "hist_baseline_ns": baseline_ns,
+        "hist_disabled_ns": guarded_ns,
+        "hist_disabled_overhead_ratio": guarded_ns / baseline_ns,
+    }
+
+
 def run_enabled_smoke():
     """A traced client-crash run; its Chrome export must validate."""
     from repro.tools.tracedump import _demo_system
+
+    from repro.harness.metrics import snapshot
 
     system = _demo_system()
     tracer = system.tracer
     assert tracer is not None
     doc = to_chrome_trace(tracer.events)
     problems = validate_chrome_trace(doc)
+    snap = snapshot(system)
+    om_text = render_openmetrics(snap.as_dict(), snap.histograms)
     return {
         "trace_events": len(tracer.events),
         "chrome_rows": len(doc["traceEvents"]),
         "chrome_problems": problems,
         "open_spans": len(tracer.open_spans()),
+        "openmetrics_lines": len(om_text.splitlines()),
+        "openmetrics_problems": validate_openmetrics(om_text),
     }
 
 
@@ -184,6 +238,7 @@ def main(argv=None):
     record_count, sweeps, rounds = \
         (400, 20, 9) if opts.quick else (2000, 60, 21)
     result = run_disabled_gate(record_count, sweeps, rounds)
+    result.update(run_hist_disabled_gate(record_count, sweeps, rounds))
     result.update(run_enabled_smoke())
     result["mode"] = "quick" if opts.quick else "full"
     result["max_disabled_overhead"] = MAX_DISABLED_OVERHEAD
@@ -194,14 +249,22 @@ def main(argv=None):
     print(f"  {'disabled_ns':<28} {result['disabled_ns']:>12}")
     print(f"  {'disabled_overhead_ratio':<28} "
           f"{result['disabled_overhead_ratio']:>12.4f}")
+    print(f"  {'hist_disabled_overhead_ratio':<28} "
+          f"{result['hist_disabled_overhead_ratio']:>12.4f}")
     print(f"  {'trace_events (enabled run)':<28} "
           f"{result['trace_events']:>12}")
     print(f"  {'chrome_problems':<28} {len(result['chrome_problems']):>12}")
+    print(f"  {'openmetrics_problems':<28} "
+          f"{len(result['openmetrics_problems']):>12}")
 
     failed = False
     if result["chrome_problems"]:
         for problem in result["chrome_problems"]:
             print(f"FAIL: chrome trace: {problem}")
+        failed = True
+    if result["openmetrics_problems"]:
+        for problem in result["openmetrics_problems"]:
+            print(f"FAIL: openmetrics: {problem}")
         failed = True
     if result["open_spans"]:
         print(f"FAIL: {result['open_spans']} spans left open after the run")
@@ -210,6 +273,12 @@ def main(argv=None):
             result["disabled_overhead_ratio"] > MAX_DISABLED_OVERHEAD:
         print(f"FAIL: disabled-tracer overhead "
               f"{result['disabled_overhead_ratio']:.4f}x > "
+              f"{MAX_DISABLED_OVERHEAD}x")
+        failed = True
+    if opts.check and \
+            result["hist_disabled_overhead_ratio"] > MAX_DISABLED_OVERHEAD:
+        print(f"FAIL: disabled-histogram overhead "
+              f"{result['hist_disabled_overhead_ratio']:.4f}x > "
               f"{MAX_DISABLED_OVERHEAD}x")
         failed = True
     return 1 if failed else 0

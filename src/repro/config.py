@@ -240,6 +240,20 @@ class SystemConfig:
     #: costs one pointer comparison (the CI bench gate holds it ≤ 3%).
     trace_enabled: bool = False
 
+    #: Build and attach a :class:`repro.obs.hist.MetricsHub` — the
+    #: deterministic histogram / time-series plane (txn latency, lock
+    #: waits, RPC round trips, log-force bytes, group-commit batches,
+    #: recovery-pass sizes, restart progress) surfaced through
+    #: ``harness.metrics.snapshot().histograms``.  Off by default: an
+    #: unattached observation site costs one pointer comparison (the CI
+    #: bench gate holds the disabled path ≤ 3%).
+    metrics_enabled: bool = False
+
+    #: Arm the per-node crash flight recorder with rings of this many
+    #: recent trace events (0 disables).  Arming attaches a tracer if
+    #: none is configured, since the recorder taps the trace stream.
+    flight_recorder_depth: int = 0
+
     #: Build and attach a :class:`repro.sanitizer.Sanitizer` to every
     #: latch/lock/log hook of the complex.  The sanitizer raises
     #: :class:`repro.sanitizer.SanitizerViolation` on latch/lock order

@@ -222,6 +222,9 @@ class Server:
         #: Attached by the owning complex; ``None`` disables the runtime
         #: WAL sanitizer (repro.sanitizer).
         self.sanitizer: Optional["Sanitizer"] = None
+        #: Attached by the owning complex; ``None`` disables the
+        #: recovery histograms / restart progress meter (repro.obs.hist).
+        self.metrics: Any = None
 
     # ------------------------------------------------------------------
     # RPC dispatch table (what clients may invoke on the server)
@@ -1184,6 +1187,7 @@ class Server:
             logical_undo=self.logical_undo_handler,
             faults=self.faults,
             tracer=tracer,
+            metrics=self.metrics,
             analysis_span_attrs={"start_addr": start_addr},
             after_analysis=_after_analysis,
             loser_filter=_restart_losers,
@@ -1304,6 +1308,7 @@ class Server:
             logical_undo=self.logical_undo_handler,
             faults=self.faults,
             tracer=tracer,
+            metrics=self.metrics,
             span_attrs={"client": client_id},
             pre_redo=_rebuild_forwarded,
             partitions=self.config.recovery_partitions,

@@ -21,7 +21,7 @@ to conservative bounds supplied by the caller.
 from __future__ import annotations
 
 import bisect
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.log_records import FrameHeader, LogRecord
 from repro.core.lsn import LSN, LogAddr, LsnClock, NULL_ADDR
@@ -60,6 +60,9 @@ class GroupForceScheduler:
         self.window = window
         #: Attached by the owning complex; ``None`` disables the hooks.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables the
+        #: group-commit batch-size histogram (repro.obs.hist).
+        self.metrics: Any = None
         self.commit_requests = 0
         self.sync_requests = 0
         #: Device forces that covered more than one deferred commit.
@@ -118,6 +121,8 @@ class GroupForceScheduler:
             if self.tracer is not None:
                 self.tracer.instant("log", "group_force", "server",
                                     riders=riders, target=target)
+            if self.metrics is not None:
+                self.metrics.group_commit_batch.observe(riders)
         else:
             # An interleaved synchronous force already covered the group.
             self.forces_saved += riders
@@ -143,6 +148,8 @@ class GroupForceScheduler:
                 if self.tracer is not None:
                     self.tracer.instant("log", "group_force", "server",
                                         riders=riders, sync=True)
+                if self.metrics is not None:
+                    self.metrics.group_commit_batch.observe(riders)
             self.forces_saved += riders
 
     def note_crash(self) -> None:
@@ -170,6 +177,11 @@ class ServerLogManager:
         """Enable tracing on the stable log and the group scheduler."""
         self.stable.tracer = tracer
         self.group.tracer = tracer
+
+    def attach_metrics(self, hub: Any) -> None:
+        """Enable the force/group-commit histograms (repro.obs.hist)."""
+        self.stable.metrics = hub
+        self.group.metrics = hub
 
     # -- appending ----------------------------------------------------------
 

@@ -21,6 +21,8 @@ from repro.errors import ReproError
 from repro.faults import FaultPlan
 from repro.net.network import Network
 from repro.net.rpc import retry_policy_from_config, transport_from_config
+from repro.obs.flight import FlightRecorder
+from repro.obs.hist import MetricsHub
 from repro.obs.tracer import Tracer
 from repro.records.heap import RecordId, decode_value
 from repro.sanitizer import Sanitizer
@@ -49,12 +51,23 @@ class ClientServerSystem:
         #: Present only when the runtime latch/lock-order sanitizer is
         #: on; same attachment pattern as the tracer.
         self.sanitizer: Optional[Sanitizer] = None
+        #: Present only when the histogram/time-series plane is on;
+        #: same attachment pattern as the tracer.
+        self.metrics: Optional[MetricsHub] = None
+        #: Present only when the crash flight recorder is armed; fed by
+        #: the tracer's per-event tap.
+        self.flight: Optional[FlightRecorder] = None
         if self.config.trace_enabled:
             self.attach_tracer(Tracer())
         if self.config.fault_plan is not None:
             self.attach_faults(self.config.fault_plan)
         if self.config.sanitizer:
             self.attach_sanitizer(Sanitizer())
+        if self.config.metrics_enabled:
+            self.attach_metrics(MetricsHub())
+        if self.config.flight_recorder_depth > 0:
+            self.attach_flight(
+                FlightRecorder(self.config.flight_recorder_depth))
         self._tables: Dict[str, List[int]] = {}
         self._page_table: Dict[int, str] = {}
         self._free_pool: List[int] = []
@@ -87,6 +100,33 @@ class ClientServerSystem:
         client.tracer = self.tracer
         client.pool.tracer = self.tracer
         client.llm.tracer = self.tracer
+
+    def attach_metrics(self, hub: MetricsHub) -> None:
+        """Attach the histogram/time-series hub to every observation site.
+
+        The mirror of :meth:`attach_tracer`: attachment IS the enable
+        switch, so a complex without a hub pays one pointer comparison
+        per observation site.  The engine (``repro.engine``) reads
+        ``system.metrics`` directly; recovery engines receive the hub
+        through ``RecoveryContext.metrics``.
+        """
+        self.metrics = hub
+        self.network.metrics = hub
+        self.server.metrics = hub
+        self.server.log.attach_metrics(hub)
+
+    def attach_flight(self, recorder: FlightRecorder) -> None:
+        """Arm the crash flight recorder (tapping the tracer's stream).
+
+        The recorder needs a trace stream to ring-buffer, so arming a
+        complex with no tracer attaches one first.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            tracer = Tracer()
+            self.attach_tracer(tracer)
+        self.flight = recorder
+        tracer.flight = recorder
 
     # -- fault injection ---------------------------------------------------
 

@@ -90,6 +90,9 @@ class ScheduledTxn:
     steps: int = 0
     begin_tick: int = -1
     end_tick: int = -1
+    #: Tick at which the transaction first parked for its *current*
+    #: operation (-1 when not waiting); feeds the lock-wait histogram.
+    park_tick: int = -1
 
 
 @dataclass
@@ -260,6 +263,12 @@ class Engine:
             # Each completed operation ends the client's acquisition
             # span: a pin surviving it would span arbitrary other work.
             sanitizer.on_span_exit(scheduled.client_id)
+        if scheduled.park_tick >= 0:
+            metrics = self.system.metrics
+            if metrics is not None:
+                metrics.lock_wait_ticks.observe(
+                    self._tick - scheduled.park_tick)
+            scheduled.park_tick = -1
         self._tick += 1
         self.graph.clear_waiter(scheduled.txn.txn_id)
         scheduled.waiting = False
@@ -300,6 +309,10 @@ class Engine:
             # The conflict unwind released every pin; a latch still held
             # here would sit across the whole wait.
             sanitizer.on_park(scheduled.client_id)
+        if scheduled.park_tick < 0:
+            # First park for this operation; re-parks extend the same
+            # wait, so the histogram sees total ticks blocked per op.
+            scheduled.park_tick = self._tick
         scheduled.waiting = True
         assert scheduled.txn is not None
         waiter = scheduled.txn.txn_id
@@ -381,6 +394,12 @@ class Engine:
         sanitizer = self.system.sanitizer
         if sanitizer is not None:
             sanitizer.on_span_exit(scheduled.client_id)
+        metrics = self.system.metrics
+        if metrics is not None:
+            if scheduled.begin_tick >= 0:
+                metrics.txn_latency_ticks.observe(
+                    scheduled.end_tick - scheduled.begin_tick)
+            metrics.engine_progress.sample(self._tick, self._finished)
         if scheduled.txn is not None:
             self.graph.remove_node(scheduled.txn.txn_id)
             self._wake(scheduled.txn.txn_id)

@@ -41,6 +41,8 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
+import re
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -53,7 +55,9 @@ from repro.errors import ReproError
 from repro.faults import CRASHPOINTS, CrashPointReached, FaultPlan
 from repro.harness.invariants import check_all
 from repro.harness.oracle import CommittedStateOracle
+from repro.obs.flight import FlightRecorder
 from repro.records.heap import RecordId
+from repro.sanitizer import SanitizerViolation
 from repro.storage.page import PageKind
 from repro.workloads.generator import seed_table
 
@@ -130,9 +134,18 @@ class ScheduleResult:
     #: final values) — the slice that must be identical across recovery
     #: engines, which legitimately differ in crashpoint hit counts.
     durability_digest: str = ""
+    #: Flight-recorder dumps captured during the run (crashpoints,
+    #: sanitizer violations, durability violations); empty unless the
+    #: explorer armed the recorder.  Not part of the digests above — the
+    #: recorder is an observer, never an input.
+    flight_dumps: List[Dict[str, Any]] = field(
+        default_factory=list, compare=False, repr=False)
+    #: sha256 over the canonical JSON of ``flight_dumps``; replays of
+    #: the same schedule id must match byte for byte.
+    flight_sha: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        base = {
             "schedule_id": self.schedule_id,
             "schedule": [list(leg) for leg in self.schedule],
             "fired": [list(leg) for leg in self.fired],
@@ -143,6 +156,9 @@ class ScheduleResult:
             "digest": self.digest,
             "durability_digest": self.durability_digest,
         }
+        if self.flight_sha:
+            base["flight_sha"] = self.flight_sha
+        return base
 
 
 class _WorkloadRun:
@@ -150,7 +166,8 @@ class _WorkloadRun:
 
     def __init__(self, seed: int, schedule: Schedule,
                  engine: bool = False, sanitizer: bool = False,
-                 recovery_engine: str = "serial") -> None:
+                 recovery_engine: str = "serial",
+                 flight: bool = False) -> None:
         self.seed = seed
         self.schedule = schedule
         #: Route the script's plain commit/rollback transactions through
@@ -185,6 +202,10 @@ class _WorkloadRun:
             self.oracle.note_committed_insert(rid, ("init", index))
         # Attach AFTER formatting/seeding: the sweep starts from an
         # operating complex (bootstrap is the offline formatting step).
+        # The flight recorder (which brings a tracer with it) goes first
+        # so attach_faults can point the plan at that tracer.
+        if flight:
+            self.system.attach_flight(FlightRecorder())
         self.system.attach_faults(self.plan)
 
     # -- script helpers (oracle updated only on acknowledged outcomes) ----
@@ -523,13 +544,22 @@ class CrashScheduleExplorer:
     def __init__(self, seed: int = 0, quick: bool = False,
                  budget: Optional[int] = None,
                  engine: bool = False, sanitizer: bool = False,
-                 recovery_engine: str = "serial") -> None:
+                 recovery_engine: str = "serial",
+                 flight: bool = False,
+                 flight_dir: Optional[str] = None) -> None:
         self.seed = seed
         self.quick = quick
         self.budget = budget
         self.engine = engine
         self.sanitizer = sanitizer
         self.recovery_engine = recovery_engine
+        #: Arm the per-node flight recorder for every run; dumps are
+        #: captured on crashpoints / sanitizer violations / durability
+        #: violations and hashed into ``ScheduleResult.flight_sha``.
+        self.flight = flight or flight_dir is not None
+        #: When set, persist each crashing schedule's dumps here as
+        #: ``<schedule id>.flight.json`` (canonical, byte-stable).
+        self.flight_dir = flight_dir
         self._census: Optional[Dict[str, int]] = None
         self._explored = 0
 
@@ -598,7 +628,9 @@ class CrashScheduleExplorer:
         seed, schedule = parse_schedule_id(sid)
         replayer = CrashScheduleExplorer(seed=seed, engine=self.engine,
                                          sanitizer=self.sanitizer,
-                                         recovery_engine=self.recovery_engine)
+                                         recovery_engine=self.recovery_engine,
+                                         flight=self.flight,
+                                         flight_dir=self.flight_dir)
         return replayer.run_schedule(schedule)
 
     def explore(self) -> ExplorerSummary:
@@ -615,7 +647,16 @@ class CrashScheduleExplorer:
                                                     ScheduleResult]:
         run = _WorkloadRun(self.seed, schedule, engine=self.engine,
                            sanitizer=self.sanitizer,
-                           recovery_engine=self.recovery_engine)
+                           recovery_engine=self.recovery_engine,
+                           flight=self.flight)
+        recorder = run.system.flight
+
+        def capture(reason: str) -> None:
+            # Freeze the rings at the failure instant, before recovery
+            # runs and overwrites them with its own events.
+            if recorder is not None:
+                recorder.capture(reason)
+
         self._explored += 1
         run.plan.schedules_explored += 1
         fired: List[Tuple[str, int]] = []
@@ -625,6 +666,10 @@ class CrashScheduleExplorer:
             script_completed = True
         except CrashPointReached as crash:
             fired.append((crash.point, crash.leg))
+            capture(f"crashpoint:{crash.point}@{crash.leg}")
+        except SanitizerViolation:
+            capture("sanitizer")
+            raise
         # Every run ends in a whole-complex crash + recovery: either the
         # scheduled crash fired mid-script, or the completed script gets
         # one final clean quiesce.  Recovery itself may crash again
@@ -636,11 +681,17 @@ class CrashScheduleExplorer:
                 break
             except CrashPointReached as crash:
                 fired.append((crash.point, crash.leg))
+                capture(f"crashpoint:{crash.point}@{crash.leg}")
+            except SanitizerViolation:
+                capture("sanitizer")
+                raise
         run.resolve_indoubt()
         violations = run.classify_inflight()
         violations.extend(run.verify())
         final_values = run.final_values()
         violations.extend(run.probe())
+        if violations:
+            capture("durability-violation")
         sid = schedule_id(self.seed, schedule)
         digest = _digest(sid, fired, script_completed, run.outcomes,
                          violations, final_values, run.plan)
@@ -658,7 +709,22 @@ class CrashScheduleExplorer:
             digest=digest,
             durability_digest=durability,
         )
+        if recorder is not None:
+            result.flight_dumps = list(recorder.dumps)
+            dumps_json = recorder.dumps_json()
+            result.flight_sha = hashlib.sha256(
+                dumps_json.encode()).hexdigest()
+            if self.flight_dir is not None and fired:
+                self._persist_flight(sid, dumps_json)
         return run, result
+
+    def _persist_flight(self, sid: str, dumps_json: str) -> None:
+        assert self.flight_dir is not None
+        os.makedirs(self.flight_dir, exist_ok=True)
+        name = re.sub(r"[^A-Za-z0-9._-]", "_", sid) + ".flight.json"
+        with open(os.path.join(self.flight_dir, name), "w",
+                  encoding="utf-8") as handle:
+            handle.write(dumps_json)
 
 
 def _digest(sid: str, fired: List[Tuple[str, int]], script_completed: bool,
@@ -808,6 +874,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="recovery engine for every recovery in the "
                              "sweep; 'matrix' sweeps under all three and "
                              "requires identical durability digests")
+    parser.add_argument("--flight-dir", metavar="DIR",
+                        help="arm the per-node flight recorder and persist "
+                             "each crashing schedule's dumps here as "
+                             "canonical JSON (byte-identical per replay)")
     parser.add_argument("--replay", metavar="SCHEDULE_ID",
                         help="re-run one schedule by id (twice, checking "
                              "the digests match) instead of sweeping")
@@ -835,15 +905,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                      budget=args.budget,
                                      engine=args.engine,
                                      sanitizer=args.sanitizer,
-                                     recovery_engine=recovery_engine)
+                                     recovery_engine=recovery_engine,
+                                     flight_dir=args.flight_dir)
     if args.replay:
         first = explorer.replay(args.replay)
         second = explorer.replay(args.replay)
         stable = first.digest == second.digest
+        if explorer.flight:
+            stable = stable and first.flight_sha == second.flight_sha
         print(f"replay {first.schedule_id}: fired={first.fired} "
               f"outcomes={dict(sorted(first.outcomes.items()))}")
         print(f"digest {first.digest} "
               f"({'stable across replays' if stable else 'UNSTABLE'})")
+        if first.flight_sha:
+            print(f"flight sha {first.flight_sha} "
+                  f"({len(first.flight_dumps)} dump(s))")
         for violation in first.violations:
             print(f"  FAIL {violation}")
         return 0 if stable and not first.violations else 1

@@ -16,8 +16,8 @@ vice versa.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Callable, Dict
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict
 
 from repro.core.system import ClientServerSystem
 from repro.obs.registry import MetricsRegistry, build_default_registry
@@ -86,16 +86,35 @@ class MetricsSnapshot:
     crashpoints_hit: int = 0
     schedules_explored: int = 0
 
+    #: Histogram / time-series states keyed by manifest name
+    #: (``TRACKED_HISTOGRAM_ATTRS`` / ``TRACKED_TIMESERIES_ATTRS``).
+    #: Empty unless a ``MetricsHub`` is attached to the complex
+    #: (``SystemConfig.metrics_enabled``).  Excluded from equality and
+    #: ``minus`` arithmetic: distribution state is cumulative, so a
+    #: delta snapshot simply carries the later state.
+    histograms: Dict[str, Any] = field(default_factory=dict, compare=False)
+
     def minus(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
-        """Per-field difference (this - other)."""
+        """Per-field counter difference (this - other).
+
+        The ``histograms`` mapping is not subtractable; the delta
+        carries this (the later) snapshot's states unchanged.
+        """
         values = {
             f.name: getattr(self, f.name) - getattr(other, f.name)
-            for f in fields(self)
+            for f in fields(self) if f.name != "histograms"
         }
-        return MetricsSnapshot(**values)
+        return MetricsSnapshot(histograms=dict(self.histograms), **values)
 
     def as_dict(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Counter fields only — the benchmark-JSON shape is stable."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "histograms"}
+
+    def quantiles(self, name: str) -> Dict[str, int]:
+        """p50/p95/p99 of one tracked histogram (zeros if absent)."""
+        state = self.histograms.get(name) or {}
+        return {q: state.get(q, 0) for q in ("p50", "p95", "p99")}
 
     @property
     def client_cache_hit_rate(self) -> float:
@@ -105,7 +124,10 @@ class MetricsSnapshot:
 
 def snapshot(system: ClientServerSystem) -> MetricsSnapshot:
     """Capture the complex's cumulative counters via the registry."""
-    return MetricsSnapshot(**DEFAULT_REGISTRY.collect(system))
+    return MetricsSnapshot(
+        histograms=DEFAULT_REGISTRY.collect_histograms(system),
+        **DEFAULT_REGISTRY.collect(system),
+    )
 
 
 def measure(system: ClientServerSystem,

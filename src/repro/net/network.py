@@ -175,6 +175,9 @@ class Network:
         self.stats = TrafficStats()
         #: Attached by the owning complex; ``None`` disables rpc spans.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables the RPC
+        #: round-trip / batch-size histograms (``repro.obs.hist``).
+        self.metrics: Any = None
         self._init_trace()
 
     def _init_trace(self) -> None:

@@ -1,6 +1,6 @@
-"""Observability: structured tracing, the metrics registry, exporters.
+"""Observability: tracing, metrics, histograms, exporters, flight data.
 
-The package has three legs, mirroring the split the recovery papers'
+The package has four legs, mirroring the split the recovery papers'
 evaluations rely on (per-pass, per-client breakdowns rather than
 end-minus-start counter deltas):
 
@@ -10,17 +10,25 @@ end-minus-start counter deltas):
 * :mod:`repro.obs.registry` — the central metrics registry every
   subsystem registers its counters with exactly once;
   ``harness.metrics.snapshot`` is a thin collection over it;
-* :mod:`repro.obs.export` — JSONL event streams and Chrome
-  ``trace_event`` JSON (loadable in Perfetto / ``about:tracing``),
-  rendered in text by ``python -m repro.tools.tracedump``.
+* :mod:`repro.obs.hist` — deterministic log2-bucket histograms,
+  logical-tick time series, and the :class:`~repro.obs.hist.MetricsHub`
+  attachment object, plus :mod:`repro.obs.flight`'s per-node crash
+  flight recorder;
+* :mod:`repro.obs.export` — JSONL event streams, Chrome ``trace_event``
+  JSON (loadable in Perfetto / ``about:tracing``), and OpenMetrics-style
+  text, rendered by ``python -m repro.tools.tracedump``.
 """
 
 from repro.obs.registry import (
     TRACKED_COUNTER_ATTRS,
+    TRACKED_HISTOGRAM_ATTRS,
+    TRACKED_TIMESERIES_ATTRS,
     MetricsRegistry,
     build_default_registry,
 )
 from repro.obs.tracer import TraceEvent, Tracer
+from repro.obs.hist import Histogram, MetricsHub, TimeSeries
+from repro.obs.flight import FlightRecorder
 
 __all__ = [
     "Tracer",
@@ -28,4 +36,10 @@ __all__ = [
     "MetricsRegistry",
     "build_default_registry",
     "TRACKED_COUNTER_ATTRS",
+    "TRACKED_HISTOGRAM_ATTRS",
+    "TRACKED_TIMESERIES_ATTRS",
+    "Histogram",
+    "TimeSeries",
+    "MetricsHub",
+    "FlightRecorder",
 ]

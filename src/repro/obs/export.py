@@ -160,3 +160,99 @@ def chrome_trace_json(events: Iterable[TraceEvent]) -> str:
     """Canonically serialized Chrome trace (byte-stable per seed)."""
     return json.dumps(to_chrome_trace(events), sort_keys=True,
                       separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics-style text
+# ---------------------------------------------------------------------------
+
+#: Metric-name prefix for every exposition line.
+_OM_PREFIX = "repro_"
+
+
+def render_openmetrics(counters: Dict[str, Any],
+                       histograms: Dict[str, Any]) -> str:
+    """Render counters and histogram/time-series states as OpenMetrics
+    text.
+
+    ``counters`` is a ``MetricsSnapshot.as_dict()``-shaped mapping;
+    ``histograms`` the ``snapshot().histograms`` mapping of canonical
+    instrument states.  Histograms become the standard
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple (with cumulative
+    bucket counts, as the format requires); a time series is exposed as
+    a gauge carrying its last sample.  Output ordering is
+    name-sorted, so the text is byte-identical per seed.
+    """
+    lines: List[str] = []
+    for name in sorted(counters):
+        lines.append(f"# TYPE {_OM_PREFIX}{name} counter")
+        lines.append(f"{_OM_PREFIX}{name}_total {int(counters[name])}")
+    for name in sorted(histograms):
+        state = histograms[name]
+        metric = _OM_PREFIX + name
+        if state.get("kind") == "timeseries":
+            lines.append(f"# TYPE {metric} gauge")
+            samples = state.get("samples") or []
+            value = samples[-1][1] if samples else 0
+            lines.append(f"{metric} {int(value)}")
+            continue
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for index in sorted(state.get("buckets", {}), key=int):
+            cumulative += state["buckets"][index]
+            bound = 1 << int(index) if int(index) > 0 else 1
+            lines.append(
+                f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {state["count"]}')
+        lines.append(f'{metric}_sum {state["sum"]}')
+        lines.append(f'{metric}_count {state["count"]}')
+    lines.append("# EOF")
+    return "".join(line + "\n" for line in lines)
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Check the subset of the OpenMetrics contract we emit.
+
+    Returns a list of problems (empty means valid), mirroring
+    :func:`validate_chrome_trace`: every exposition line must be a
+    ``# TYPE`` comment or a ``name{labels} value`` sample with an
+    integer value, and the document must end with ``# EOF``.
+    """
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("document does not end with '# EOF'")
+    typed: set = set()
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        if line == "# EOF":
+            if i != len(lines) - 1:
+                problems.append(f"{where}: '# EOF' before end of document")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                problems.append(f"{where}: malformed TYPE comment")
+            else:
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            problems.append(f"{where}: unexpected comment {line!r}")
+            continue
+        head, _, value = line.rpartition(" ")
+        if not head:
+            problems.append(f"{where}: not a 'name value' sample")
+            continue
+        try:
+            int(value)
+        except ValueError:
+            problems.append(f"{where}: non-integer value {value!r}")
+        base = head.split("{", 1)[0]
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.append(f"{where}: sample {base!r} has no TYPE line")
+    return problems

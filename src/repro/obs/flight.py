@@ -1,0 +1,96 @@
+"""Crash flight recorder: bounded per-node rings of recent trace events.
+
+When a chaos schedule kills a node, the counters say what the run had
+accomplished but not what the node was *doing* in the moments before
+the crash — the exact question a recovery-protocol bug report needs
+answered.  The flight recorder answers it the way an aircraft FDR
+does: a bounded ring per node, continuously overwritten, frozen and
+dumped at the instant of failure.
+
+The recorder taps the tracer (``Tracer.flight``): every instant /
+begin / end event the tracer records is also appended to the ring of
+the node it names, a ``deque(maxlen=...)`` so memory is O(capacity)
+per node no matter how long the run.  Because trace events are already
+a pure function of the seed (DESIGN §9) and the rings apply only
+deterministic truncation, a dump is byte-identical across replays of
+the same schedule — the chaos replay test pins exactly that.
+
+Dumps fire on the three failure shapes of the harness:
+``CrashPointReached`` (a scheduled kill), ``SanitizerViolation`` (a
+runtime protocol violation), and chaos durability violations (a
+recovered value disagreeing with a committed one).  The chaos explorer
+captures at each site with a deterministic ``reason`` string and can
+persist dumps per schedule via ``--flight-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+from repro.obs.tracer import TraceEvent
+from repro.obs.export import event_to_dict
+
+__all__ = ["FlightRecorder", "DEFAULT_FLIGHT_CAPACITY"]
+
+#: Events retained per node ring; enough to cover a whole recovery
+#: pass at the demo scale while keeping dumps reviewable.
+DEFAULT_FLIGHT_CAPACITY = 128
+
+
+class FlightRecorder:
+    """Per-node bounded rings of recent trace events, dumped on failure."""
+
+    __slots__ = ("capacity", "dumps", "_rings")
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        #: Dumps captured so far (in capture order; deterministic).
+        self.dumps: List[Dict[str, Any]] = []
+        self._rings: Dict[str, Deque[TraceEvent]] = {}
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one trace event to its node's ring (tracer hook)."""
+        ring = self._rings.get(event.node)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[event.node] = ring
+        ring.append(event)
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Current ring contents per node, node-name-sorted."""
+        return {
+            node: [event_to_dict(e) for e in self._rings[node]]
+            for node in sorted(self._rings)
+        }
+
+    def capture(self, reason: str) -> Dict[str, Any]:
+        """Freeze the rings into a dump and remember it.
+
+        ``reason`` must be seed-deterministic (e.g.
+        ``"crashpoint:log.force.before@1"``) — it is part of the dump
+        bytes the replay test compares.
+        """
+        dump = {
+            "reason": reason,
+            "capacity": self.capacity,
+            "sequence": len(self.dumps),
+            "nodes": self.snapshot(),
+        }
+        self.dumps.append(dump)
+        return dump
+
+    def dumps_json(self) -> str:
+        """Canonical JSON of every captured dump (byte-identical per seed)."""
+        return json.dumps(self.dumps, sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def dump_json(dump: Dict[str, Any]) -> str:
+        return json.dumps(dump, sort_keys=True, separators=(",", ":"))
+
+    def clear(self) -> None:
+        """Drop ring contents (captured dumps are kept)."""
+        self._rings.clear()

@@ -83,8 +83,42 @@ TRACKED_COUNTER_ATTRS = frozenset({
     "schedules_explored",
 })
 
+#: Every sanctioned distribution metric: a ``MetricsHub`` histogram
+#: attribute observed somewhere in the codebase.  Mirrors
+#: ``TRACKED_COUNTER_ATTRS``: rule OBS002 flags ``.observe(...)`` calls
+#: on public attributes missing from this set, and a unit test asserts
+#: the set equals the hub's actual histogram attributes.  Keep it a
+#: pure literal — the linter reads it from the AST.
+TRACKED_HISTOGRAM_ATTRS = frozenset({
+    # engine.core.Engine
+    "txn_latency_ticks", "lock_wait_ticks",
+    # net.rpc.RpcStub (observed through Network.metrics)
+    "rpc_roundtrip_attempts", "rpc_batch_calls",
+    # storage.stable_log.StableLog
+    "log_force_bytes",
+    # core.server_log.GroupForceScheduler
+    "group_commit_batch",
+    # recovery.engines (all engines, per pass)
+    "recovery_pass_records",
+})
+
+#: Every sanctioned time series: a ``MetricsHub`` ``TimeSeries``
+#: attribute sampled somewhere in the codebase.  Rule OBS002 applies
+#: the same closed loop to ``.sample(...)`` calls.
+TRACKED_TIMESERIES_ATTRS = frozenset({
+    # recovery.engines: records scanned during restart analysis
+    "restart_progress",
+    # engine.core: transactions finished over the engine's op clock
+    "engine_progress",
+})
+
 #: A provider reads one cumulative counter off a complex.
 Provider = Callable[[Any], float]
+
+#: A histogram provider returns one instrument's canonical ``state()``
+#: dict, or ``None`` when no :class:`~repro.obs.hist.MetricsHub` is
+#: attached to the complex.
+HistogramProvider = Callable[[Any], Any]
 
 
 class MetricsRegistry:
@@ -92,14 +126,24 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._providers: Dict[str, Provider] = {}
+        self._histogram_providers: Dict[str, HistogramProvider] = {}
 
     def register(self, name: str, provider: Provider) -> None:
         if name in self._providers:
             raise ValueError(f"metric {name!r} registered twice")
         self._providers[name] = provider
 
+    def register_histogram(self, name: str,
+                           provider: HistogramProvider) -> None:
+        if name in self._histogram_providers:
+            raise ValueError(f"histogram {name!r} registered twice")
+        self._histogram_providers[name] = provider
+
     def names(self) -> List[str]:
         return list(self._providers)
+
+    def histogram_names(self) -> List[str]:
+        return list(self._histogram_providers)
 
     def collect(self, system: Any) -> Dict[str, float]:
         """Read every registered counter off ``system``."""
@@ -107,6 +151,15 @@ class MetricsRegistry:
             name: provider(system)
             for name, provider in self._providers.items()
         }
+
+    def collect_histograms(self, system: Any) -> Dict[str, Any]:
+        """Histogram/time-series states; empty when no hub is attached."""
+        states: Dict[str, Any] = {}
+        for name, provider in self._histogram_providers.items():
+            state = provider(system)
+            if state is not None:
+                states[name] = state
+        return states
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +255,26 @@ def register_fault_counters(registry: MetricsRegistry) -> None:
     registry.register("schedules_explored", plan_attr("schedules_explored"))
 
 
+def register_hub_metrics(registry: MetricsRegistry) -> None:
+    """Histogram and time-series providers off ``system.metrics``.
+
+    Providers return the instrument's canonical ``state()`` dict, or
+    ``None`` when the complex has no hub attached — ``snapshot`` then
+    reports an empty ``histograms`` mapping rather than empty
+    instruments, keeping the metrics-disabled path allocation-free.
+    """
+    def hub_state(attr: str) -> HistogramProvider:
+        def provider(s: Any) -> Any:
+            hub = getattr(s, "metrics", None)
+            if hub is None:
+                return None
+            return getattr(hub, attr).state()
+        return provider
+
+    for name in sorted(TRACKED_HISTOGRAM_ATTRS | TRACKED_TIMESERIES_ATTRS):
+        registry.register_histogram(name, hub_state(name))
+
+
 def build_default_registry() -> MetricsRegistry:
     """The registry behind ``harness.metrics.snapshot``."""
     registry = MetricsRegistry()
@@ -210,4 +283,5 @@ def build_default_registry() -> MetricsRegistry:
     register_server_counters(registry)
     register_client_counters(registry)
     register_fault_counters(registry)
+    register_hub_metrics(registry)
     return registry

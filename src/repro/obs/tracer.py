@@ -79,10 +79,15 @@ class Tracer:
     fire only on objects whose ``tracer`` attribute is non-``None``.
     """
 
-    __slots__ = ("events", "_tick", "_stack", "_next_span_id")
+    __slots__ = ("events", "flight", "_tick", "_stack", "_next_span_id")
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        #: Optional :class:`repro.obs.flight.FlightRecorder` tap: when
+        #: set, every recorded event is also appended to the recorder's
+        #: per-node ring.  Duck-typed (``record(event)``) to keep the
+        #: tracer free of obs-internal imports.
+        self.flight: Any = None
         self._tick = 0
         self._stack: List[int] = []
         self._next_span_id = 0
@@ -100,10 +105,15 @@ class Tracer:
 
     # -- recording ---------------------------------------------------------
 
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        if self.flight is not None:
+            self.flight.record(event)
+
     def instant(self, cat: str, name: str, node: str, **args: Any) -> None:
         """Record a point event (no duration)."""
         parent = self._stack[-1] if self._stack else 0
-        self.events.append(TraceEvent(
+        self._record(TraceEvent(
             tick=self._next_tick(), phase="I", cat=cat, name=name,
             node=node, span_id=0, parent_id=parent, args=_pack_args(args),
         ))
@@ -114,7 +124,7 @@ class Tracer:
         self._next_span_id += 1
         span_id = self._next_span_id
         self._stack.append(span_id)
-        self.events.append(TraceEvent(
+        self._record(TraceEvent(
             tick=self._next_tick(), phase="B", cat=cat, name=name,
             node=node, span_id=span_id, parent_id=parent,
             args=_pack_args(args),
@@ -135,7 +145,7 @@ class Tracer:
         self._stack.pop()
         begin = self._find_begin(span_id)
         parent = self._stack[-1] if self._stack else 0
-        self.events.append(TraceEvent(
+        self._record(TraceEvent(
             tick=self._next_tick(), phase="E", cat=begin.cat,
             name=begin.name, node=begin.node, span_id=span_id,
             parent_id=parent, args=_pack_args(args),

@@ -107,6 +107,10 @@ class RecoveryContext:
     logical_undo: Optional[LogicalUndoHandler] = None
     faults: Optional[FaultPlan] = None
     tracer: Optional["Tracer"] = None
+    #: The histogram/time-series hub (``repro.obs.hist.MetricsHub``),
+    #: threaded from ``Server.metrics``; ``None`` disables the per-pass
+    #: record histograms and the restart progress meter.
+    metrics: Optional[object] = None
     #: Attributes stamped on every pass span (e.g. ``client=C1``).
     span_attrs: Dict[str, object] = field(default_factory=dict)
     #: Extra attributes for the analysis span only (e.g. ``start_addr``).
@@ -183,20 +187,67 @@ def _fire_before(ctx: RecoveryContext, pass_name: str) -> None:
                                   ctx.tracer)
 
 
+#: Restart progress sampling interval, in scanned records.  Coarse
+#: enough to stay cheap, fine enough that the time series resolves the
+#: shape of a long scan; the final total is always sampled too.
+_PROGRESS_SAMPLE_EVERY = 64
+
+
+def _progress_observer(ctx: RecoveryContext,
+                       inner: Optional[Callable]) -> Callable:
+    """Wrap the analysis header observer with the restart progress meter.
+
+    Samples ``restart_progress`` (records scanned so far, on the hub's
+    logical clock) every :data:`_PROGRESS_SAMPLE_EVERY` records; the
+    scan's log extent is stamped into the series meta so consumers can
+    express progress as scanned/extent.  Purely additive: the wrapped
+    observer (the transaction tracker during restart) sees exactly the
+    calls it would have.
+    """
+    metrics = ctx.metrics
+    assert metrics is not None
+    series = metrics.restart_progress  # type: ignore[attr-defined]
+    start = ctx.analysis_scan_start or 0
+    series.meta["log_extent"] = max(
+        0, ctx.log.stable.end_of_log_addr - start)
+    scanned = 0
+
+    def observer(first: object, addr: LogAddr) -> None:
+        nonlocal scanned
+        scanned += 1
+        if scanned % _PROGRESS_SAMPLE_EVERY == 0:
+            series.sample(metrics.next_tick(),  # type: ignore[attr-defined]
+                          scanned)
+        if inner is not None:
+            inner(first, addr)
+
+    return observer
+
+
 def _run_analysis(ctx: RecoveryContext,
                   header_sink: Optional[Callable[[LogAddr, FrameHeader], None]]
                   ) -> AnalysisResult:
     if ctx.analysis_supplier is not None:
         return ctx.analysis_supplier()
     assert ctx.analysis_scan_start is not None
+    header_observer = ctx.header_observer
+    observer = ctx.observer
+    if ctx.metrics is not None:
+        # analysis_pass prefers the header observer when both hooks are
+        # set, so wrap whichever one will actually fire — meter on the
+        # cheap header path unless only a full-record observer exists.
+        if header_observer is not None or observer is None:
+            header_observer = _progress_observer(ctx, header_observer)
+        else:
+            observer = _progress_observer(ctx, observer)
     return analysis_pass(
         ctx.log, ctx.analysis_scan_start,
         client_filter=ctx.client_filter,
         rebuild_log_bookkeeping=ctx.rebuild_log_bookkeeping,
-        observer=ctx.observer,
+        observer=observer,
         faults=ctx.analysis_faults,
         header_sink=header_sink,
-        header_observer=ctx.header_observer,
+        header_observer=header_observer,
     )
 
 
@@ -223,6 +274,14 @@ def _analysis_phase(engine: RecoveryEngine, ctx: RecoveryContext,
             redo_addr=analysis.redo_addr,
             end_addr=analysis.end_addr,
         )
+    if ctx.metrics is not None:
+        ctx.metrics.recovery_pass_records.observe(  # type: ignore[attr-defined]
+            analysis.records_scanned)
+        # Close the progress meter with the pass total (the in-scan
+        # meter samples every _PROGRESS_SAMPLE_EVERY records only).
+        ctx.metrics.restart_progress.sample(  # type: ignore[attr-defined]
+            ctx.metrics.next_tick(),  # type: ignore[attr-defined]
+            analysis.records_scanned)
     if ctx.after_analysis is not None:
         ctx.after_analysis(analysis)
     return analysis
@@ -253,6 +312,9 @@ def _redo_phase(engine: RecoveryEngine, ctx: RecoveryContext,
             end_attrs["forwarded_redos"] = forwarded
         end_attrs["by_client"] = dict(sorted(redo.applied_by_client.items()))
         tracer.end(span, **end_attrs)
+    if ctx.metrics is not None:
+        ctx.metrics.recovery_pass_records.observe(  # type: ignore[attr-defined]
+            redo.records_scanned)
     return redo, forwarded
 
 
@@ -277,6 +339,9 @@ def _undo_phase(engine: RecoveryEngine, ctx: RecoveryContext,
             txns_rolled_back=undo.txns_rolled_back,
             by_client=dict(sorted(undo.clrs_by_client.items())),
         )
+    if ctx.metrics is not None:
+        ctx.metrics.recovery_pass_records.observe(  # type: ignore[attr-defined]
+            undo.records_scanned)
     return undo
 
 

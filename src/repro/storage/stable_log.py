@@ -36,7 +36,7 @@ from __future__ import annotations
 import bisect
 import struct
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Tuple
 
 from repro.core.log_records import (
     FrameHeader,
@@ -85,6 +85,9 @@ class StableLog:
         #: Attached by the owning complex; ``None`` disables the runtime
         #: WAL sanitizer (repro.sanitizer).
         self.sanitizer: Optional["Sanitizer"] = None
+        #: Attached by the owning complex; ``None`` disables the
+        #: log-force-bytes histogram (repro.obs.hist).
+        self.metrics: Any = None
         self.appends = 0
         self.forces = 0
         self.bytes_appended = 0
@@ -130,6 +133,7 @@ class StableLog:
             target = self._frame_end(up_to_addr)
         if target <= self._flushed_addr:
             return
+        flushed_before = self._flushed_addr
         self._flushed_addr = target
         self.forces += 1
         if self.tracer is not None:
@@ -137,6 +141,8 @@ class StableLog:
                                 flushed_addr=target)
         if self.sanitizer is not None:
             self.sanitizer.on_log_force(target)
+        if self.metrics is not None:
+            self.metrics.log_force_bytes.observe(target - flushed_before)
 
     def _frame_end(self, addr: LogAddr) -> LogAddr:
         index = bisect.bisect_left(self._index, addr)

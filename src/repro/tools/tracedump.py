@@ -202,14 +202,16 @@ def summarize(events: EventStream) -> str:
     return "\n".join(lines)
 
 
-def _demo_system():  # pragma: no cover - illustrative CLI
+def _demo_system(flight_depth: int = 0):
     """An E5-style run: committed work, then a client dies mid-transaction."""
     from repro.config import SystemConfig
     from repro.core.system import ClientServerSystem
     from repro.workloads.generator import seed_table
 
     system = ClientServerSystem(
-        SystemConfig(trace_enabled=True, client_checkpoint_interval=4),
+        SystemConfig(trace_enabled=True, metrics_enabled=True,
+                     client_checkpoint_interval=4,
+                     flight_recorder_depth=flight_depth),
         client_ids=["C1", "C2"],
     )
     system.bootstrap(data_pages=8)
@@ -227,23 +229,35 @@ def _demo_system():  # pragma: no cover - illustrative CLI
     return system
 
 
-def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.
+
+    Exit codes are part of the contract (pinned by a CLI test): 0 on
+    success, 1 when a rendered export fails schema validation, 2 on
+    usage errors (argparse).
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.tracedump",
         description="Render a repro.obs trace (span tree, recovery "
-                    "timelines, summary).",
+                    "timelines, summary, metrics, flight rings).",
     )
     parser.add_argument("trace", nargs="?", metavar="TRACE.jsonl",
                         help="JSONL trace file to render (omit with --demo)")
     parser.add_argument("--demo", action="store_true",
                         help="run an E5-style client-crash scenario with "
-                             "tracing enabled and render its trace")
+                             "tracing+metrics enabled and render its trace")
     parser.add_argument("--tree", action="store_true",
                         help="print only the span tree")
     parser.add_argument("--recovery", action="store_true",
                         help="print only the recovery timelines")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the OpenMetrics rendering of the demo "
+                             "run's histograms (requires --demo)")
+    parser.add_argument("--flight", action="store_true",
+                        help="print the demo run's flight-recorder rings as "
+                             "canonical JSON (requires --demo)")
     parser.add_argument("--instants", action="store_true",
                         help="include instant events in the span tree")
     parser.add_argument("--emit", metavar="OUT.jsonl",
@@ -253,9 +267,15 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
                              "(load in Perfetto / about:tracing)")
     opts = parser.parse_args(argv)
 
+    if (opts.metrics or opts.flight) and not opts.demo:
+        parser.error("--metrics/--flight render live state and need --demo")
+
+    from repro.obs.export import validate_chrome_trace, to_chrome_trace
+
     events: EventStream
+    system = None
     if opts.demo:
-        system = _demo_system()
+        system = _demo_system(flight_depth=64 if opts.flight else 0)
         assert system.tracer is not None
         events = system.tracer.events
     elif opts.trace:
@@ -277,6 +297,26 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
             fp.write(chrome_trace_json(list(_as_trace_events(events))))
         print(f"wrote {opts.chrome}")
 
+    failed = False
+    if opts.metrics:
+        assert system is not None
+        from repro.harness.metrics import snapshot
+        from repro.obs.export import render_openmetrics, validate_openmetrics
+        snap = snapshot(system)
+        text = render_openmetrics(snap.as_dict(), snap.histograms)
+        print(text, end="")
+        problems = validate_openmetrics(text)
+        if problems:
+            for problem in problems:
+                print(f"OPENMETRICS INVALID: {problem}")
+            failed = True
+    if opts.flight:
+        assert system is not None and system.flight is not None
+        print(system.flight.dump_json(
+            system.flight.capture("tracedump")))
+    if opts.metrics or opts.flight:
+        return 1 if failed else 0
+
     only = opts.tree or opts.recovery
     if opts.tree or not only:
         print(span_tree(events, instants=opts.instants))
@@ -287,6 +327,17 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
         if not only:
             print()
             print(summarize(events))
+
+    # Export validation backs the exit code: a trace that renders but
+    # does not round-trip through the Chrome trace_event contract is a
+    # broken artifact, and CI must see that as a failure.
+    problems = validate_chrome_trace(
+        to_chrome_trace(list(_as_trace_events(events))))
+    if problems:
+        print()
+        for problem in problems:
+            print(f"TRACE INVALID: {problem}")
+        return 1
     return 0
 
 

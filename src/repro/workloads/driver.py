@@ -93,11 +93,21 @@ class DriverReport:
     #: Per-transaction latency in executed-op ticks, all waves pooled.
     latency_ticks: List[int] = field(default_factory=list)
 
+    def latency_histogram(self) -> "Histogram":
+        """The run's latency distribution as a deterministic log2
+        histogram (``repro.obs.hist``) — the same instrument the live
+        ``MetricsHub`` fills, built here from the recorded ticks."""
+        from repro.obs.hist import Histogram
+        return Histogram.from_values(self.latency_ticks)
+
+    def p50_latency_ticks(self) -> int:
+        return self.latency_histogram().p50()
+
     def p95_latency_ticks(self) -> int:
-        if not self.latency_ticks:
-            return 0
-        ordered = sorted(self.latency_ticks)
-        return ordered[min(len(ordered) - 1, (len(ordered) * 95) // 100)]
+        return self.latency_histogram().p95()
+
+    def p99_latency_ticks(self) -> int:
+        return self.latency_histogram().p99()
 
 
 class ZipfSampler:

@@ -158,3 +158,57 @@ def test_engine_replay_stays_in_engine_mode(capsys):
     second = explorer.replay(sid)
     assert first.digest == second.digest
     assert first.violations == []
+
+
+# -- flight recorder ----------------------------------------------------------
+
+def test_flight_replay_dumps_are_byte_identical(quick_summary):
+    """Same schedule id, same dump bytes: the rings see only
+    seed-deterministic trace events and deterministic reasons."""
+    from repro.obs.flight import FlightRecorder
+
+    explorer = CrashScheduleExplorer(seed=0, flight=True)
+    sid = next(r.schedule_id for r in quick_summary.results if r.fired)
+    first = explorer.replay(sid)
+    second = explorer.replay(sid)
+    assert first.flight_sha
+    assert first.flight_sha == second.flight_sha
+    assert [FlightRecorder.dump_json(d) for d in first.flight_dumps] == \
+        [FlightRecorder.dump_json(d) for d in second.flight_dumps]
+    # One dump per fired crash leg (the clean suite has no durability
+    # violations), each naming the crashpoint that froze the rings.
+    assert len(first.flight_dumps) == len(first.fired)
+    point, leg = first.fired[0]
+    assert first.flight_dumps[0]["reason"] == f"crashpoint:{point}@{leg}"
+    assert first.flight_dumps[0]["nodes"], "rings were empty at capture"
+    # Arming the recorder must not perturb the run it is observing.
+    original = next(r for r in quick_summary.results
+                    if r.schedule_id == sid)
+    assert first.digest == original.digest
+    assert first.to_dict()["flight_sha"] == first.flight_sha
+
+
+def test_flight_dir_persists_crashing_schedules(tmp_path):
+    import hashlib
+
+    out_dir = tmp_path / "flights"
+    summary = CrashScheduleExplorer(
+        seed=0, quick=True, budget=2, flight_dir=str(out_dir)).explore()
+    fired = [r for r in summary.results if r.fired]
+    files = sorted(out_dir.glob("*.flight.json"))
+    assert len(files) == len(fired) == 2
+    shas = {r.flight_sha for r in fired}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        dumps = json.loads(text)
+        assert dumps and dumps[0]["reason"].startswith("crashpoint:")
+        assert hashlib.sha256(text.encode()).hexdigest() in shas
+
+
+def test_cli_replay_compares_flight_shas(tmp_path, capsys, quick_summary):
+    sid = next(r.schedule_id for r in quick_summary.results if r.fired)
+    assert main(["--replay", sid,
+                 "--flight-dir", str(tmp_path / "flights")]) == 0
+    out = capsys.readouterr().out
+    assert "stable across replays" in out
+    assert "flight sha" in out

@@ -1,4 +1,5 @@
-"""Bad observability: ad-hoc public counters outside the registry."""
+"""Bad observability: ad-hoc counters and instruments outside the
+registry manifests."""
 
 
 class Mutator:
@@ -7,3 +8,9 @@ class Mutator:
 
     def charge(self, nbytes):
         self.bytes_out += nbytes  # lint:expect OBS001
+
+    def time_fix(self, metrics, ticks):
+        metrics.page_fix_ticks.observe(ticks)  # lint:expect OBS002
+
+    def track_churn(self, tick):
+        self.metrics.churn_progress.sample(tick, 1)  # lint:expect OBS002

@@ -17,3 +17,23 @@ class Mutator:
     def non_additive(self):
         # Only ``+=`` looks like a counter bump.
         self.high_water = max(self.high_water, 9)
+
+    def tracked_histogram(self, metrics, ticks):
+        # In repro.obs.registry.TRACKED_HISTOGRAM_ATTRS -> in snapshots.
+        metrics.txn_latency_ticks.observe(ticks)
+
+    def tracked_series(self, metrics, tick, done):
+        # In repro.obs.registry.TRACKED_TIMESERIES_ATTRS.
+        metrics.engine_progress.sample(tick, done)
+
+    def local_instrument(self, hist, value):
+        # A bare local instrument under construction is out of scope.
+        hist.observe(value)
+
+    def other_receiver(self, record, addr):
+        # ``.observe`` on a non-metrics receiver (the DPL tracker).
+        self.tracker.observe(record, addr)
+
+    def rng_sample(self, rng, ids):
+        # ``random.Random.sample`` is not telemetry.
+        return rng.sample(ids, 2)

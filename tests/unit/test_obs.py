@@ -16,6 +16,8 @@ from repro.obs.export import (
 )
 from repro.obs.registry import (
     TRACKED_COUNTER_ATTRS,
+    TRACKED_HISTOGRAM_ATTRS,
+    TRACKED_TIMESERIES_ATTRS,
     MetricsRegistry,
     build_default_registry,
 )
@@ -87,7 +89,13 @@ class TestRegistry:
     def test_registry_names_match_snapshot_fields(self):
         names = set(DEFAULT_REGISTRY.names())
         fields = {f.name for f in dataclasses.fields(MetricsSnapshot)}
-        assert names == fields
+        # ``histograms`` is the one non-counter field: it carries the
+        # instrument states collected via the histogram providers.
+        assert names == fields - {"histograms"}
+
+    def test_histogram_providers_match_manifests(self):
+        assert set(DEFAULT_REGISTRY.histogram_names()) == \
+            TRACKED_HISTOGRAM_ATTRS | TRACKED_TIMESERIES_ATTRS
 
     def test_duplicate_registration_rejected(self):
         registry = MetricsRegistry()
@@ -113,7 +121,8 @@ class TestRegistry:
         assert all(value == 0 for value in values.values())
 
     def test_manifest_is_public_attr_names(self):
-        for attr in TRACKED_COUNTER_ATTRS:
+        for attr in (TRACKED_COUNTER_ATTRS | TRACKED_HISTOGRAM_ATTRS
+                     | TRACKED_TIMESERIES_ATTRS):
             assert not attr.startswith("_")
 
 

@@ -1,4 +1,8 @@
-"""Unit tests: tracedump's span reassembly and recovery timelines."""
+"""Unit tests: tracedump's span reassembly, timelines, and exit codes."""
+
+import json
+
+import pytest
 
 from repro.config import SystemConfig
 from repro.core.system import ClientServerSystem
@@ -6,6 +10,7 @@ from repro.obs.export import read_jsonl, to_jsonl
 from repro.obs.tracer import Tracer
 from repro.tools.tracedump import (
     build_spans,
+    main as cli_main,
     recovery_timelines,
     span_tree,
     summarize,
@@ -98,3 +103,45 @@ class TestRecoveryTimeline:
                          if line.strip().startswith("undo"))
         assert "C1=" in undo_line
         assert "total log records processed:" in text
+
+
+class TestCliExitCodes:
+    """The CLI contract: 0 success, 1 validation failure, 2 usage."""
+
+    def test_demo_exits_zero(self, capsys):
+        assert cli_main(["--demo"]) == 0
+        assert "span tree:" in capsys.readouterr().out
+
+    def test_no_input_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([])
+        assert excinfo.value.code == 2
+
+    def test_metrics_without_demo_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--metrics"])
+        assert excinfo.value.code == 2
+
+    def test_invalid_trace_exits_one(self, tmp_path, capsys):
+        # A B with no matching E renders fine but fails the Chrome
+        # trace_event validation -- the exit code must say so.
+        row = {"tick": 1, "ph": "B", "cat": "c", "name": "n",
+               "node": "server", "span": 1, "parent": -1, "args": {}}
+        trace = tmp_path / "broken.jsonl"
+        trace.write_text(json.dumps(row) + "\n", encoding="utf-8")
+        assert cli_main([str(trace)]) == 1
+        assert "TRACE INVALID" in capsys.readouterr().out
+
+    def test_demo_metrics_renders_valid_openmetrics(self, capsys):
+        assert cli_main(["--demo", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_txn_latency_ticks histogram" in out
+        assert "repro_log_force_bytes_sum" in out
+        assert out.splitlines()[-1] == "# EOF"
+        assert "OPENMETRICS INVALID" not in out
+
+    def test_demo_flight_dumps_rings(self, capsys):
+        assert cli_main(["--demo", "--flight"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["reason"] == "tracedump"
+        assert "server" in dump["nodes"]
