@@ -13,6 +13,7 @@ from repro.analysis.checkers.ordering import OrderingChecker
 from repro.analysis.checkers.pairing import PairingChecker
 from repro.analysis.checkers.reachability import ReachabilityChecker
 from repro.analysis.checkers.recovery_engines import RecoveryEngineChecker
+from repro.analysis.checkers.replication_seam import ReplicationSeamChecker
 from repro.analysis.checkers.rpc_hygiene import RpcHygieneChecker
 from repro.analysis.checkers.wal import WalChecker
 
@@ -21,7 +22,7 @@ __all__ = [
     "WalChecker", "PairingChecker", "OrderingChecker",
     "DeterminismChecker", "RpcHygieneChecker", "ObservabilityChecker",
     "CrashScopeChecker", "LockOrderChecker", "ReachabilityChecker",
-    "RecoveryEngineChecker",
+    "RecoveryEngineChecker", "ReplicationSeamChecker",
 ]
 
 
@@ -37,6 +38,7 @@ def all_checkers() -> List[Checker]:
         LockOrderChecker(),
         ReachabilityChecker(),
         RecoveryEngineChecker(),
+        ReplicationSeamChecker(),
     ]
 
 

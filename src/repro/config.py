@@ -108,6 +108,32 @@ class LsnAssignment(enum.Enum):
 
 
 @dataclass(frozen=True)
+class RpcBackoff:
+    """Seeded exponential-backoff-with-cap retry policy for RPC stubs.
+
+    One policy object replaces the three scalar RPC retry knobs: the
+    stub retries a timed-out exchange up to ``max_retries`` times,
+    waiting ``min(base * 2**attempt, cap)`` simulated units plus a
+    seeded jitter of up to ``jitter`` times that delay.  The jitter
+    stream is seeded from ``SystemConfig.seed`` when the policy is
+    instantiated, so ``TrafficStats.backoff_ticks`` is deterministic
+    per seed (two same-seed runs back off identically; two clients in
+    one run do not stampede in lockstep).
+    """
+
+    #: Retries before the destination is declared unavailable.
+    max_retries: int = 8
+    #: First backoff wait in simulated units; doubles per attempt.
+    base: float = 1.0
+    #: Upper bound on a single backoff wait.
+    cap: float = 256.0
+    #: Simulated units a stub waits before treating an exchange as lost.
+    timeout: float = 10.0
+    #: Fraction of the capped delay added as seeded jitter (0 disables).
+    jitter: float = 0.0
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete policy configuration for one simulated complex.
 
@@ -203,6 +229,41 @@ class SystemConfig:
     #: deterministic worker units; merge order is partition index).
     recovery_partitions: int = 4
 
+    # -- replication & failover ---------------------------------------
+
+    #: Wire a log-shipped warm standby into the complex
+    #: (``repro.replication``): the primary ships every durable log
+    #: frame to a standby node over the typed RPC transport, a
+    #: heartbeat failure detector watches the primary, and failover
+    #: fences the old primary behind a bumped epoch before promoting
+    #: the standby.  Off by default: with replication off the complex
+    #: is byte-identical to the single-node system (the chaos digest
+    #: parity test pins this).
+    replication_enabled: bool = False
+    #: Ship-ack semantics at commit force: ``True`` (the default when
+    #: replication is on) makes the commit-path log force wait for the
+    #: standby's durable ack, so no acknowledged commit can be lost to
+    #: a primary failure — the failover durability oracle assumes this.
+    #: ``False`` ships asynchronously (window of acked-but-unshipped
+    #: commits, the classic async-replication trade).
+    replication_sync_commit: bool = True
+    #: The standby applies shipped redo into its page replica every N
+    #: shipped records; between applies the shipped tail is durable in
+    #: its log replica but not yet materialized.  Promotion rolls
+    #: forward exactly that tail through the configured recovery
+    #: engine — the smaller this interval, the warmer the standby.
+    standby_apply_interval: int = 64
+    #: Simulated ticks between primary heartbeats observed by the
+    #: failure detector.
+    heartbeat_interval: int = 2
+    #: Consecutive missed heartbeats before the detector suspects the
+    #: primary and starts an election (the candidate phase).
+    heartbeat_miss_threshold: int = 3
+    #: Fraction of the suspicion timeout added as seeded jitter, so two
+    #: same-seed runs replay the same detection tick but the timeout is
+    #: decorrelated across seeds.
+    heartbeat_jitter: float = 0.25
+
     # -- transport & RPC ----------------------------------------------
 
     transport_policy: TransportPolicy = TransportPolicy.RELIABLE
@@ -217,12 +278,22 @@ class SystemConfig:
     transport_seed: "int | None" = None
 
     #: Retries a client stub attempts after a timed-out exchange before
-    #: declaring the destination unavailable.
+    #: declaring the destination unavailable.  Superseded by
+    #: :attr:`rpc_backoff` when that is set.
     rpc_max_retries: int = 8
     #: First retry backoff in simulated units; doubles per attempt.
+    #: Superseded by :attr:`rpc_backoff` when that is set.
     rpc_backoff_base: float = 1.0
     #: Simulated units a stub waits before treating an exchange as lost.
+    #: Superseded by :attr:`rpc_backoff` when that is set.
     rpc_timeout: float = 10.0
+    #: The unified retry policy object (:class:`RpcBackoff`): seeded
+    #: exponential backoff with a cap and optional jitter.  ``None``
+    #: (the default) derives an equivalent policy from the three legacy
+    #: scalar knobs above, with the cap placed where uncapped doubling
+    #: would first exceed it — bit-for-bit the historical backoff
+    #: sequence.
+    rpc_backoff: Optional[RpcBackoff] = None
     #: Coalesce back-to-back RPCs on the same edge into one
     #: :class:`repro.net.rpc.BatchEnvelope` exchange (today: the commit
     #: path's log-ship + force pair).  Every sub-call keeps its own

@@ -95,7 +95,7 @@ class Client:
         self.layout = server.layout
         network.register(client_id)
         #: Caller-side endpoint for every client->server exchange.
-        self.rpc = network.stub(client_id, Server.node_id)
+        self.rpc = network.stub(client_id, server.node_id)
         self.dispatcher = RpcDispatcher(client_id)
         self._register_handlers()
         network.attach(client_id, self.dispatcher)
@@ -1069,8 +1069,8 @@ class Client:
     def _require_up(self) -> None:
         if self.crashed:
             raise NodeUnavailableError(self.client_id)
-        if not self.network.is_up(Server.node_id):
-            raise NodeUnavailableError(Server.node_id)
+        if not self.network.is_up(self.server.node_id):
+            raise NodeUnavailableError(self.server.node_id)
 
     def crash(self) -> None:
         """Client failure: buffer pool, log buffer, lock state, and
@@ -1114,3 +1114,18 @@ class Client:
                     resource = resource[0]
                 self.llm.acquire(txn.txn_id, resource, LockMode(mode_value))
         return indoubt
+
+    def repoint_server(self, server: Server) -> None:
+        """Switch this client's session to a promoted server (DESIGN §15).
+
+        Failover takeover is a stub swap: every protocol interaction
+        funnels through ``self.rpc``, so re-pointing it at the new
+        primary's node id moves the whole session.  Nothing else is
+        touched — transactions, caches, the local log buffer and lock
+        state all carry over, exactly as across a server restart (the
+        promotion's roll-forward replays this client's unshipped tail
+        the same way a restart does).
+        """
+        self.server = server
+        self.layout = server.layout
+        self.rpc = self.network.stub(self.client_id, server.node_id)

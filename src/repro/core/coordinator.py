@@ -76,7 +76,7 @@ class TwoPhaseCoordinator:
 
     def _call_branch(self, client: Client, method: str, txn: Transaction) -> None:
         """One coordinator->participant exchange for one branch."""
-        self.network.stub(Server.node_id, client.client_id).call(
+        self.network.stub(self.server.node_id, client.client_id).call(
             method, MsgType.COMMIT_REQUEST,
             payload=txn.txn_id, args=(txn.txn_id,),
         )
@@ -212,7 +212,8 @@ class TwoPhaseCoordinator:
         have the form ``<global>@<client>``, as created by enlist().
         """
         outcomes: List[Tuple[str, str]] = []
-        ask_coordinator = self.network.stub(client.client_id, Server.node_id)
+        ask_coordinator = self.network.stub(client.client_id,
+                                            self.server.node_id)
         for txn in list(client.txns):
             if txn.state is not TxnState.PREPARED or "@" not in txn.txn_id:
                 continue

@@ -127,9 +127,15 @@ class Server:
 
     node_id = SERVER_ID
 
-    def __init__(self, config: SystemConfig, network: Network) -> None:
+    def __init__(self, config: SystemConfig, network: Network,
+                 node_id: Optional[str] = None) -> None:
         self.config = config
         self.network = network
+        if node_id is not None:
+            # Failover promotion builds a second Server around the
+            # standby's replicas; it keeps its own network identity so
+            # the fenced old primary's node id stays distinct.
+            self.node_id = node_id
         self.disk = Disk()
         self.log = ServerLogManager(config.group_commit_window)
         self.glm = GlobalLockManager()
@@ -187,6 +193,9 @@ class Server:
         self._appends_since_ckpt = 0
 
         self.crashed = False
+        #: Attached by the replication manager (repro.replication);
+        #: ``None`` keeps every ship hook a single pointer comparison.
+        self.replication: Optional[Any] = None
         # Default logical-undo support for the B+-tree: re-traverse from
         # the anchor recorded in the log record's key payload.
         from repro.index.undo import logical_undo_effect
@@ -659,6 +668,8 @@ class Server:
             self.tracker.observe(record, addr)
         self._appends_since_ckpt += len(records)
         self._maybe_auto_checkpoint()
+        if self.replication is not None:
+            self.replication.on_log_appended()
         return assigned, self.log.flushed_addr
 
     def force_log_for_commit(self, client_id: str, txn_id: str) -> LogAddr:
@@ -674,6 +685,12 @@ class Server:
             self.faults.crashpoint("server.commit.before_force", self.tracer)
         flushed = self.log.commit_force()
         self.commit_forces += 1
+        if self.replication is not None:
+            # Synchronous ship-ack at commit force: the commit
+            # acknowledgement implies the records are stable at the
+            # standby too, which is what the failover durability oracle
+            # relies on (no acked commit lost by a promotion).
+            self.replication.on_commit_force(flushed)
         return flushed
 
     def log_cdpl(self, client_id: str, txn_id: str,
@@ -1049,12 +1066,50 @@ class Server:
         if self.faults is not None:
             self.faults.crashpoint("server.checkpoint.after_master",
                                    self.tracer)
+        if self.replication is not None:
+            # Checkpoints advance the shipped master copy: a standby
+            # bootstrapped from it can start analysis at this begin
+            # record even before it builds its own applied checkpoint.
+            self.replication.on_log_appended()
         for entry in entries:
             floor = self._rec_addr_floor.get(entry.page_id)
             if floor is None or entry.rec_addr < floor:
                 self._rec_addr_floor[entry.page_id] = entry.rec_addr
         self._appends_since_ckpt = 0
         return begin_addr
+
+    # ------------------------------------------------------------------
+    # Replication support (DESIGN §15)
+    # ------------------------------------------------------------------
+
+    def master_snapshot(self) -> Dict[str, Any]:
+        """A copy of the stable master record, safe to ship.
+
+        The master is a two-level structure (scalars plus the per-client
+        checkpoint map); copying both levels lets a standby install it
+        without aliasing the primary's live state.
+        """
+        snapshot = dict(self._master)
+        snapshot["client_ckpts"] = dict(self._master["client_ckpts"])
+        return snapshot
+
+    def adopt_replica_state(self, log: ServerLogManager, disk: Disk,
+                            tracker: GlobalTransactionTracker,
+                            master: Dict[str, Any]) -> None:
+        """Install a standby's replicas as this server's durable state.
+
+        Failover promotion builds a fresh :class:`Server` around the
+        standby's log/disk/master replicas and the transaction tracker
+        it grew while observing the ship stream, then rolls the
+        unapplied log tail forward with :meth:`restart`.  The server is
+        left marked crashed on purpose: :meth:`restart` is the only
+        legal next step.
+        """
+        self.log = log
+        self.disk = disk
+        self.tracker = tracker
+        self._master = master
+        self.crashed = True
 
     # ------------------------------------------------------------------
     # Crash and restart (section 2.7)
@@ -1075,7 +1130,9 @@ class Server:
         self.crashed = True
         self.network.crash(self.node_id)
 
-    def restart(self, failed_clients: Optional[Set[str]] = None) -> RecoveryReport:
+    def restart(self, failed_clients: Optional[Set[str]] = None,
+                survivor_boundary: Optional[LogAddr] = None,
+                log_bookkeeping_intact: bool = False) -> RecoveryReport:
         """Restart recovery after a server crash.
 
         ``failed_clients`` names clients that went down with (or during)
@@ -1083,6 +1140,22 @@ class Server:
         with the server's own.  Operational clients' transactions are
         left alone — those clients are still running them — and their
         lock state is re-fetched to rebuild the GLM (section 2.7).
+
+        The two extra knobs exist for failover promotion (DESIGN §15),
+        where "restart" runs over a standby's log replica rather than
+        the crashed primary's own log:
+
+        * ``survivor_boundary`` overrides the stable boundary survivors
+          replay against.  The promotion checkpoint is appended to the
+          replica *after* shipping stopped, so the replica's flushed
+          address overshoots the last byte the old primary actually
+          acknowledged; survivors must replay against the pre-checkpoint
+          ship high-water instead.
+        * ``log_bookkeeping_intact`` skips the whole-log header rescan
+          that rebuilds the per-client <LSN, address> pairs: a standby
+          observed every shipped record as it arrived, so its transplant
+          already carries exact pairs — this skip is a large part of why
+          promotion beats a cold restart.
         """
         self.network.restore(self.node_id)
         self.crashed = False
@@ -1109,12 +1182,14 @@ class Server:
         # clients: per-page log order is application order, and the
         # update privilege may have moved between clients inside the lost
         # tail.
+        boundary = (self.log.flushed_addr if survivor_boundary is None
+                    else survivor_boundary)
         replay: List[Tuple[LogAddr, str, LogRecord]] = []
         for client_id in sorted(self._clients):
             if not self.network.is_up(client_id):
                 continue
             client = self._clients[client_id]
-            for old_addr, record in client.log.unstable_records(self.log.flushed_addr):
+            for old_addr, record in client.log.unstable_records(boundary):
                 replay.append((old_addr, client_id, record))
         replay.sort(key=lambda item: item[0])
         for old_addr, client_id, record in replay:
@@ -1146,8 +1221,10 @@ class Server:
         # surviving clients still hold pages dirtied long before the last
         # checkpoint.  (A production system would persist map summaries
         # with its checkpoints instead of rescanning.)
-        for addr, header in self.log.scan_headers(0, start_addr):
-            self.log.observe_during_restart(header.client_id, header.lsn, addr)
+        if not log_bookkeeping_intact:
+            for addr, header in self.log.scan_headers(0, start_addr):
+                self.log.observe_during_restart(header.client_id,
+                                                header.lsn, addr)
 
         def _after_analysis(analysis: AnalysisResult) -> None:
             # Re-seed the tracker with in-progress transactions whose

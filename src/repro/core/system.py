@@ -12,7 +12,7 @@ survivors), and whole-complex crashes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.core.client import Client
@@ -27,6 +27,9 @@ from repro.obs.tracer import Tracer
 from repro.records.heap import RecordId, decode_value
 from repro.sanitizer import Sanitizer
 from repro.storage.page import Page
+
+if TYPE_CHECKING:
+    from repro.replication.manager import ReplicationManager
 
 
 class ClientServerSystem:
@@ -57,6 +60,9 @@ class ClientServerSystem:
         #: Present only when the crash flight recorder is armed; fed by
         #: the tracer's per-event tap.
         self.flight: Optional[FlightRecorder] = None
+        #: Present only when the warm standby is on; same attachment
+        #: pattern as the tracer (DESIGN §15).
+        self.replication: Optional["ReplicationManager"] = None
         if self.config.trace_enabled:
             self.attach_tracer(Tracer())
         if self.config.fault_plan is not None:
@@ -76,6 +82,8 @@ class ClientServerSystem:
         self.server.tracker.table_resolver = self._page_table.get
         for client_id in client_ids:
             self.add_client(client_id)
+        if self.config.replication_enabled:
+            self.attach_replication()
 
     # -- observability -----------------------------------------------------
 
@@ -128,6 +136,23 @@ class ClientServerSystem:
         self.flight = recorder
         tracer.flight = recorder
 
+    # -- replication -------------------------------------------------------
+
+    def attach_replication(self) -> "ReplicationManager":
+        """Stand up the warm standby and start shipping (DESIGN §15).
+
+        The mirror of :meth:`attach_tracer`: attachment IS the enable
+        switch.  A complex without a manager has ``server.replication``
+        set to None and every ship hook costs one pointer comparison —
+        replication off is byte-for-byte the pre-replication complex.
+        """
+        from repro.replication.manager import ReplicationManager
+
+        manager = ReplicationManager(self)
+        self.replication = manager
+        manager.bootstrap_standby()
+        return manager
+
     # -- fault injection ---------------------------------------------------
 
     def attach_faults(self, plan: FaultPlan) -> None:
@@ -141,6 +166,7 @@ class ClientServerSystem:
         """
         self.faults = plan
         plan.tracer = self.tracer
+        self.network.faults = plan
         self.server.faults = plan
         self.server.disk.faults = plan
         self.server.archive.faults = plan
@@ -205,6 +231,10 @@ class ClientServerSystem:
         """Format the database offline; returns the allocated page ids."""
         pages = self.server.bootstrap(data_pages, free_pages)
         self._free_pool = list(pages)
+        if self.replication is not None:
+            # Formatting writes pages without logging them, so the
+            # standby's bootstrap snapshot must be retaken.
+            self.replication.bootstrap_standby()
         return pages
 
     def create_table(self, name: str, num_pages: int) -> List[int]:

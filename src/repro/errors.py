@@ -229,3 +229,16 @@ class RecoveryInvariantError(RecoveryError):
     whose page_LSN already exceeds the record's LSN in a way that signals
     lost monotonicity).
     """
+
+
+# ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+class ReplicationError(ReproError):
+    """The log-shipping / failover protocol was violated (DESIGN §15).
+
+    Raised on ship-stream gaps, address divergence between the primary's
+    log and the standby's replica, and failover driver misuse (e.g. a
+    stale-primary probe before any failover happened).
+    """

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, TypeVar
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple, TypeVar
 
 from repro.errors import TransientIOError
 
@@ -102,6 +102,14 @@ CRASHPOINTS: Tuple[str, ...] = (
     "log.force.before",
     "archive.backup.before_copy",
     "archive.restore.before",
+    # replication.py — log shipping and failover (DESIGN §15)
+    "replication.ship.before_send",
+    "replication.ship.before_append",
+    "replication.ship.before_ack",
+    "replication.apply.before_redo",
+    "replication.promote.before_fence",
+    "replication.promote.before_checkpoint",
+    "replication.promote.before_restart",
 )
 
 #: Synthetic crash names raised by fault draws rather than crashpoint
@@ -189,6 +197,31 @@ class FaultPlan:
         self._next_leg = 0
         self._io_failures: Dict[str, int] = {}
         self._disk_writes_seen = 0
+        self._partitions: Set[Tuple[str, str]] = set()
+
+    # -- link partitions --------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between two nodes (both directions).
+
+        Partitioned deliveries are dropped at the network layer —
+        request legs never reach the destination, exactly like a
+        transport drop, but deterministically and until :meth:`heal`.
+        The replication failure detector sees a partitioned primary the
+        same way it sees a crashed one: heartbeats stop arriving.
+        """
+        self._partitions.add((a, b))
+        self._partitions.add((b, a))
+        self._instant(self.tracer, "partition", src=a, dst=b)
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between two nodes (both directions)."""
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+        self._instant(self.tracer, "heal", src=a, dst=b)
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._partitions
 
     # -- namespaced randomness -------------------------------------------
 

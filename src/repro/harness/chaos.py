@@ -64,9 +64,11 @@ from repro.workloads.generator import seed_table
 Schedule = Tuple[Tuple[str, int], ...]
 
 #: Crashpoints that fire inside a recovery pass; each gets a nested
-#: schedule (crash during the recovery from the first crash).
+#: schedule (crash during the recovery from the first crash).  Failover
+#: promotion is a recovery pass: a crash mid-promotion is retried and
+#: must complete on the retry (the promotion-is-restartable claim).
 RECOVERY_POINT_PREFIXES = ("server.restart.", "server.client_recovery.",
-                           "recovery.")
+                           "recovery.", "replication.promote.")
 
 
 def is_recovery_point(point: str) -> bool:
@@ -167,9 +169,19 @@ class _WorkloadRun:
     def __init__(self, seed: int, schedule: Schedule,
                  engine: bool = False, sanitizer: bool = False,
                  recovery_engine: str = "serial",
-                 flight: bool = False) -> None:
+                 flight: bool = False,
+                 replication: bool = False) -> None:
         self.seed = seed
         self.schedule = schedule
+        #: Replication tier: run the same script against a complex with
+        #: a warm standby attached, append a primary fail-stop +
+        #: failover coda, and record fencing violations.  The script's
+        #: transactions and oracle bookkeeping are untouched, so for
+        #: schedules both sweeps share the durability digests must be
+        #: byte-identical to the single-node sweep — failover is
+        #: durably transparent.
+        self.replication = replication
+        self.replication_violations: List[str] = []
         #: Route the script's plain commit/rollback transactions through
         #: the event-driven engine instead of the direct client API, so
         #: the sweep also certifies the engine's execution path against
@@ -194,6 +206,10 @@ class _WorkloadRun:
             max_lsn_sync_period=4,
             sanitizer=sanitizer,
             recovery_engine=recovery_engine,
+            replication_enabled=replication,
+            # Small apply interval so the standby's apply loop (and its
+            # crashpoint) actually runs during the scripted workload.
+            standby_apply_interval=4 if replication else 64,
         )
         self.system = ClientServerSystem(config, client_ids=("C1", "C2"))
         self.system.bootstrap(data_pages=6, free_pages=8)
@@ -381,6 +397,21 @@ class _WorkloadRun:
         system.restart_all()
         # 13. Post-restart committed transaction.
         self._commit("C1", "t8", {rids[2]: ("w", 80)})
+        # 14. (replication tier only) Primary fail-stop: the heartbeat
+        #     detector notices, fences the old primary, and promotes
+        #     the standby.  No new transactions — the promoted complex
+        #     must expose exactly the durable state the single-node
+        #     sweep ends with, which is what the digest parity check
+        #     quantifies.
+        if self.replication:
+            rep = system.replication
+            assert rep is not None
+            system.crash_server()
+            rep.run_failover()
+            if not rep.stale_primary_probe():
+                self.replication_violations.append(
+                    "failover: stale-primary probe was not rejected by "
+                    "the epoch fence")
 
     # -- post-crash verification ------------------------------------------
 
@@ -436,6 +467,7 @@ class _WorkloadRun:
         violations = [str(v)
                       for v in self.oracle.verify(self.system, "current")]
         violations.extend(check_all(self.system))
+        violations.extend(self.replication_violations)
         return violations
 
     def probe(self) -> List[str]:
@@ -481,6 +513,9 @@ class ExplorerSummary:
     engine: bool = False
     #: Which recovery engine every schedule's recoveries ran under.
     recovery_engine: str = "serial"
+    #: Whether the sweep ran against a complex with a warm standby
+    #: attached (plus the fail-stop + failover coda).
+    replication: bool = False
 
     @property
     def schedules_explored(self) -> int:
@@ -508,6 +543,7 @@ class ExplorerSummary:
             "quick": self.quick,
             "engine": self.engine,
             "recovery_engine": self.recovery_engine,
+            "replication": self.replication,
             "schedules_explored": self.schedules_explored,
             "points_covered": self.points_covered,
             "nested_schedules": self.nested_schedules,
@@ -522,6 +558,7 @@ class ExplorerSummary:
             f"chaos sweep: seed={self.seed} "
             f"mode={'quick' if self.quick else 'full'}"
             f"{' executor=engine' if self.engine else ''}"
+            f"{' replication=on' if self.replication else ''}"
             f"{'' if self.recovery_engine == 'serial' else ' recovery=' + self.recovery_engine}",
             f"  crashpoints censused : {self.points_covered}"
             f" (of {len(CRASHPOINTS)} instrumented)",
@@ -546,13 +583,15 @@ class CrashScheduleExplorer:
                  engine: bool = False, sanitizer: bool = False,
                  recovery_engine: str = "serial",
                  flight: bool = False,
-                 flight_dir: Optional[str] = None) -> None:
+                 flight_dir: Optional[str] = None,
+                 replication: bool = False) -> None:
         self.seed = seed
         self.quick = quick
         self.budget = budget
         self.engine = engine
         self.sanitizer = sanitizer
         self.recovery_engine = recovery_engine
+        self.replication = replication
         #: Arm the per-node flight recorder for every run; dumps are
         #: captured on crashpoints / sanitizer violations / durability
         #: violations and hashed into ``ScheduleResult.flight_sha``.
@@ -603,6 +642,12 @@ class CrashScheduleExplorer:
             nested = [p for p in ("recovery.analysis.scan",
                                   "recovery.redo.scan",
                                   "recovery.undo.scan") if counts.get(p)]
+            # Crash-during-promotion, then crash again during the
+            # retried promotion: promotion must be restartable.
+            nested.extend(p for p in ("replication.promote.before_fence",
+                                      "replication.promote.before_checkpoint",
+                                      "replication.promote.before_restart")
+                          if counts.get(p))
         else:
             for point in points:
                 schedules.append(((point, 1),))
@@ -630,7 +675,8 @@ class CrashScheduleExplorer:
                                          sanitizer=self.sanitizer,
                                          recovery_engine=self.recovery_engine,
                                          flight=self.flight,
-                                         flight_dir=self.flight_dir)
+                                         flight_dir=self.flight_dir,
+                                         replication=self.replication)
         return replayer.run_schedule(schedule)
 
     def explore(self) -> ExplorerSummary:
@@ -641,14 +687,16 @@ class CrashScheduleExplorer:
         return ExplorerSummary(seed=self.seed, quick=self.quick,
                                census=census, results=results,
                                engine=self.engine,
-                               recovery_engine=self.recovery_engine)
+                               recovery_engine=self.recovery_engine,
+                               replication=self.replication)
 
     def _execute(self, schedule: Schedule) -> Tuple[_WorkloadRun,
                                                     ScheduleResult]:
         run = _WorkloadRun(self.seed, schedule, engine=self.engine,
                            sanitizer=self.sanitizer,
                            recovery_engine=self.recovery_engine,
-                           flight=self.flight)
+                           flight=self.flight,
+                           replication=self.replication)
         recorder = run.system.flight
 
         def capture(reason: str) -> None:
@@ -673,8 +721,23 @@ class CrashScheduleExplorer:
         # Every run ends in a whole-complex crash + recovery: either the
         # scheduled crash fired mid-script, or the completed script gets
         # one final clean quiesce.  Recovery itself may crash again
-        # (nested legs); restart until it completes.
+        # (nested legs); restart until it completes.  A crash that fired
+        # mid-promotion leaves the manager in "candidate": the promotion
+        # is retried first (it is the recovery pass in flight — the old
+        # primary is fenced or dead, so a plain restart would be wrong).
         while True:
+            rep = run.system.replication
+            if rep is not None and rep.state == "candidate":
+                try:
+                    rep.promote()
+                    if not rep.stale_primary_probe():
+                        run.replication_violations.append(
+                            "failover: stale-primary probe was not "
+                            "rejected by the epoch fence")
+                except CrashPointReached as crash:
+                    fired.append((crash.point, crash.leg))
+                    capture(f"crashpoint:{crash.point}@{crash.leg}")
+                continue
             run.system.crash_all()
             try:
                 run.system.restart_all()
@@ -770,6 +833,74 @@ def _durability_digest(sid: str, outcomes: Dict[str, str],
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Replication parity
+# ---------------------------------------------------------------------------
+
+def run_replication_parity(seed: int = 0, quick: bool = False,
+                           budget: Optional[int] = None,
+                           engine: bool = False) -> Dict[str, Any]:
+    """The same sweep single-node and replicated; durability must agree.
+
+    The replicated sweep runs the identical script against a complex
+    with a warm standby attached (every commit synchronously shipped)
+    plus a fail-stop + failover coda, and additionally explores the
+    replication crashpoints.  For every schedule id the two sweeps have
+    in common — i.e. every non-replication crashpoint — the durability
+    digests must be byte-identical: attaching a standby, shipping every
+    log record, and failing over must not change a single transaction
+    outcome or recovered value.
+    """
+    single = CrashScheduleExplorer(seed=seed, quick=quick, budget=budget,
+                                   engine=engine).explore()
+    replicated = CrashScheduleExplorer(seed=seed, quick=quick,
+                                       budget=budget, engine=engine,
+                                       replication=True).explore()
+    base = {r.schedule_id: r.durability_digest for r in single.results}
+    mismatches: List[str] = []
+    compared = 0
+    replication_only = 0
+    for result in replicated.results:
+        expected = base.get(result.schedule_id)
+        if expected is None:
+            replication_only += 1
+            continue
+        compared += 1
+        if result.durability_digest != expected:
+            mismatches.append(
+                f"{result.schedule_id}: durability diverges between "
+                f"single-node and replicated sweeps")
+    violations = list(single.violations) + list(replicated.violations)
+    return {
+        "seed": seed,
+        "quick": quick,
+        "schedules_compared": compared,
+        "replication_only_schedules": replication_only,
+        "mismatches": mismatches,
+        "violations": violations,
+        "single": single.to_dict(),
+        "replicated": replicated.to_dict(),
+    }
+
+
+def render_parity_text(report: Dict[str, Any]) -> str:
+    lines = [
+        f"replication parity: seed={report['seed']} "
+        f"mode={'quick' if report['quick'] else 'full'}",
+        f"  shared schedules compared : {report['schedules_compared']}",
+        f"  replication-only schedules: "
+        f"{report['replication_only_schedules']}",
+    ]
+    for mismatch in report["mismatches"]:
+        lines.append(f"    FAIL {mismatch}")
+    for violation in report["violations"]:
+        lines.append(f"    FAIL {violation}")
+    if not report["mismatches"] and not report["violations"]:
+        lines.append("  replicated complex recovered every shared "
+                     "schedule to the identical durable state")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -874,6 +1005,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="recovery engine for every recovery in the "
                              "sweep; 'matrix' sweeps under all three and "
                              "requires identical durability digests")
+    parser.add_argument("--replication", action="store_true",
+                        help="attach a warm standby to every run, add a "
+                             "fail-stop + failover coda, and explore the "
+                             "replication crashpoints")
+    parser.add_argument("--replication-parity", action="store_true",
+                        help="run the sweep single-node AND replicated; "
+                             "shared schedule ids must carry identical "
+                             "durability digests")
     parser.add_argument("--flight-dir", metavar="DIR",
                         help="arm the per-node flight recorder and persist "
                              "each crashing schedule's dumps here as "
@@ -886,6 +1025,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", metavar="PATH",
                         help="write the JSON report here")
     args = parser.parse_args(argv)
+
+    if args.replication_parity and not args.replay and not args.list:
+        report = run_replication_parity(seed=args.seed, quick=args.quick,
+                                        budget=args.budget,
+                                        engine=args.engine)
+        print(render_parity_text(report))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            print(f"report written to {args.out}")
+        return 0 if not report["mismatches"] and not report["violations"] \
+            else 1
 
     if args.recovery_engine == "matrix" and not args.replay and not args.list:
         report = run_engine_matrix(seed=args.seed, quick=args.quick,
@@ -906,7 +1057,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                      engine=args.engine,
                                      sanitizer=args.sanitizer,
                                      recovery_engine=recovery_engine,
-                                     flight_dir=args.flight_dir)
+                                     flight_dir=args.flight_dir,
+                                     replication=args.replication)
     if args.replay:
         first = explorer.replay(args.replay)
         second = explorer.replay(args.replay)

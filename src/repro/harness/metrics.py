@@ -78,6 +78,11 @@ class MetricsSnapshot:
     message_drops: int = 0
     message_retries: int = 0
     rpc_timeouts: int = 0
+    #: Whole simulated ticks spent in seeded retry backoff.
+    backoff_ticks: int = 0
+    #: Requests rejected because the sender was fenced at a stale
+    #: failover epoch.
+    stale_epoch_rejections: int = 0
 
     #: Fault-plane counters (all zero with no FaultPlan attached).
     faults_injected: int = 0
@@ -85,6 +90,16 @@ class MetricsSnapshot:
     io_retries: int = 0
     crashpoints_hit: int = 0
     schedules_explored: int = 0
+
+    #: Replication counters (all zero with no ReplicationManager).
+    frames_shipped: int = 0
+    ship_acks: int = 0
+    records_applied: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_missed: int = 0
+    failovers: int = 0
+    #: Logical ticks spent inside promotions (detection to takeover).
+    failover_ticks: int = 0
 
     #: Histogram / time-series states keyed by manifest name
     #: (``TRACKED_HISTOGRAM_ATTRS`` / ``TRACKED_TIMESERIES_ATTRS``).

@@ -36,10 +36,12 @@ from repro.net.rpc import (
     RetryPolicy,
     RpcDispatcher,
     RpcStub,
+    StaleEpochError,
     Transport,
 )
 
 if TYPE_CHECKING:
+    from repro.faults import FaultPlan
     from repro.obs.tracer import Tracer
 
 
@@ -87,6 +89,14 @@ class TrafficStats:
     #: Exchanges abandoned after the retry budget (escalated to
     #: NodeUnavailableError).
     retries_exhausted: int = 0
+    #: Whole simulated ticks spent in retry backoff (the integer floor
+    #: of each individual backoff wait, summed).  Deterministic per
+    #: seed: the backoff sequence is a pure function of the policy's
+    #: seeded jitter stream and the retry sequence.
+    backoff_ticks: int = 0
+    #: Requests rejected because the sender was fenced at a stale
+    #: failover epoch (never retried; the fenced caller must step down).
+    stale_epoch_rejections: int = 0
     #: Total simulated waiting: transport delays + timeout waits +
     #: retry backoffs, in simulated time units.
     delay_total: float = 0.0
@@ -119,10 +129,14 @@ class TrafficStats:
 
     def note_retry(self, backoff: float) -> None:
         self.retries += 1
+        self.backoff_ticks += int(backoff)
         self.delay_total += backoff
 
     def note_retries_exhausted(self) -> None:
         self.retries_exhausted += 1
+
+    def note_stale_epoch(self) -> None:
+        self.stale_epoch_rejections += 1
 
     def note_attempt(self, entry: TraceEntry) -> None:
         if self.trace is not None:
@@ -150,8 +164,11 @@ class TrafficStats:
         for (src, dst), count in sorted(self.by_pair.items()):
             out[f"{src}->{dst}"] = count
         for key, value in (("drops", self.drops), ("retries", self.retries),
+                           ("backoff_ticks", self.backoff_ticks),
                            ("timeouts", self.timeouts),
                            ("retries_exhausted", self.retries_exhausted),
+                           ("stale_epoch_rejections",
+                            self.stale_epoch_rejections),
                            ("delay_total", self.delay_total)):
             if value:
                 out[key] = value
@@ -172,9 +189,21 @@ class Network:
         self._dispatchers: Dict[str, RpcDispatcher] = {}
         self._stubs: Dict[Tuple[str, str], RpcStub] = {}
         self._request_counter = 0
+        #: Monotonic failover epoch of the complex; 0 until the first
+        #: promotion, so every envelope is stamped 0 and the fencing
+        #: check below can never fire in a single-primary complex.
+        self.cluster_epoch = 0
+        #: Nodes fenced at a superseded epoch: node id -> the epoch the
+        #: node was pinned at when it was fenced.  A fenced node keeps
+        #: stamping its pinned epoch, and every delivery from it is
+        #: rejected until it rejoins (``unfence``).
+        self._fenced: Dict[str, int] = {}
         self.stats = TrafficStats()
         #: Attached by the owning complex; ``None`` disables rpc spans.
         self.tracer: Optional["Tracer"] = None
+        #: Attached by the owning complex; ``None`` disables link
+        #: partitions (the fault plan's deterministic drop set).
+        self.faults: Optional["FaultPlan"] = None
         #: Attached by the owning complex; ``None`` disables the RPC
         #: round-trip / batch-size histograms (``repro.obs.hist``).
         self.metrics: Any = None
@@ -226,6 +255,39 @@ class Network:
     def next_request_id(self) -> int:
         self._request_counter += 1
         return self._request_counter
+
+    # -- failover epochs ---------------------------------------------------
+
+    def epoch_for(self, node_id: str) -> int:
+        """The epoch ``node_id`` stamps on outgoing envelopes.
+
+        A fenced node is pinned at the epoch it was fenced at — the
+        simulation's stand-in for the fencing token it can no longer
+        refresh; everyone else implicitly operates at the current
+        cluster epoch.
+        """
+        return self._fenced.get(node_id, self.cluster_epoch)
+
+    def bump_epoch(self) -> int:
+        """Advance the cluster epoch (one failover = one increment)."""
+        self.cluster_epoch += 1  # lint: allow[OBS001] protocol state, not a metric
+        return self.cluster_epoch
+
+    def fence(self, node_id: str) -> None:
+        """Pin ``node_id`` at the current epoch, ahead of a bump.
+
+        Failover calls ``fence(old_primary)`` then :meth:`bump_epoch`;
+        from then on the old primary's envelopes carry a stale epoch
+        and are rejected on delivery.
+        """
+        self._fenced[node_id] = self.cluster_epoch
+
+    def unfence(self, node_id: str) -> None:
+        """Readmit a fenced node (it rejoined at the current epoch)."""
+        self._fenced.pop(node_id, None)
+
+    def is_fenced(self, node_id: str) -> bool:
+        return node_id in self._fenced
 
     # -- delivery ----------------------------------------------------------
 
@@ -318,6 +380,19 @@ class Network:
             self.tracer.end(span_id, outcome=outcome)
 
     def _deliver(self, envelope: Envelope, attempt: int) -> Response:
+        if envelope.epoch < self.cluster_epoch and envelope.src in self._fenced:
+            # The destination rejects the fenced sender before the
+            # handler runs: no charge, no dispatch, no retry — the
+            # caller sees a hard domain error and must step down.
+            self.stats.note_stale_epoch()
+            raise StaleEpochError(envelope.src, envelope.epoch,
+                                  self.cluster_epoch)
+        if self.faults is not None and \
+                self.faults.is_partitioned(envelope.src, envelope.dst):
+            # A severed link behaves exactly like a transport drop of
+            # the request leg, but deterministically and until healed.
+            self.stats.note_drop()
+            raise MessageDroppedError(envelope, "request")
         outcome, delay = self.transport.plan(envelope, attempt)
         size = MESSAGE_OVERHEAD + payload_size(envelope.payload)
         if self.stats.trace is not None:

@@ -50,6 +50,7 @@ paper's traffic comparisons never count them.
 from __future__ import annotations
 
 import enum
+import random
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -73,6 +74,27 @@ class UnknownRpcMethodError(RpcError):
         super().__init__(f"node {node_id} has no RPC method {method!r}")
         self.node_id = node_id
         self.method = method
+
+
+class StaleEpochError(RpcError):
+    """A fenced node sent a request stamped with a superseded epoch.
+
+    Raised by the network on delivery, before the destination handler
+    runs: after a failover the old primary's envelopes still carry the
+    epoch it was fenced at, and every node of the complex rejects them
+    (section "fencing" of DESIGN §15).  A domain error — the fenced
+    caller must observe it and stop acting as primary — so it travels
+    up through the stub like any failed exchange, never retried.
+    """
+
+    def __init__(self, node_id: str, stamped: int, current: int) -> None:
+        super().__init__(
+            f"node {node_id} is fenced: envelope epoch {stamped} "
+            f"< cluster epoch {current}"
+        )
+        self.node_id = node_id
+        self.stamped = stamped
+        self.current = current
 
 
 class MessageDroppedError(RpcError):
@@ -118,6 +140,11 @@ class Envelope:
     #: Charged exchanges count messages and bytes; uncharged ones are
     #: piggybacks riding an already-counted exchange.
     charge: bool = True
+    #: Monotonic failover epoch the sender was operating under when the
+    #: envelope was built.  0 until the first failover, so the field is
+    #: inert in single-primary complexes; after a failover the network
+    #: rejects envelopes from fenced nodes whose epoch is stale.
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -187,9 +214,31 @@ class RpcDispatcher:
         self.invocations: Counter = Counter()
         #: Retried requests answered from the completed-response cache.
         self.duplicates_suppressed = 0
+        #: Attached by the replication manager; when set, every newly
+        #: completed ``(key, response)`` is also appended here so the
+        #: dedup state can ride the ship stream to a standby.  ``None``
+        #: (the default) keeps the single-node path allocation-free.
+        self.completed_tap: Optional[List[Tuple[Tuple[str, int], Response]]] = None
 
     def register(self, method: str, handler: Handler) -> None:
         self._handlers[method] = handler
+
+    def install_completed(
+            self, entries: List[Tuple[Tuple[str, int], Response]]) -> None:
+        """Install shipped dedup entries (standby side of the stream).
+
+        A client whose commit acknowledgement was lost retries the same
+        envelope; if a failover happened in between, the retry lands on
+        the promoted standby's dispatcher.  Without the primary's dedup
+        state the handler would re-execute — double-appending the
+        already-shipped commit batch.  Installing the shipped entries
+        makes the retry hit the completed-response cache instead,
+        preserving exactly-once across the failover boundary.
+        """
+        for key, response in entries:
+            self._completed[key] = response
+        while len(self._completed) > self._cache_size:
+            self._completed.popitem(last=False)
 
     def methods(self) -> Tuple[str, ...]:
         return tuple(sorted(self._handlers))
@@ -214,6 +263,8 @@ class RpcDispatcher:
             # exceptions are bugs and propagate raw.
             response = Response(envelope.request_id, False, error=exc)
         self._completed[key] = response
+        if self.completed_tap is not None:
+            self.completed_tap.append((key, response))
         while len(self._completed) > self._cache_size:
             self._completed.popitem(last=False)
         return response
@@ -301,16 +352,39 @@ class RetryPolicy:
 
     A lost message manifests to the caller as a timeout of
     ``timeout`` simulated units; each retry backs off exponentially
-    from ``backoff_base``.  After ``max_retries`` retries the
-    destination is declared unavailable.
+    from ``backoff_base`` up to ``backoff_cap``, plus an optional
+    seeded jitter fraction (the classic decorrelation knob — two
+    clients retrying the same dead primary should not stampede in
+    lockstep).  After ``max_retries`` retries the destination is
+    declared unavailable.  The jitter stream is owned by the policy
+    and seeded at construction, so a given seed replays the exact
+    backoff sequence — ``TrafficStats.backoff_ticks`` is deterministic
+    per seed.
     """
 
     max_retries: int = 8
     backoff_base: float = 1.0
     timeout: float = 10.0
+    #: Upper bound on one backoff wait; ``None`` leaves the doubling
+    #: uncapped (the historical behavior, still the parity default).
+    backoff_cap: Optional[float] = None
+    #: Fraction of the (capped) delay added as seeded jitter; 0 off.
+    jitter: float = 0.0
+    #: Seed for the jitter stream (unused while ``jitter`` is 0).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_jitter_rng", random.Random(f"{self.seed}:rpc-backoff"))
 
     def backoff(self, attempt: int) -> float:
-        return self.backoff_base * (2.0 ** attempt)
+        delay = self.backoff_base * (2.0 ** attempt)
+        if self.backoff_cap is not None and delay > self.backoff_cap:
+            delay = self.backoff_cap
+        if self.jitter > 0.0:
+            rng: random.Random = getattr(self, "_jitter_rng")
+            delay += rng.uniform(0.0, self.jitter * delay)
+        return delay
 
 
 class RpcStub:
@@ -336,6 +410,7 @@ class RpcStub:
             src=self.src, dst=self.dst, msg_type=msg_type,
             method=method, payload=payload,
             args=args if args is not None else (), charge=charge,
+            epoch=network.epoch_for(self.src),
         )
         response = self._exchange(envelope)
         if not response.ok:
@@ -360,6 +435,7 @@ class RpcStub:
         the same sequence of individual calls.
         """
         network = self._network
+        epoch = network.epoch_for(self.src)
         batch = BatchEnvelope(
             request_id=network.next_request_id(),
             src=self.src, dst=self.dst,
@@ -368,7 +444,7 @@ class RpcStub:
                     request_id=network.next_request_id(),
                     src=self.src, dst=self.dst, msg_type=call.msg_type,
                     method=call.method, payload=call.payload,
-                    args=call.args, charge=call.charge,
+                    args=call.args, charge=call.charge, epoch=epoch,
                 )
                 for call in calls
             ),
@@ -442,8 +518,28 @@ def transport_from_config(config: Any) -> Transport:
 
 
 def retry_policy_from_config(config: Any) -> RetryPolicy:
+    """Build the stub retry policy one :class:`SystemConfig` asks for.
+
+    ``config.rpc_backoff`` (a :class:`repro.config.RpcBackoff`) is the
+    unified policy object; when it is ``None`` the legacy scalar knobs
+    apply, with the cap set to the value the uncapped doubling would
+    first exceed — so default-config backoff sequences (and therefore
+    ``delay_total``/``backoff_ticks``) are bit-for-bit unchanged.
+    """
+    backoff = getattr(config, "rpc_backoff", None)
+    if backoff is not None:
+        return RetryPolicy(
+            max_retries=backoff.max_retries,
+            backoff_base=backoff.base,
+            timeout=backoff.timeout,
+            backoff_cap=backoff.cap,
+            jitter=backoff.jitter,
+            seed=config.seed,
+        )
     return RetryPolicy(
         max_retries=config.rpc_max_retries,
         backoff_base=config.rpc_backoff_base,
         timeout=config.rpc_timeout,
+        backoff_cap=config.rpc_backoff_base * (2.0 ** config.rpc_max_retries),
+        seed=config.seed,
     )

@@ -216,6 +216,7 @@ class MetricsHub:
         "log_force_bytes",        # storage.stable_log: bytes made stable
         "group_commit_batch",     # core.server_log: riders per group force
         "recovery_pass_records",  # recovery.engines: records per pass
+        "ship_lag_records",       # replication.stream: standby lag per ack
         # --- time series ---
         "restart_progress",       # recovery.engines: records scanned
         "engine_progress",        # engine.core: txns finished over ticks
@@ -231,6 +232,7 @@ class MetricsHub:
         self.log_force_bytes = Histogram()
         self.group_commit_batch = Histogram()
         self.recovery_pass_records = Histogram()
+        self.ship_lag_records = Histogram()
         self.restart_progress = TimeSeries()
         self.engine_progress = TimeSeries()
         self._tick = 0

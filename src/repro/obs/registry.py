@@ -41,7 +41,8 @@ from repro.net.messages import MsgType
 TRACKED_COUNTER_ATTRS = frozenset({
     # net.network.TrafficStats
     "messages", "bytes", "drops", "retries", "timeouts",
-    "retries_exhausted", "delay_total",
+    "retries_exhausted", "delay_total", "backoff_ticks",
+    "stale_epoch_rejections",
     # net.rpc.RpcDispatcher
     "duplicates_suppressed",
     # storage.buffer_pool.BufferPool
@@ -81,6 +82,9 @@ TRACKED_COUNTER_ATTRS = frozenset({
     # faults.FaultPlan
     "faults_injected", "torn_writes", "io_retries", "crashpoints_hit",
     "schedules_explored",
+    # replication.* (log shipping, failure detection, failover)
+    "frames_shipped", "ship_acks", "records_applied",
+    "heartbeats_sent", "heartbeats_missed", "failovers", "failover_ticks",
 })
 
 #: Every sanctioned distribution metric: a ``MetricsHub`` histogram
@@ -100,6 +104,9 @@ TRACKED_HISTOGRAM_ATTRS = frozenset({
     "group_commit_batch",
     # recovery.engines (all engines, per pass)
     "recovery_pass_records",
+    # replication.stream: records the standby trails the primary by,
+    # observed at each durable ship ack
+    "ship_lag_records",
 })
 
 #: Every sanctioned time series: a ``MetricsHub`` ``TimeSeries``
@@ -186,6 +193,10 @@ def register_network_counters(registry: MetricsRegistry) -> None:
     registry.register("message_drops", lambda s: s.network.stats.drops)
     registry.register("message_retries", lambda s: s.network.stats.retries)
     registry.register("rpc_timeouts", lambda s: s.network.stats.timeouts)
+    registry.register("backoff_ticks",
+                      lambda s: s.network.stats.backoff_ticks)
+    registry.register("stale_epoch_rejections",
+                      lambda s: s.network.stats.stale_epoch_rejections)
 
 
 def register_storage_counters(registry: MetricsRegistry) -> None:
@@ -255,6 +266,28 @@ def register_fault_counters(registry: MetricsRegistry) -> None:
     registry.register("schedules_explored", plan_attr("schedules_explored"))
 
 
+def register_replication_counters(registry: MetricsRegistry) -> None:
+    """Log shipping / failure detection / failover counters.
+
+    All zero when the complex has no :class:`ReplicationManager`
+    attached (``system.replication is None``) — replication off leaves
+    every snapshot identical to the single-node system.
+    """
+    def repl_attr(attr: str) -> Provider:
+        def provider(s: Any) -> float:
+            manager = getattr(s, "replication", None)
+            return getattr(manager, attr, 0) if manager is not None else 0
+        return provider
+
+    registry.register("frames_shipped", repl_attr("frames_shipped"))
+    registry.register("ship_acks", repl_attr("ship_acks"))
+    registry.register("records_applied", repl_attr("records_applied"))
+    registry.register("heartbeats_sent", repl_attr("heartbeats_sent"))
+    registry.register("heartbeats_missed", repl_attr("heartbeats_missed"))
+    registry.register("failovers", repl_attr("failovers"))
+    registry.register("failover_ticks", repl_attr("failover_ticks"))
+
+
 def register_hub_metrics(registry: MetricsRegistry) -> None:
     """Histogram and time-series providers off ``system.metrics``.
 
@@ -283,5 +316,6 @@ def build_default_registry() -> MetricsRegistry:
     register_server_counters(registry)
     register_client_counters(registry)
     register_fault_counters(registry)
+    register_replication_counters(registry)
     register_hub_metrics(registry)
     return registry

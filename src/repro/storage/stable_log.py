@@ -46,7 +46,7 @@ from repro.core.log_records import (
     peek_header_in,
 )
 from repro.core.lsn import LogAddr
-from repro.errors import LogRecordNotFoundError
+from repro.errors import LogError, LogRecordNotFoundError
 
 if TYPE_CHECKING:
     from repro.faults import FaultPlan
@@ -97,6 +97,21 @@ class StableLog:
         self.decode_cache_hits = 0
 
     # -- writing -----------------------------------------------------------
+
+    def open_at(self, base_addr: LogAddr) -> None:
+        """Position an empty log so its first append lands at ``base_addr``.
+
+        Standby bootstrap (DESIGN §15): a log replica must reproduce the
+        primary's addresses byte for byte, so a standby created after
+        the primary already wrote (and possibly truncated) log opens its
+        empty replica at the primary's low-water mark and replays the
+        shipped frames from there.  Only a fresh, never-written log may
+        be repositioned — anything else would silently renumber records.
+        """
+        if self._buf or self._base or self._flushed_addr:
+            raise LogError("open_at requires a fresh, empty log")
+        self._base = base_addr
+        self._flushed_addr = base_addr
 
     def append(self, record: LogRecord) -> LogAddr:
         """Append ``record`` to the volatile tail; returns its address."""

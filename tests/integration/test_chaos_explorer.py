@@ -15,13 +15,19 @@ import pytest
 from repro.faults import CRASHPOINTS
 from repro.harness.chaos import (
     CrashScheduleExplorer, is_recovery_point, main, parse_schedule_id,
-    schedule_id,
+    run_replication_parity, schedule_id,
 )
 
 
 @pytest.fixture(scope="module")
 def quick_summary():
     return CrashScheduleExplorer(seed=0, quick=True).explore()
+
+
+@pytest.fixture(scope="module")
+def replicated_summary():
+    return CrashScheduleExplorer(seed=0, quick=True,
+                                 replication=True).explore()
 
 
 # -- schedule ids -------------------------------------------------------------
@@ -49,11 +55,16 @@ def test_quick_sweep_has_no_violations(quick_summary):
 
 
 def test_quick_sweep_census_reaches_most_crashpoints(quick_summary):
-    # Everything but the offline-bootstrap point is reached by the
-    # script (the plan attaches after formatting, by design).
+    # Everything but the offline-bootstrap point and the replication
+    # points is reached by the single-node script (the plan attaches
+    # after formatting, by design; the replication points need the
+    # standby, which the replication tier attaches).
     censused = set(quick_summary.census)
     assert "server.bootstrap.before_format" not in censused
-    assert len(censused) >= len(CRASHPOINTS) - 1
+    assert not any(p.startswith("replication.") for p in censused)
+    single_node = [p for p in CRASHPOINTS
+                   if not p.startswith("replication.")]
+    assert len(censused) >= len(single_node) - 1
 
 
 def test_quick_sweep_every_schedule_fired(quick_summary):
@@ -131,6 +142,75 @@ def test_cli_sweep_writes_json_report(tmp_path, capsys):
     assert data["violations"] == []
     assert data["schedules_explored"] == 2
     assert len(data["results"]) == 2
+
+
+# -- replication tier ---------------------------------------------------------
+
+def test_replicated_sweep_has_no_violations(replicated_summary):
+    assert replicated_summary.replication
+    assert replicated_summary.violations == []
+    assert replicated_summary.to_dict()["replication"] is True
+
+
+def test_replicated_sweep_censuses_every_replication_point(
+        replicated_summary):
+    censused = set(replicated_summary.census)
+    for point in CRASHPOINTS:
+        if point.startswith("replication."):
+            assert point in censused, point
+    # With the replication tier on, only offline bootstrap is missed.
+    assert len(censused) >= len(CRASHPOINTS) - 1
+
+
+def test_replicated_sweep_explores_shipping_and_promotion_crashes(
+        replicated_summary):
+    ids = {r.schedule_id for r in replicated_summary.results}
+    assert "s0:replication.ship.before_send@1" in ids
+    assert "s0:replication.apply.before_redo@1" in ids
+    # Nested: crash during promotion, crash again during the retried
+    # promotion — promotion must be restartable.
+    nested_promote = [
+        r for r in replicated_summary.results
+        if len(r.schedule) > 1
+        and all(p.startswith("replication.promote.")
+                for p, _hit in r.schedule)
+    ]
+    assert len(nested_promote) >= 3
+    for result in nested_promote:
+        assert len(result.fired) == 2, result.schedule_id
+        assert result.exhausted, result.schedule_id
+
+
+def test_replicated_sweep_every_schedule_fired(replicated_summary):
+    for result in replicated_summary.results:
+        assert result.fired, result.schedule_id
+
+
+def test_replicated_replay_is_byte_identical(replicated_summary):
+    explorer = CrashScheduleExplorer(seed=0, replication=True)
+    originals = [r for r in replicated_summary.results
+                 if "replication." in r.schedule_id]
+    for original in originals[:2]:
+        replayed = explorer.replay(original.schedule_id)
+        assert replayed.digest == original.digest
+        assert replayed.fired == original.fired
+
+
+def test_replication_parity_digests_match():
+    """Replication off vs on: every shared schedule's durability digest
+    must be byte-identical — the standby, the shipping traffic, and the
+    failover coda change nothing the complex decided."""
+    report = run_replication_parity(seed=0, quick=True)
+    assert report["mismatches"] == []
+    assert report["violations"] == []
+    assert report["schedules_compared"] >= 20
+    assert report["replication_only_schedules"] >= 6
+
+
+def test_cli_replication_parity(capsys):
+    assert main(["--quick", "--replication-parity", "--budget", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "replication parity" in out
 
 
 # -- engine mode --------------------------------------------------------------

@@ -39,9 +39,9 @@ def test_fixture_inventory():
     # One good/bad pair per checker family, plus the batching pair
     # exercising the RPC checker's RPC004/RPC005 rules, plus the three
     # interprocedural pairs (lock order, WAL reach, crashpoint reach).
-    assert len(BAD_FIXTURES) == 12
-    assert len(GOOD_FIXTURES) == 12
-    assert len(ALL_FIXTURES) == 24
+    assert len(BAD_FIXTURES) == 13
+    assert len(GOOD_FIXTURES) == 13
+    assert len(ALL_FIXTURES) == 26
 
 
 @pytest.mark.parametrize("path", ALL_FIXTURES, ids=lambda p: p.stem)

@@ -232,13 +232,17 @@ def test_repo_tree_is_protocol_clean():
         f.render() for f in result.findings)
     # Inline allows cover exactly: the offline-bootstrap format and its
     # unlogged writes, the disk-write retry funnel (WAL100 checks its
-    # callers), the SMP-first privilege-under-pin sites, and the
-    # Histogram instrument's own count/sum state (OBS001 is about
-    # ad-hoc counters; the instrument IS the registry's data source).
+    # callers), the SMP-first privilege-under-pin sites, the Histogram
+    # instrument's own count/sum state (OBS001 is about ad-hoc
+    # counters; the instrument IS the registry's data source), the
+    # network's failover-epoch bump (protocol state, not a metric), and
+    # the standby's page-replica install seam (applies only the forced
+    # ship prefix, so the WAL check is satisfied by construction).
     assert {f.qualname for f in result.suppressed} == {
         "Server.bootstrap", "Server._disk_write",
         "Client.allocate_page", "Client.deallocate_page",
-        "Histogram.observe"}
+        "Histogram.observe", "Network.bump_epoch",
+        "StandbyServer._install_page"}
 
 
 def test_module_entry_point_runs():
